@@ -1,0 +1,93 @@
+// Command nvperf is the performance-sensitivity simulator front end
+// (paper §V / Figure 12).
+//
+// It re-executes a mini-application against the trace-driven out-of-order
+// core model once per memory technology, varying only the main-memory
+// access latency (Table IV), and reports the normalized runtimes.
+//
+// Usage:
+//
+//	nvperf -app nek5000 [-scale 1.0] [-iterations 1] [-latencies 10,12,20,100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/cpusim"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+
+	_ "nvscavenger/internal/apps/cammini"
+	_ "nvscavenger/internal/apps/gtcmini"
+	_ "nvscavenger/internal/apps/mdmini"
+	_ "nvscavenger/internal/apps/nekmini"
+	_ "nvscavenger/internal/apps/s3dmini"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvperf:", err)
+		os.Exit(1)
+	}
+}
+
+type perfSink struct {
+	core *cpusim.Core
+}
+
+func (p perfSink) Event(gap uint64, a trace.Access) { p.core.Event(gap, a) }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nvperf", flag.ContinueOnError)
+	appName := fs.String("app", "", "application to simulate: "+strings.Join(apps.Names(), ", "))
+	scale := fs.Float64("scale", 1.0, "problem scale")
+	iters := fs.Int("iterations", 1, "main-loop iterations to simulate (the paper uses 1)")
+	latList := fs.String("latencies", "10,12,20,100", "memory latencies in ns (comma separated; first is the baseline)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *appName == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -app")
+	}
+	var lats []float64
+	for _, s := range strings.Split(*latList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad latency %q: %w", s, err)
+		}
+		lats = append(lats, v)
+	}
+	if len(lats) == 0 {
+		return fmt.Errorf("no latencies given")
+	}
+
+	fmt.Fprintf(out, "%s latency sweep (%d iteration(s), scale %.2f)\n", *appName, *iters, *scale)
+	fmt.Fprintf(out, "%12s %14s %10s %8s %14s %14s\n",
+		"latency (ns)", "cycles", "normalized", "IPC", "mem accesses", "prefetch hits")
+	var base float64
+	for _, lat := range lats {
+		app, err := apps.New(*appName, *scale)
+		if err != nil {
+			return err
+		}
+		c := cpusim.MustNew(cpusim.PaperConfig(lat))
+		tr := memtrace.New(memtrace.Config{Perf: perfSink{core: c}})
+		if err := apps.Run(app, tr, *iters); err != nil {
+			return err
+		}
+		st := c.Stats()
+		if base == 0 {
+			base = st.Cycles
+		}
+		fmt.Fprintf(out, "%12.0f %14.0f %10.3f %8.2f %14d %14d\n",
+			lat, st.Cycles, st.Cycles/base, st.IPC, st.MemAccesses, st.PrefetchHits)
+	}
+	return nil
+}

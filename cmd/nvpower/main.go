@@ -1,0 +1,162 @@
+// Command nvpower is the memory power simulator front end (paper §IV).
+//
+// It prices main-memory traffic on DDR3, PCRAM, STTRAM and MRAM devices and
+// reports per-component average power plus the Table VI normalization.  The
+// traffic comes either from running a mini-application through the cache
+// hierarchy, or from a previously captured binary transaction trace.
+//
+// Usage:
+//
+//	nvpower -app gtc [-scale 1.0] [-iterations 10] [-policy open]
+//	nvpower -trace mem.trc [-policy closed]
+//	nvpower -app gtc -dump mem.trc        # capture the filtered trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/cachesim"
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+
+	_ "nvscavenger/internal/apps/cammini"
+	_ "nvscavenger/internal/apps/gtcmini"
+	_ "nvscavenger/internal/apps/mdmini"
+	_ "nvscavenger/internal/apps/nekmini"
+	_ "nvscavenger/internal/apps/s3dmini"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvpower:", err)
+		os.Exit(1)
+	}
+}
+
+type txCollect struct{ txs []trace.Transaction }
+
+func (c *txCollect) Transaction(t trace.Transaction) error {
+	c.txs = append(c.txs, t)
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nvpower", flag.ContinueOnError)
+	appName := fs.String("app", "", "application to trace (alternative to -trace)")
+	traceFile := fs.String("trace", "", "binary transaction trace to replay (alternative to -app)")
+	dump := fs.String("dump", "", "write the filtered transaction trace to this file")
+	scale := fs.Float64("scale", 1.0, "problem scale")
+	iters := fs.Int("iterations", 10, "main-loop iterations")
+	policy := fs.String("policy", "open", "row policy: open or closed page")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rowPolicy := dramsim.OpenPage
+	switch *policy {
+	case "open":
+	case "closed":
+		rowPolicy = dramsim.ClosedPage
+	default:
+		return fmt.Errorf("unknown -policy %q (open or closed)", *policy)
+	}
+
+	var txs []trace.Transaction
+	switch {
+	case *appName != "" && *traceFile != "":
+		return fmt.Errorf("-app and -trace are mutually exclusive")
+	case *appName != "":
+		app, err := apps.New(*appName, *scale)
+		if err != nil {
+			return err
+		}
+		collect := &txCollect{}
+		hier := cachesim.MustNew(cachesim.PaperConfig(), collect)
+		tr := memtrace.New(memtrace.Config{Sink: hier})
+		if err := apps.Run(app, tr, *iters); err != nil {
+			return err
+		}
+		hier.Drain()
+		if err := hier.Err(); err != nil {
+			return err
+		}
+		txs = collect.txs
+		fmt.Fprintf(out, "%s: %d references filtered to %d memory transactions (%.2f%%)\n",
+			*appName, hier.L1Stats().Accesses(), len(txs),
+			float64(len(txs))/float64(hier.L1Stats().Accesses())*100)
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		for {
+			t, err := r.ReadTransaction()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			txs = append(txs, t)
+		}
+		fmt.Fprintf(out, "replaying %d transactions from %s\n", len(txs), *traceFile)
+	default:
+		fs.Usage()
+		return fmt.Errorf("need -app or -trace")
+	}
+	if len(txs) == 0 {
+		return fmt.Errorf("no memory transactions to simulate")
+	}
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			return err
+		}
+		w := trace.NewTransactionWriter(f)
+		if strings.HasSuffix(*dump, ".gz") {
+			w = trace.NewCompressedTransactionWriter(f)
+		}
+		for _, t := range txs {
+			if err := w.WriteTransaction(t); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d transactions to %s\n", len(txs), *dump)
+	}
+
+	reps, err := dramsim.Compare(dramsim.PaperGeometry(), rowPolicy, dramsim.Profiles(), txs)
+	if err != nil {
+		return err
+	}
+	norm := dramsim.Normalize(reps)
+	fmt.Fprintf(out, "\n%-8s %10s %10s %10s %10s %10s %12s %10s\n",
+		"device", "total mW", "burst", "act/pre", "bg", "refresh", "elapsed ms", "normalized")
+	for i, r := range reps {
+		fmt.Fprintf(out, "%-8s %10.1f %10.1f %10.1f %10.1f %10.1f %12.3f %10.3f\n",
+			r.Device, r.TotalMW, r.BurstMW, r.ActPreMW, r.BackgroundMW, r.RefreshMW,
+			r.ElapsedNS/1e6, norm[i])
+	}
+	fmt.Fprintf(out, "\nrow policy %s; row-buffer hit ratio (DDR3 run): %.1f%%\n",
+		rowPolicy, reps[0].RowHitRatio()*100)
+	return nil
+}

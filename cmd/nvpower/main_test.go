@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAppMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-app", "gtc", "-scale", "0.05", "-iterations", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"filtered to", "DDR3", "PCRAM", "STTRAM", "MRAM", "normalized", "row policy open-page"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDumpAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	trc := filepath.Join(dir, "mem.trc")
+
+	var out bytes.Buffer
+	if err := run([]string{"-app", "gtc", "-scale", "0.05", "-iterations", "2", "-dump", trc}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(trc); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-trace", trc, "-policy", "closed"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "replaying") || !strings.Contains(text, "closed-page") {
+		t.Errorf("replay output incomplete:\n%s", text)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing source must error")
+	}
+	if err := run([]string{"-app", "gtc", "-trace", "x"}, &out); err == nil {
+		t.Error("both sources must error")
+	}
+	if err := run([]string{"-app", "gtc", "-policy", "weird"}, &out); err == nil {
+		t.Error("unknown policy must error")
+	}
+	if err := run([]string{"-trace", "/nonexistent/file.trc"}, &out); err == nil {
+		t.Error("missing trace file must error")
+	}
+}
+
+func TestRunDumpCompressed(t *testing.T) {
+	dir := t.TempDir()
+	trc := filepath.Join(dir, "mem.trc.gz")
+	var out bytes.Buffer
+	if err := run([]string{"-app", "gtc", "-scale", "0.05", "-iterations", "1", "-dump", trc}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("dump with .gz suffix must be gzip-compressed")
+	}
+	out.Reset()
+	if err := run([]string{"-trace", trc}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replaying") {
+		t.Error("compressed trace replay failed")
+	}
+}

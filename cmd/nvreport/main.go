@@ -1,0 +1,271 @@
+// Command nvreport regenerates every table and figure of the paper's
+// evaluation section in one run.
+//
+// Usage:
+//
+//	nvreport                     # everything, calibrated scale
+//	nvreport -scale 0.25         # faster, reduced problem sizes
+//	nvreport -only table5,fig12  # a subset
+//
+// Exhibits: table1, table5, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
+// fig9, fig10, fig11, table6, fig12, placement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nvscavenger/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvreport:", err)
+		os.Exit(1)
+	}
+}
+
+// exhibit maps a selector name to its generator.
+type exhibit struct {
+	name string
+	gen  func(*experiments.Session, io.Writer) error
+}
+
+var objectFigures = map[string]struct {
+	app string
+	num int
+}{
+	"fig3": {"nek5000", 3},
+	"fig4": {"cam", 4},
+	"fig5": {"gtc", 5},
+	"fig6": {"s3d", 6},
+}
+
+var varianceFigures = map[string]struct {
+	app string
+	num int
+}{
+	"fig8":  {"nek5000", 8},
+	"fig9":  {"cam", 9},
+	"fig10": {"s3d", 10},
+	"fig11": {"gtc", 11},
+}
+
+func exhibits() []exhibit {
+	out := []exhibit{
+		{"table1", func(s *experiments.Session, w io.Writer) error {
+			rows, err := s.Table1()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatTable1(rows))
+			return err
+		}},
+		{"table5", func(s *experiments.Session, w io.Writer) error {
+			rows, err := s.Table5()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatTable5(rows))
+			return err
+		}},
+		{"fig2", func(s *experiments.Session, w io.Writer) error {
+			recs, fig, err := s.Figure2()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatFigure2(recs, fig))
+			return err
+		}},
+	}
+	for _, key := range []string{"fig3", "fig4", "fig5", "fig6"} {
+		spec := objectFigures[key]
+		out = append(out, exhibit{key, func(s *experiments.Session, w io.Writer) error {
+			recs, err := s.ObjectFigure(spec.app)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatObjectFigure(spec.app, spec.num, recs))
+			return err
+		}})
+	}
+	out = append(out, exhibit{"fig7", func(s *experiments.Session, w io.Writer) error {
+		cdfs, err := s.Figure7()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, experiments.FormatFigure7(cdfs))
+		return err
+	}})
+	for _, key := range []string{"fig8", "fig9", "fig10", "fig11"} {
+		spec := varianceFigures[key]
+		out = append(out, exhibit{key, func(s *experiments.Session, w io.Writer) error {
+			ratio, rate, err := s.VarianceFigure(spec.app)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatVarianceFigure(spec.app, spec.num, ratio, rate))
+			return err
+		}})
+	}
+	out = append(out,
+		exhibit{"table6", func(s *experiments.Session, w io.Writer) error {
+			rows, err := s.Table6()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatTable6(rows))
+			return err
+		}},
+		exhibit{"fig12", func(s *experiments.Session, w io.Writer) error {
+			rows, err := s.Figure12()
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w, experiments.FormatFigure12(rows)); err != nil {
+				return err
+			}
+			for _, r := range rows {
+				if _, err := fmt.Fprintf(w, "%s: %s\n", r.App, experiments.FormatSweepShape(r.Results)); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintln(w)
+			return err
+		}},
+		exhibit{"placement", func(s *experiments.Session, w io.Writer) error {
+			plans, err := s.Placement()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatPlacement(plans))
+			return err
+		}},
+		exhibit{"placementcmp", func(s *experiments.Session, w io.Writer) error {
+			rows, err := s.PlacementComparison()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatPlacementComparison(rows))
+			return err
+		}},
+		exhibit{"hybrid", func(s *experiments.Session, w io.Writer) error {
+			pts, err := s.HybridSweep("nek5000", []int{0, 8, 32, 128, 512, 2048})
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatHybridSweep("nek5000", pts))
+			return err
+		}},
+		exhibit{"checkpoint", func(s *experiments.Session, w io.Writer) error {
+			pts, err := s.CheckpointStudy("nek5000", []int{1000, 10000, 100000, 500000, 1000000})
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatCheckpointStudy("nek5000", pts))
+			return err
+		}},
+		exhibit{"wear", func(s *experiments.Session, w io.Writer) error {
+			rows, err := s.WearStudy("gtc")
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatWearStudy("gtc", rows))
+			return err
+		}},
+		exhibit{"sampling", func(s *experiments.Session, w io.Writer) error {
+			rows, err := s.SamplingStudy("nek5000", []int{1, 16, 64, 256})
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatSamplingStudy("nek5000", rows))
+			return err
+		}},
+		exhibit{"conformance", func(s *experiments.Session, w io.Writer) error {
+			checks, err := s.Conformance()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, experiments.FormatConformance(checks))
+			return err
+		}},
+	)
+	return out
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nvreport", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "problem scale for every experiment")
+	iters := fs.Int("iterations", 10, "main-loop iterations")
+	only := fs.String("only", "", "comma-separated exhibit subset (e.g. table5,fig12)")
+	parallel := fs.Bool("parallel", true, "run the instrumented app executions concurrently (§III-D)")
+	outdir := fs.String("outdir", "", "also write each exhibit to <outdir>/<name>.txt")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+
+	sess := experiments.NewSession(experiments.Options{Scale: *scale, Iterations: *iters})
+	fmt.Fprintf(out, "NV-SCAVENGER evaluation reproduction (scale %.2f, %d iterations)\n",
+		sess.Options().Scale, sess.Options().Iterations)
+	fmt.Fprintf(out, "generated %s\n\n", time.Now().Format(time.RFC3339))
+
+	known := map[string]bool{}
+	for _, ex := range exhibits() {
+		known[ex.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			return fmt.Errorf("unknown exhibit %q", name)
+		}
+	}
+
+	if *parallel && len(want) == 0 {
+		// All exhibits requested: warm every instrumented run concurrently.
+		if err := sess.Warm(); err != nil {
+			return err
+		}
+	}
+
+	for _, ex := range exhibits() {
+		if len(want) > 0 && !want[ex.name] {
+			continue
+		}
+		w := out
+		var f *os.File
+		if *outdir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outdir, ex.name+".txt"))
+			if err != nil {
+				return err
+			}
+			w = io.MultiWriter(out, f)
+		}
+		err := ex.gen(sess, w)
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.name, err)
+		}
+	}
+	return nil
+}

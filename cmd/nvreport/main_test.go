@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.05", "-iterations", "3", "-only", "table1,table5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Table I") || !strings.Contains(text, "Table V") {
+		t.Errorf("subset output incomplete:\n%s", text)
+	}
+	if strings.Contains(text, "Table VI") {
+		t.Error("unselected exhibit was generated")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-iterations", "3", "-only", "fig7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 7") {
+		t.Error("figure 7 missing")
+	}
+}
+
+func TestRunUnknownExhibit(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "fig99"}, &out); err == nil {
+		t.Error("unknown exhibit must error")
+	}
+}
+
+func TestExhibitNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ex := range exhibits() {
+		if seen[ex.name] {
+			t.Errorf("duplicate exhibit %q", ex.name)
+		}
+		seen[ex.name] = true
+	}
+	if len(seen) != 21 {
+		t.Errorf("exhibit count = %d, want 21", len(seen))
+	}
+}
+
+func TestRunOutdir(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-iterations", "3",
+		"-only", "table1,table5", "-outdir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table1.txt", "table5.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table6.txt")); err == nil {
+		t.Fatal("unselected exhibit file must not exist")
+	}
+}

@@ -1,0 +1,177 @@
+// Command nvscavenger runs one mini-application under the NV-SCAVENGER
+// instrumentation substrate and reports per-object NVRAM opportunity
+// analysis: the three metrics of the paper (read/write ratio, size,
+// reference rate), stack/heap/global breakdowns, hybrid-placement advice
+// and device-endurance estimates.
+//
+// Usage:
+//
+//	nvscavenger -app nek5000 [-scale 1.0] [-iterations 10] [-mode fast]
+//	            [-placement] [-endurance] [-category 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/core"
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+
+	_ "nvscavenger/internal/apps/cammini"
+	_ "nvscavenger/internal/apps/gtcmini"
+	_ "nvscavenger/internal/apps/mdmini"
+	_ "nvscavenger/internal/apps/nekmini"
+	_ "nvscavenger/internal/apps/s3dmini"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvscavenger:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nvscavenger", flag.ContinueOnError)
+	appName := fs.String("app", "", "application to instrument: "+strings.Join(apps.Names(), ", "))
+	scale := fs.Float64("scale", 1.0, "problem scale (1.0 = calibrated default)")
+	iters := fs.Int("iterations", 10, "main-loop iterations to instrument")
+	mode := fs.String("mode", "fast", "stack attribution mode: fast (whole stack) or slow (per frame)")
+	placement := fs.Bool("placement", false, "print hybrid DRAM/NVRAM placement advice")
+	endurance := fs.Bool("endurance", false, "print PCRAM endurance estimates for NVRAM-placed objects")
+	category := fs.Int("category", 2, "NVRAM category for the placement policy (1 or 2)")
+	topN := fs.Int("top", 25, "number of objects to print per section")
+	jsonOut := fs.String("json", "", "write the full analysis snapshot as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *appName == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -app (one of %s)", strings.Join(apps.Names(), ", "))
+	}
+
+	stackMode := memtrace.FastStack
+	switch *mode {
+	case "fast":
+	case "slow":
+		stackMode = memtrace.SlowStack
+	default:
+		return fmt.Errorf("unknown -mode %q (fast or slow)", *mode)
+	}
+
+	app, err := apps.New(*appName, *scale)
+	if err != nil {
+		return err
+	}
+	tr := memtrace.New(memtrace.Config{StackMode: stackMode})
+	if err := apps.Run(app, tr, *iters); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== %s: %s ==\n", app.Name(), app.Description())
+	fmt.Fprintf(out, "scale %.2f, %d iterations, %s stack mode\n\n", *scale, *iters, stackMode)
+	fmt.Fprintf(out, "memory footprint: %.1f MB (stack high water %.1f KB)\n",
+		float64(tr.Footprint())/(1<<20), float64(tr.StackHighWater())/1024)
+	fmt.Fprintf(out, "instructions retired: %d\n\n", tr.Instructions())
+
+	// Segment summary (Table V style).
+	row := core.StackAnalysis(tr)
+	fmt.Fprintf(out, "stack data: r/w ratio %.2f (first iteration %.2f), %.1f%% of references\n",
+		row.SteadyRatio, row.FirstIterRatio, row.ReferencePct)
+	for _, seg := range []trace.Segment{trace.SegGlobal, trace.SegHeap} {
+		s := tr.SegmentTotals(seg, 1, tr.MainLoopIterations())
+		fmt.Fprintf(out, "%s data: %d reads, %d writes (ratio %.2f)\n",
+			seg, s.Reads, s.Writes, s.ReadWriteRatio())
+	}
+
+	// Per-object analysis.
+	recs := core.ObjectRecords(tr)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Refs > recs[j].Refs })
+	fmt.Fprintf(out, "\nglobal+heap objects by main-loop references (top %d of %d):\n", *topN, len(recs))
+	fmt.Fprintf(out, "%-20s %-7s %12s %14s %12s %6s\n", "object", "segment", "r/w ratio", "refs/Minstr", "size (KB)", "iters")
+	for i, r := range recs {
+		if i >= *topN {
+			break
+		}
+		fmt.Fprintf(out, "%-20s %-7s %12.2f %14.1f %12.1f %6d\n",
+			r.Name, r.Segment, r.RWRatio, r.RefRate, float64(r.SizeBytes)/1024, r.TouchedIters)
+	}
+
+	if stackMode == memtrace.SlowStack {
+		frames := core.StackFrameRecords(tr)
+		fig := core.SummarizeFrames(frames)
+		sort.Slice(frames, func(i, j int) bool { return frames[i].Refs > frames[j].Refs })
+		fmt.Fprintf(out, "\nstack frames by references (top %d of %d):\n", *topN, len(frames))
+		fmt.Fprintf(out, "%-22s %12s %14s %12s\n", "routine", "r/w ratio", "refs/Minstr", "frame (KB)")
+		for i, r := range frames {
+			if i >= *topN {
+				break
+			}
+			fmt.Fprintf(out, "%-22s %12.2f %14.1f %12.1f\n", r.Name, r.RWRatio, r.RefRate, float64(r.SizeBytes)/1024)
+		}
+		fmt.Fprintf(out, "frames with r/w > 10: %.1f%% of objects, %.1f%% of references\n",
+			fig.CountOver10*100, fig.RefsOver10*100)
+		fmt.Fprintf(out, "frames with r/w > 50: %.1f%% of objects, %.1f%% of references\n",
+			fig.CountOver50*100, fig.RefsOver50*100)
+	}
+
+	if *placement {
+		cat := core.Category2
+		if *category == 1 {
+			cat = core.Category1
+		}
+		plan := core.Plan(tr, core.DefaultPolicy(cat))
+		fmt.Fprintf(out, "\nhybrid placement (%s):\n", cat)
+		fmt.Fprintf(out, "NVRAM %.1f MB, migratable %.1f MB, DRAM %.1f MB -> %.1f%% of the working set suits NVRAM\n",
+			float64(plan.NVRAMBytes)/(1<<20), float64(plan.MigratableBytes)/(1<<20),
+			float64(plan.DRAMBytes)/(1<<20), plan.NVRAMShare*100)
+		for i, adv := range plan.Advices {
+			if i >= *topN {
+				break
+			}
+			fmt.Fprintf(out, "  %-20s %-11s %s\n", adv.Object.Name, adv.Target, adv.Reason)
+		}
+
+		if *endurance {
+			fmt.Fprintf(out, "\nPCRAM endurance for NVRAM-placed objects:\n")
+			prof := dramsim.PCRAM()
+			for _, adv := range plan.Advices {
+				if adv.Target != core.TargetNVRAM {
+					continue
+				}
+				est := core.Endurance(adv.Object, prof, tr.MainLoopIterations())
+				fmt.Fprintf(out, "  %-20s %10.4f writes/byte/step -> %.2e steps to wear-out\n",
+					est.ObjectName, est.WritesPerBytePerStep, est.LifetimeSteps)
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		var policyPtr *core.Policy
+		if *placement {
+			p := core.DefaultPolicy(core.Category(*category))
+			policyPtr = &p
+		}
+		snap := core.BuildSnapshot(app.Name(), tr, policyPtr)
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote analysis snapshot to %s\n", *jsonOut)
+	}
+	return nil
+}

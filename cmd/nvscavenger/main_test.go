@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"os"
+	"path/filepath"
+
+	"nvscavenger/internal/core"
+)
+
+func TestRunFastMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-app", "gtc", "-scale", "0.05", "-iterations", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"gtc", "memory footprint", "stack data", "global+heap objects"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSlowModeWithPlacement(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-app", "cam", "-scale", "0.05", "-iterations", "3",
+		"-mode", "slow", "-placement", "-endurance", "-category", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"stack frames by references", "hybrid placement", "category-1", "endurance"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -app must error")
+	}
+	if err := run([]string{"-app", "nonesuch"}, &out); err == nil {
+		t.Error("unknown app must error")
+	}
+	if err := run([]string{"-app", "gtc", "-mode", "weird"}, &out); err == nil {
+		t.Error("unknown mode must error")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag must error")
+	}
+}
+
+func TestRunJSONSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	var out bytes.Buffer
+	err := run([]string{"-app", "gtc", "-scale", "0.05", "-iterations", "2",
+		"-placement", "-json", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := core.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.App != "gtc" || len(snap.Objects) == 0 || snap.Placement == nil {
+		t.Fatalf("snapshot incomplete: %+v", snap)
+	}
+}

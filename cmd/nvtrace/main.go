@@ -1,0 +1,208 @@
+// Command nvtrace inspects and converts binary memory-trace files (the
+// format cmd/nvpower captures and replays, plain or gzip-compressed).
+//
+// Usage:
+//
+//	nvtrace -stat mem.trc            # summary: kind, records, r/w mix, span
+//	nvtrace -head 10 mem.trc         # print the first N records
+//	nvtrace -convert mem.trc.gz mem.trc   # recompress / decompress by suffix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nvscavenger/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nvtrace", flag.ContinueOnError)
+	stat := fs.Bool("stat", false, "print a summary of the trace")
+	head := fs.Int("head", 0, "print the first N records")
+	convert := fs.Bool("convert", false, "convert between plain and gzip (two file args; .gz suffix selects compression)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+
+	switch {
+	case *convert:
+		if len(files) != 2 {
+			return fmt.Errorf("-convert needs input and output paths")
+		}
+		return convertTrace(files[0], files[1], out)
+	case *stat || *head > 0:
+		if len(files) != 1 {
+			return fmt.Errorf("need exactly one trace file")
+		}
+		return inspect(files[0], *stat, *head, out)
+	default:
+		fs.Usage()
+		return fmt.Errorf("need -stat, -head or -convert")
+	}
+}
+
+func openTrace(path string) (*trace.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+func inspect(path string, stat bool, head int, out io.Writer) error {
+	r, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	kind := "transaction"
+	if r.Kind() == trace.KindAccess {
+		kind = "access"
+	}
+	fmt.Fprintf(out, "%s: %s trace\n", path, kind)
+
+	var records, writes uint64
+	var minAddr, maxAddr uint64
+	minAddr = ^uint64(0)
+	printRec := func(i int, addr uint64, isWrite bool, extra string) {
+		if head > 0 && i < head {
+			op := "R"
+			if isWrite {
+				op = "W"
+			}
+			fmt.Fprintf(out, "%8d  %s %#014x%s\n", i, op, addr, extra)
+		}
+	}
+	for i := 0; ; i++ {
+		var addr uint64
+		var isWrite bool
+		var extra string
+		if r.Kind() == trace.KindAccess {
+			a, err := r.ReadAccess()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			addr, isWrite = a.Addr, a.IsWrite()
+			extra = fmt.Sprintf("  size %d", a.Size)
+		} else {
+			t, err := r.ReadTransaction()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			addr, isWrite = t.Addr, t.Write
+			extra = fmt.Sprintf("  cycle %d", t.Cycle)
+		}
+		printRec(i, addr, isWrite, extra)
+		records++
+		if isWrite {
+			writes++
+		}
+		if addr < minAddr {
+			minAddr = addr
+		}
+		if addr > maxAddr {
+			maxAddr = addr
+		}
+	}
+	if stat {
+		fmt.Fprintf(out, "records: %d (%d reads, %d writes", records, records-writes, writes)
+		if records > 0 {
+			fmt.Fprintf(out, ", %.1f%% writes", float64(writes)/float64(records)*100)
+		}
+		fmt.Fprintln(out, ")")
+		if records > 0 {
+			fmt.Fprintf(out, "address span: [%#x, %#x] (%.1f MB)\n",
+				minAddr, maxAddr, float64(maxAddr-minAddr)/(1<<20))
+		}
+	}
+	return nil
+}
+
+func convertTrace(src, dst string, out io.Writer) error {
+	r, f, err := openTrace(src)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	o, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	var w *trace.Writer
+	gz := strings.HasSuffix(dst, ".gz")
+	switch {
+	case r.Kind() == trace.KindAccess && gz:
+		w = trace.NewCompressedAccessWriter(o)
+	case r.Kind() == trace.KindAccess:
+		w = trace.NewAccessWriter(o)
+	case gz:
+		w = trace.NewCompressedTransactionWriter(o)
+	default:
+		w = trace.NewTransactionWriter(o)
+	}
+
+	n := 0
+	for {
+		if r.Kind() == trace.KindAccess {
+			a, err := r.ReadAccess()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				o.Close()
+				return err
+			}
+			if err := w.WriteAccess(a); err != nil {
+				o.Close()
+				return err
+			}
+		} else {
+			t, err := r.ReadTransaction()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				o.Close()
+				return err
+			}
+			if err := w.WriteTransaction(t); err != nil {
+				o.Close()
+				return err
+			}
+		}
+		n++
+	}
+	if err := w.Close(); err != nil {
+		o.Close()
+		return err
+	}
+	if err := o.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "converted %d records: %s -> %s\n", n, src, dst)
+	return nil
+}

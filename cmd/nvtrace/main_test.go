@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvscavenger/internal/trace"
+)
+
+func writeSampleTrace(t *testing.T, path string, compressed bool) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewTransactionWriter(f)
+	if compressed {
+		w = trace.NewCompressedTransactionWriter(f)
+	}
+	for i := 0; i < 100; i++ {
+		if err := w.WriteTransaction(trace.Transaction{
+			Addr: uint64(i) * 64, Write: i%4 == 0, Cycle: uint64(i * 10),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mem.trc")
+	writeSampleTrace(t, path, false)
+
+	var out bytes.Buffer
+	if err := run([]string{"-stat", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "records: 100 (75 reads, 25 writes") {
+		t.Errorf("stat output wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "address span") {
+		t.Errorf("span missing:\n%s", text)
+	}
+}
+
+func TestHead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mem.trc")
+	writeSampleTrace(t, path, false)
+
+	var out bytes.Buffer
+	if err := run([]string{"-head", "3", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// header + 3 records
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[1], "W") {
+		t.Errorf("first record should be a write:\n%s", lines[1])
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "mem.trc")
+	gz := filepath.Join(dir, "mem.trc.gz")
+	back := filepath.Join(dir, "back.trc")
+	writeSampleTrace(t, plain, false)
+
+	var out bytes.Buffer
+	if err := run([]string{"-convert", plain, gz}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("output is not gzip")
+	}
+	if err := run([]string{"-convert", gz, back}, &out); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(plain)
+	b, _ := os.ReadFile(back)
+	if !bytes.Equal(a, b) {
+		t.Fatal("convert round trip altered the trace")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no mode must error")
+	}
+	if err := run([]string{"-stat"}, &out); err == nil {
+		t.Error("missing file must error")
+	}
+	if err := run([]string{"-stat", "/nonexistent.trc"}, &out); err == nil {
+		t.Error("unreadable file must error")
+	}
+	if err := run([]string{"-convert", "only-one"}, &out); err == nil {
+		t.Error("convert needs two paths")
+	}
+}

@@ -1,0 +1,63 @@
+// Placement study: run the CAM proxy under instrumentation and derive
+// hybrid DRAM/NVRAM placement advice for both NVRAM categories, with PCRAM
+// endurance estimates for everything placed in NVRAM.
+//
+//	go run ./examples/placement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/core"
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/memtrace"
+
+	_ "nvscavenger/internal/apps/cammini"
+)
+
+func main() {
+	app, err := apps.New("cam", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := memtrace.New(memtrace.Config{StackMode: memtrace.FastStack})
+	if err := apps.Run(app, tr, 10); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== %s ==\n%s\n\n", app.Name(), app.Description())
+
+	for _, cat := range []core.Category{core.Category2, core.Category1} {
+		policy := core.DefaultPolicy(cat)
+		plan := core.Plan(tr, policy)
+		fmt.Printf("--- %s ---\n", cat)
+		fmt.Printf("NVRAM %7.2f MB | migratable %7.2f MB | DRAM %7.2f MB | NVRAM share %.1f%%\n",
+			mb(plan.NVRAMBytes), mb(plan.MigratableBytes), mb(plan.DRAMBytes), plan.NVRAMShare*100)
+		for _, adv := range plan.Advices {
+			if adv.Object.Size < 64*1024 {
+				continue // only the large objects for readability
+			}
+			fmt.Printf("  %-16s %8.2f MB -> %-10s %s\n",
+				adv.Object.Name, mb(adv.Object.Size), adv.Target, adv.Reason)
+		}
+		fmt.Println()
+	}
+
+	// Endurance: even the category-friendly objects must survive the write
+	// stream.  The estimate assumes ideal wear-levelling within the object.
+	fmt.Println("--- PCRAM endurance for category-2 NVRAM placements ---")
+	plan := core.Plan(tr, core.DefaultPolicy(core.Category2))
+	prof := dramsim.PCRAM()
+	for _, adv := range plan.Advices {
+		if adv.Target != core.TargetNVRAM || adv.Object.Size < 64*1024 {
+			continue
+		}
+		est := core.Endurance(adv.Object, prof, tr.MainLoopIterations())
+		fmt.Printf("  %-16s %10.5f writes/byte/step -> %.2e steps to wear-out\n",
+			est.ObjectName, est.WritesPerBytePerStep, est.LifetimeSteps)
+	}
+}
+
+func mb(v uint64) float64 { return float64(v) / (1 << 20) }

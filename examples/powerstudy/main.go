@@ -1,0 +1,67 @@
+// Power study: push the GTC proxy's cache-filtered memory trace through the
+// DRAMSim-style power model for all four Table IV device profiles, under
+// both row-buffer policies.
+//
+//	go run ./examples/powerstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/cachesim"
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+
+	_ "nvscavenger/internal/apps/gtcmini"
+)
+
+type collect struct{ txs []trace.Transaction }
+
+func (c *collect) Transaction(t trace.Transaction) error {
+	c.txs = append(c.txs, t)
+	return nil
+}
+
+func main() {
+	app, err := apps.New("gtc", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink := &collect{}
+	hier := cachesim.MustNew(cachesim.PaperConfig(), sink)
+	tr := memtrace.New(memtrace.Config{Sink: hier})
+	if err := apps.Run(app, tr, 10); err != nil {
+		log.Fatal(err)
+	}
+	hier.Drain()
+	if err := hier.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	l1, l2 := hier.L1Stats(), hier.L2Stats()
+	fmt.Printf("== %s memory traffic ==\n", app.Name())
+	fmt.Printf("references: %d  L1 miss %.2f%%  L2 miss %.2f%%\n",
+		l1.Accesses(), l1.MissRatio()*100, l2.MissRatio()*100)
+	fmt.Printf("main-memory transactions: %d (%d reads, %d writebacks)\n\n",
+		len(sink.txs), hier.MemReads, hier.MemWrites)
+
+	for _, policy := range []dramsim.RowPolicy{dramsim.OpenPage, dramsim.ClosedPage} {
+		reps, err := dramsim.Compare(dramsim.PaperGeometry(), policy, dramsim.Profiles(), sink.txs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm := dramsim.Normalize(reps)
+		fmt.Printf("--- %s ---\n", policy)
+		fmt.Printf("%-8s %10s %10s %10s %12s %10s\n",
+			"device", "total mW", "burst", "bg+refr", "row hit %", "normalized")
+		for i, r := range reps {
+			fmt.Printf("%-8s %10.1f %10.1f %10.1f %12.1f %10.3f\n",
+				r.Device, r.TotalMW, r.BurstMW, r.BackgroundMW+r.RefreshMW,
+				r.RowHitRatio()*100, norm[i])
+		}
+		fmt.Println()
+	}
+}

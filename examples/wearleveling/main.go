@@ -1,0 +1,108 @@
+// Wear-leveling study: §II flags PCRAM's limited write endurance (1e8 to
+// 1e9.7 cycles) as the third obstacle to placing data in NVRAM.  This
+// example captures the writeback traffic of the GTC proxy's charge-density
+// grid — a scatter target rewritten every timestep — and compares the
+// region's lifetime under a static line mapping versus Start-Gap wear
+// leveling.
+//
+//	go run ./examples/wearleveling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/cachesim"
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+	"nvscavenger/internal/wear"
+
+	_ "nvscavenger/internal/apps/gtcmini"
+)
+
+func main() {
+	// Run GTC and capture the post-cache writeback stream.
+	app, err := apps.New("gtc", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var writebacks []uint64
+	sink := cachesim.TxSinkFunc(func(t trace.Transaction) error {
+		if t.Write {
+			writebacks = append(writebacks, t.Addr)
+		}
+		return nil
+	})
+	hier := cachesim.MustNew(cachesim.PaperConfig(), sink)
+	tr := memtrace.New(memtrace.Config{Sink: hier})
+	if err := apps.Run(app, tr, 10); err != nil {
+		log.Fatal(err)
+	}
+	hier.Drain()
+	if err := hier.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the charge-density grid: the hottest write target.
+	var grid *memtrace.Object
+	for _, o := range tr.Objects() {
+		if o.Name == "densityi" {
+			grid = o
+		}
+	}
+	if grid == nil {
+		log.Fatal("densityi object missing")
+	}
+	fmt.Printf("gtc: %d writebacks total; tracking %s [%#x, +%d KB)\n\n",
+		len(writebacks), grid.Name, grid.Base, grid.Size/1024)
+
+	lines := int(grid.Size / 64)
+	prof := dramsim.PCRAM()
+	report := func(label string, stream []uint64, base uint64, n int) {
+		fmt.Printf("--- %s (%d line writes over %d lines) ---\n", label, len(stream), n)
+		for _, scheme := range []wear.Scheme{wear.Static, wear.StartGap} {
+			tracker := wear.MustNewTracker(wear.Config{BaseAddr: base, Lines: n, Scheme: scheme, GapMovePeriod: 10})
+			for _, addr := range stream {
+				tracker.Write(addr)
+			}
+			r := tracker.Report()
+			fmt.Printf("%-9s  max/line %7d  imbalance %7.2f  lifetime %.2e region-writes\n",
+				scheme, r.MaxLine, r.Imbalance, tracker.LifetimeWrites(prof))
+		}
+		fmt.Println()
+	}
+
+	// Case 1: the measured writeback stream.  The cache hierarchy and the
+	// scatter pattern already spread these writes almost uniformly, so
+	// static placement wears evenly and Start-Gap adds only its small copy
+	// overhead — leveling is unnecessary for this object.
+	var gridWrites []uint64
+	for _, addr := range writebacks {
+		if addr >= grid.Base && addr < grid.Base+grid.Size {
+			gridWrites = append(gridWrites, addr)
+		}
+	}
+	report("gtc densityi writebacks (measured: uniform)", gridWrites, grid.Base, lines)
+
+	// Case 2: a hot-spot deposition pattern — half the writes hammer a few
+	// lines, as a peaked plasma density profile would.  Here Start-Gap
+	// multiplies the region's lifetime by spreading the hot lines.
+	h := uint64(1)
+	var skewed []uint64
+	for i := 0; i < 400000; i++ {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		line := h % uint64(lines)
+		if i%2 == 0 {
+			line = h % 8 // 50% of writes land on 8 of the lines
+		}
+		skewed = append(skewed, grid.Base+line*64)
+	}
+	report("peaked deposition profile (synthetic: skewed)", skewed, grid.Base, lines)
+
+	fmt.Println("Start-Gap pays a small copy overhead on uniform traffic and buys")
+	fmt.Println("an order of magnitude of lifetime when deposition concentrates.")
+}

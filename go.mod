@@ -1,0 +1,3 @@
+module nvscavenger
+
+go 1.22

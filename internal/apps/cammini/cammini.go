@@ -1,0 +1,287 @@
+// Package cammini is the CAM proxy: a global atmosphere-physics mini-app
+// (paper §VI, CAM 3.1 default test case).
+//
+// CAM's signature in §VII is its stack behaviour: ~76.3% of references hit
+// the stack, with a read/write ratio of 20.39 in steady iterations but only
+// 11.46 in the first iteration (coefficient caches are built then).  At the
+// routine level (Figure 2), ~43% of stack objects have read/write ratios
+// above 10 — together drawing ~69% of stack references — and ~3% exceed 50
+// (~9% of references): routines that derive interpolation coefficients from
+// their arguments and then read them repeatedly, routines caching temporal
+// results, and routines holding computation-dependent constants.
+//
+// The proxy therefore models the CAM physics suite as 31 named routines,
+// each owning a stack frame whose locals are written once per timestep
+// (twice in timestep 1, the cache-building pass) and read a calibrated
+// number of times:
+//
+//   - 1 routine with read ratio 60 carrying ~9% of stack references
+//     (vertinterp, the interpolation-coefficient pattern);
+//   - 12 routines with read ratio 35 carrying ~60% (radiation/convection
+//     kernels re-reading cached temporaries);
+//   - 18 routines with read ratio 10 carrying ~31% (bulk physics).
+//
+// Global data reproduces §VII-B's CAM inventory: read-only Legendre
+// transform constants, cosine/sine longitude tables, a field-name hash
+// table and look-up index arrays (~15.5% of the footprint); history
+// aggregation buffers untouched during the main loop (~11.5%, Figure 7);
+// and prognostic fields updated through a column-physics driver.  The
+// physics buffer lives on the heap, as CAM's pbuf does.
+package cammini
+
+import (
+	"fmt"
+	"math"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/apps/kernels"
+	"nvscavenger/internal/memtrace"
+)
+
+func init() {
+	apps.Register("cam", func(scale float64) apps.App { return New(scale) })
+}
+
+// routineSpec calibrates one physics routine's stack behaviour.
+type routineSpec struct {
+	name  string
+	size  int // locals (float64 elements)
+	reads int // read passes over the locals per timestep
+}
+
+// routineTable is the Figure 2 population: 31 routines; 13 with ratio > 10
+// (one above 50).
+func routineTable(scale float64) []routineSpec {
+	sz := func(base int) int {
+		n := int(float64(base) * scale)
+		if n < 16 {
+			n = 16
+		}
+		return n
+	}
+	specs := []routineSpec{{name: "vertinterp", size: sz(4000), reads: 60}}
+	mid := []string{
+		"radcswmx", "radclwmx", "zm_convr", "cldwat_fice", "trcab", "trcems",
+		"aer_optics", "gffgch", "esinti", "radabs", "radems", "cldefr",
+	}
+	for _, n := range mid {
+		specs = append(specs, routineSpec{name: n, size: sz(3800), reads: 35})
+	}
+	low := []string{
+		"tphysbc", "tphysac", "vertical_diffusion", "convect_shallow",
+		"stratiform_tend", "chemistry_tend", "dadadj", "cldfrc", "zenith",
+		"albland", "albocean", "srfflx", "qneg3", "hycoef", "grmult",
+		"hordif", "courlim", "scan2",
+	}
+	for _, n := range low {
+		specs = append(specs, routineSpec{name: n, size: sz(4300), reads: 10})
+	}
+	return specs
+}
+
+// App is the CAM proxy.
+type App struct {
+	scale    float64
+	grid     int // horizontal x vertical points per field
+	routines []routineSpec
+
+	// prognostic fields (global)
+	tPhys, qPhys, uPhys, vPhys, psPhys memtrace.F64
+
+	// read-only tables (§VII-B's CAM inventory)
+	legendre, cossin, fieldHash, lookupIdx memtrace.F64
+
+	// history buffers: untouched during the main loop (Figure 7)
+	hist1, hist2 memtrace.F64
+
+	// physics buffer on the heap (CAM pbuf)
+	pbuf    memtrace.F64
+	pbufObj *memtrace.Object
+
+	checksum float64
+}
+
+// New returns a CAM proxy at the given scale (1.0 ~ 9.5 MB footprint:
+// Table I's 608 MB per task divided by 64).
+func New(scale float64) *App {
+	g := int(110000 * scale)
+	if g < 1024 {
+		g = 1024
+	}
+	return &App{scale: scale, grid: g, routines: routineTable(scale)}
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "cam" }
+
+// Description implements apps.App.
+func (a *App) Description() string {
+	return "community atmosphere model physics suite (CAM 3.1 proxy, default test case)"
+}
+
+// Setup allocates fields and builds the read-only tables (pre-computing).
+func (a *App) Setup(tr *memtrace.Tracer) error {
+	g := a.grid
+	rng := kernels.NewRNG(23)
+
+	a.tPhys, _ = tr.GlobalF64("t_phys", g)
+	a.qPhys, _ = tr.GlobalF64("q_phys", g)
+	a.uPhys, _ = tr.GlobalF64("u_phys", g)
+	a.vPhys, _ = tr.GlobalF64("v_phys", g)
+	a.psPhys, _ = tr.GlobalF64("ps_phys", g/8)
+
+	// Read-only tables: ~15.5% of the footprint together.
+	a.legendre, _ = tr.GlobalF64("legendre_coef", g*10/9)
+	a.cossin, _ = tr.GlobalF64("cossin_lon", g/4)
+	a.fieldHash, _ = tr.GlobalF64("field_hash", g/9)
+	a.lookupIdx, _ = tr.GlobalF64("lookup_idx", g/5)
+
+	// History aggregation buffers: ~11.5% of the footprint, only used in
+	// post-processing.
+	a.hist1, _ = tr.GlobalF64("hist_buf1", g)
+	a.hist2, _ = tr.GlobalF64("hist_buf2", g*3/8)
+
+	// Physics buffer: long-term heap, updated every step.
+	a.pbuf, a.pbufObj = tr.HeapF64("pbuf", "phys_buffer.F90:210", g*2)
+
+	fr := tr.Enter("cam_init")
+	defer tr.Leave()
+	_ = fr
+	kernels.FillRandom(a.tPhys, rng, 250, 310)
+	kernels.FillRandom(a.qPhys, rng, 0, 0.02)
+	kernels.FillRandom(a.uPhys, rng, -40, 40)
+	kernels.FillRandom(a.vPhys, rng, -40, 40)
+	kernels.FillRandom(a.psPhys, rng, 9e4, 1.05e5)
+	a.pbuf.Fill(0)
+
+	// Legendre transform constants over Gauss-like abscissae.
+	deg := 9
+	npts := a.legendre.Len() / (deg + 1)
+	xs := fr.LocalF64(npts)
+	for i := 0; i < npts; i++ {
+		xs.Store(i, -1+2*float64(i)/float64(npts-1))
+	}
+	kernels.LegendreTable(tr, xs, a.legendre.Slice(0, (deg+1)*npts), deg)
+	for i := 0; i < a.cossin.Len(); i += 2 {
+		lon := 2 * math.Pi * float64(i) / float64(a.cossin.Len())
+		a.cossin.Store(i, math.Cos(lon))
+		if i+1 < a.cossin.Len() {
+			a.cossin.Store(i+1, math.Sin(lon))
+		}
+	}
+	tr.Compute(uint64(a.cossin.Len() * 4))
+	kernels.FillRandom(a.fieldHash, rng, 0, 1)
+	for i := 0; i < a.lookupIdx.Len(); i++ {
+		a.lookupIdx.Store(i, float64(i%npts))
+	}
+	return nil
+}
+
+// Step runs one physics timestep.
+func (a *App) Step(tr *memtrace.Tracer, iter int) error {
+	sum := 0.0
+
+	// The physics routine suite: each routine fills its locals (twice in
+	// the first timestep, building its coefficient caches) and re-reads
+	// them reads times.
+	for _, spec := range a.routines {
+		fr := tr.Enter(spec.name)
+		local := fr.LocalF64(spec.size)
+		passes := 1
+		if iter == 1 {
+			passes = 2 // coefficient-cache construction
+		}
+		for p := 0; p < passes; p++ {
+			for i := 0; i < spec.size; i++ {
+				local.Store(i, float64(i%23)*0.25+float64(p))
+			}
+			tr.Compute(uint64(spec.size))
+		}
+		for r := 0; r < spec.reads; r++ {
+			acc := 0.0
+			for i := 0; i < spec.size; i++ {
+				acc += local.Load(i)
+			}
+			tr.Compute(uint64(spec.size))
+			sum += acc
+		}
+		tr.Leave()
+	}
+
+	// Column-physics driver: reads the prognostic state and the read-only
+	// tables, writes tendencies back and refreshes the physics buffer.
+	fr := tr.Enter("d_p_coupling")
+	g := a.grid
+	h := uint64(iter)*0x9E3779B97F4A7C15 + 1
+	gatherFields := [4]memtrace.F64{a.tPhys, a.qPhys, a.uPhys, a.vPhys}
+	for i := 0; i < g; i++ {
+		leg := a.legendre.Load(i % a.legendre.Len())
+		cs := a.cossin.Load(i % a.cossin.Len())
+		tv := a.tPhys.Load(i)
+		qv := a.qPhys.Load(i)
+		tnew := tv + 0.001*leg*cs
+		a.tPhys.Store(i, tnew)
+		a.qPhys.Store(i, qv*0.9999)
+		a.pbuf.Store(i%a.pbuf.Len(), tnew-qv)
+		sum += tnew
+		if i%45 == 0 {
+			// Spectral-transform scatter: the transpose between grid and
+			// spectral space reads the state at effectively random offsets,
+			// the irregular slice of CAM's traffic that prefetching cannot
+			// hide.  Spread through the column loop, each access stands
+			// alone against the memory latency.
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			f := gatherFields[int(h%4)]
+			sum += f.Load(int((h >> 8) % uint64(g)))
+		}
+	}
+	tr.Compute(uint64(8 * g))
+	// Wind advection referencing the index arrays.
+	for i := 0; i < g; i += 4 {
+		j := int(a.lookupIdx.Load(i%a.lookupIdx.Len())) % g
+		v := a.vPhys.Load(j)
+		a.uPhys.Store(i, a.uPhys.Load(i)+0.0001*v)
+		a.vPhys.Store(j, v*0.99999)
+	}
+	tr.Compute(uint64(4 * g))
+	tr.Leave()
+	_ = fr
+
+	a.checksum = sum
+	return nil
+}
+
+// Post writes the history buffers (post-processing phase).
+func (a *App) Post(tr *memtrace.Tracer) error {
+	fr := tr.Enter("wshist")
+	for i := 0; i < a.hist1.Len(); i++ {
+		a.hist1.Store(i, a.tPhys.Load(i%a.tPhys.Len()))
+	}
+	for i := 0; i < a.hist2.Len(); i++ {
+		a.hist2.Store(i, a.qPhys.Load(i%a.qPhys.Len()))
+	}
+	tr.Compute(uint64(a.hist1.Len() + a.hist2.Len()))
+	tr.Leave()
+	_ = fr
+	return nil
+}
+
+// Check validates finiteness of the physics state.
+func (a *App) Check() error {
+	if math.IsNaN(a.checksum) || math.IsInf(a.checksum, 0) {
+		return fmt.Errorf("cammini: checksum diverged")
+	}
+	for i, v := range a.tPhys.Raw() {
+		if math.IsNaN(v) || v < 100 || v > 500 {
+			return fmt.Errorf("cammini: temperature %d out of physical range: %v", i, v)
+		}
+	}
+	return nil
+}
+
+// Input implements apps.InputDescriber (Table I's input column).
+func (a *App) Input() string {
+	return fmt.Sprintf("default test case, %d grid points, %d physics routines", a.grid, len(a.routines))
+}

@@ -1,0 +1,208 @@
+package cammini
+
+import (
+	"testing"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/stats"
+	"nvscavenger/internal/trace"
+)
+
+func runCam(t *testing.T, scale float64, iters int, mode memtrace.StackMode) (*App, *memtrace.Tracer) {
+	t.Helper()
+	app := New(scale)
+	tr := memtrace.New(memtrace.Config{StackMode: mode})
+	if err := apps.Run(app, tr, iters); err != nil {
+		t.Fatal(err)
+	}
+	return app, tr
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.New("cam", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "cam" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func TestRoutinePopulation(t *testing.T) {
+	specs := routineTable(1)
+	if len(specs) != 31 {
+		t.Fatalf("routines = %d, want 31", len(specs))
+	}
+	over10, over50 := 0, 0
+	for _, s := range specs {
+		if s.reads > 10 {
+			over10++
+		}
+		if s.reads > 50 {
+			over50++
+		}
+	}
+	if over10 != 13 {
+		t.Fatalf("routines with ratio > 10 = %d, want 13 (~43%%)", over10)
+	}
+	if over50 != 1 {
+		t.Fatalf("routines with ratio > 50 = %d, want 1 (~3%%)", over50)
+	}
+}
+
+// TestTableVCalibration checks CAM's stack numbers: ~76.3% stack reference
+// share; read/write ratio ~20.4 in steady iterations, ~11.5 in the first.
+func TestTableVCalibration(t *testing.T) {
+	_, tr := runCam(t, 0.25, 10, memtrace.FastStack)
+	iters := tr.MainLoopIterations()
+	st := tr.SegmentTotals(trace.SegStack, 1, iters)
+	gl := tr.SegmentTotals(trace.SegGlobal, 1, iters)
+	hp := tr.SegmentTotals(trace.SegHeap, 1, iters)
+
+	total := st.Total() + gl.Total() + hp.Total()
+	share := float64(st.Total()) / float64(total)
+	if share < 0.70 || share > 0.82 {
+		t.Errorf("stack reference share = %.3f, want ~0.763", share)
+	}
+
+	// Steady-state ratio over iterations 2..10.
+	steady := tr.SegmentTotals(trace.SegStack, 2, iters)
+	if r := steady.ReadWriteRatio(); r < 17 || r > 24 {
+		t.Errorf("steady stack r/w ratio = %.2f, want ~20.4", r)
+	}
+	// First iteration is write-heavier: ~11.5.
+	first := tr.SegmentStats(trace.SegStack, 1)
+	if r := first.ReadWriteRatio(); r < 9 || r > 14 {
+		t.Errorf("first-iteration stack r/w ratio = %.2f, want ~11.5", r)
+	}
+	if first.ReadWriteRatio() >= steady.ReadWriteRatio() {
+		t.Error("first iteration must have a lower ratio than steady state")
+	}
+}
+
+// TestFigure2Calibration reproduces the headline Figure 2 statistics: ~43%
+// of stack objects with R/W > 10 drawing ~69% of stack references; ~3%
+// above 50 drawing ~9%.
+func TestFigure2Calibration(t *testing.T) {
+	_, tr := runCam(t, 0.25, 10, memtrace.SlowStack)
+	routines := tr.StackObjects()
+
+	var ratios, weights []float64
+	for _, o := range routines {
+		s := o.LoopStats()
+		if s.Refs() == 0 {
+			continue
+		}
+		ratios = append(ratios, o.LoopReadWriteRatio())
+		weights = append(weights, float64(s.Refs()))
+	}
+	if len(ratios) < 31 {
+		t.Fatalf("stack objects with references = %d, want >= 31", len(ratios))
+	}
+	count10, refs10 := stats.ShareAbove(ratios, weights, 10)
+	if count10 < 0.35 || count10 > 0.50 {
+		t.Errorf("objects with ratio > 10 = %.3f, want ~0.433", count10)
+	}
+	if refs10 < 0.60 || refs10 > 0.78 {
+		t.Errorf("references from ratio > 10 objects = %.3f, want ~0.689", refs10)
+	}
+	count50, refs50 := stats.ShareAbove(ratios, weights, 50)
+	if count50 < 0.02 || count50 > 0.07 {
+		t.Errorf("objects with ratio > 50 = %.3f, want ~0.032", count50)
+	}
+	if refs50 < 0.05 || refs50 > 0.13 {
+		t.Errorf("references from ratio > 50 objects = %.3f, want ~0.089", refs50)
+	}
+}
+
+// TestFootprintShape checks ~15.5% read-only and ~11.5% untouched-in-loop.
+func TestFootprintShape(t *testing.T) {
+	_, tr := runCam(t, 0.25, 10, memtrace.FastStack)
+	var totalBytes, untouched, readOnly uint64
+	for _, o := range tr.Objects() {
+		if o.Segment == trace.SegStack {
+			continue
+		}
+		totalBytes += o.Size
+		if o.TouchedIterations() == 0 {
+			untouched += o.Size
+		}
+		if o.LoopReadOnly() {
+			readOnly += o.Size
+		}
+	}
+	rf := float64(readOnly) / float64(totalBytes)
+	if rf < 0.11 || rf > 0.23 {
+		t.Errorf("read-only fraction = %.3f, want ~0.155", rf)
+	}
+	uf := float64(untouched) / float64(totalBytes)
+	if uf < 0.08 || uf > 0.20 {
+		t.Errorf("untouched fraction = %.3f, want ~0.115", uf)
+	}
+}
+
+func TestHistoryBuffersPostOnly(t *testing.T) {
+	_, tr := runCam(t, 0.1, 3, memtrace.FastStack)
+	for _, o := range tr.Objects() {
+		if o.Name == "hist_buf1" || o.Name == "hist_buf2" {
+			if o.TouchedIterations() != 0 {
+				t.Errorf("%s touched in the main loop", o.Name)
+			}
+			if o.Total().Writes == 0 {
+				t.Errorf("%s never written in post-processing", o.Name)
+			}
+		}
+	}
+}
+
+func TestPbufOnHeapAndLive(t *testing.T) {
+	_, tr := runCam(t, 0.1, 3, memtrace.FastStack)
+	heaps := tr.HeapObjects()
+	if len(heaps) == 0 {
+		t.Fatal("expected the pbuf heap object")
+	}
+	var pbuf *memtrace.Object
+	for _, o := range heaps {
+		if o.Name == "pbuf" {
+			pbuf = o
+		}
+	}
+	if pbuf == nil {
+		t.Fatal("pbuf missing")
+	}
+	if pbuf.Dead {
+		t.Fatal("pbuf must stay live for the whole run")
+	}
+	if pbuf.TouchedIterations() != 3 {
+		t.Fatalf("pbuf touched %d iterations, want 3", pbuf.TouchedIterations())
+	}
+}
+
+func TestLegendreTableReadOnlyInLoop(t *testing.T) {
+	_, tr := runCam(t, 0.1, 3, memtrace.FastStack)
+	for _, o := range tr.Objects() {
+		if o.Name == "legendre_coef" {
+			if !o.LoopReadOnly() {
+				t.Fatal("legendre table must be read-only during the loop")
+			}
+			if o.Total().Writes == 0 {
+				t.Fatal("legendre table must have been built during setup")
+			}
+			return
+		}
+	}
+	t.Fatal("legendre_coef missing")
+}
+
+func TestCheckRejectsDivergence(t *testing.T) {
+	app := New(0.05)
+	tr := memtrace.New(memtrace.Config{})
+	if err := app.Setup(tr); err != nil {
+		t.Fatal(err)
+	}
+	app.tPhys.Store(0, 9999) // out of physical range
+	if err := app.Check(); err == nil {
+		t.Fatal("Check must reject unphysical temperatures")
+	}
+}

@@ -1,0 +1,265 @@
+// Package gtcmini is the GTC proxy: a gyrokinetic particle-in-cell
+// turbulence mini-app (paper §VI; poloidal grid 392, one tracked particle
+// species, 7 particles per cell).
+//
+// GTC's profile in §VII is the least NVRAM-friendly of the four codes:
+//
+//   - Stack references are a minority (~44.3% of references) with a low
+//     read/write ratio (~3.48): per-particle interpolation weights are
+//     written and consumed within tight gather/push/scatter loops.
+//   - Heap data dominates (GTC is Fortran-90 with allocatable particle and
+//     field arrays), and most objects have low read/write ratios — the
+//     particle arrays are rewritten every push and the charge-density grid
+//     is a scatter target (read-modify-write).
+//   - Almost every object is touched in every timestep (the paper omits
+//     GTC from Figure 7 for this reason), and reference rates are constant
+//     across iterations (Figure 11).
+//   - The exception: read-only auxiliary radial interpolation arrays used
+//     to relate particle positions to the field grid.
+//   - Short-term heap scratch (particle-shift staging) is allocated and
+//     freed within each timestep.
+package gtcmini
+
+import (
+	"fmt"
+	"math"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/apps/kernels"
+	"nvscavenger/internal/memtrace"
+)
+
+func init() {
+	apps.Register("gtc", func(scale float64) apps.App { return New(scale) })
+}
+
+const attrs = 6 // particle attributes: psi, theta, zeta, rho, w, vpar
+
+// App is the GTC proxy.
+type App struct {
+	scale     float64
+	particles int
+	grid      int
+
+	// heap arrays (Fortran-90 allocatables)
+	zion, zion0       memtrace.F64 // particle phase space, current and lagged
+	density, evector  memtrace.F64 // charge density and field grid
+	zionObj, zion0Obj *memtrace.Object
+
+	// read-only auxiliary radial interpolation arrays (global)
+	rapidr memtrace.F64
+
+	// small post-processing diagnostics
+	diag memtrace.F64
+
+	checksum float64
+}
+
+// New returns a GTC proxy at the given scale (1.0 ~ 3.4 MB footprint:
+// Table I's 218 MB per task divided by 64).
+func New(scale float64) *App {
+	np := int(24000 * scale)
+	if np < 256 {
+		np = 256
+	}
+	ng := int(8000 * scale)
+	if ng < 64 {
+		ng = 64
+	}
+	return &App{scale: scale, particles: np, grid: ng}
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "gtc" }
+
+// Description implements apps.App.
+func (a *App) Description() string {
+	return "gyrokinetic particle-in-cell turbulence simulation (GTC proxy)"
+}
+
+// Setup allocates particle and field arrays (pre-computing phase).
+func (a *App) Setup(tr *memtrace.Tracer) error {
+	np, ng := a.particles, a.grid
+	rng := kernels.NewRNG(37)
+
+	a.zion, a.zionObj = tr.HeapF64("zion", "setup.F90:311", np*attrs)
+	a.zion0, a.zion0Obj = tr.HeapF64("zion0", "setup.F90:312", np*attrs)
+	a.density, _ = tr.HeapF64("densityi", "setup.F90:340", ng)
+	a.evector, _ = tr.HeapF64("evector", "setup.F90:344", 3*ng)
+	a.rapidr, _ = tr.GlobalF64("rapid_r", ng/4)
+	a.diag, _ = tr.GlobalF64("diagnosis", 2048)
+
+	fr := tr.Enter("load")
+	defer tr.Leave()
+	_ = fr
+	// Uniform loading with small perturbations.
+	for p := 0; p < np; p++ {
+		a.zion.Store(p*attrs+0, rng.Float64())           // psi
+		a.zion.Store(p*attrs+1, rng.Float64()*2*math.Pi) // theta
+		a.zion.Store(p*attrs+2, rng.Float64()*2*math.Pi) // zeta
+		a.zion.Store(p*attrs+3, rng.Float64()*0.1)       // rho
+		a.zion.Store(p*attrs+4, 1.0)                     // weight
+		a.zion.Store(p*attrs+5, rng.Float64()-0.5)       // vpar
+	}
+	tr.Compute(uint64(6 * np))
+	a.zion0.Fill(0)
+	a.density.Fill(0)
+	a.evector.Fill(0)
+	for i := 0; i < a.rapidr.Len(); i++ {
+		a.rapidr.Store(i, float64(i)/float64(a.rapidr.Len()))
+	}
+	tr.Compute(uint64(a.rapidr.Len()))
+	return nil
+}
+
+// Step advances one PIC timestep: charge deposition (scatter), field solve,
+// and particle push (gather).
+func (a *App) Step(tr *memtrace.Tracer, iter int) error {
+	np, ng := a.particles, a.grid
+	sum := 0.0
+
+	// Zero the charge accumulation grid.
+	frz := tr.Enter("zero_density")
+	a.density.Fill(0)
+	tr.Compute(uint64(ng))
+	tr.Leave()
+	_ = frz
+
+	// chargei: deposit particle charge onto the grid; pushi: gather the
+	// field and advance the particle.  Both work through stack-resident
+	// interpolation weights.
+	fr := tr.Enter("chargei_pushi")
+	wt := fr.LocalF64(4)
+	ef := fr.LocalF64(1)
+	for p := 0; p < np; p++ {
+		base := p * attrs
+		psi := a.zion.Load(base + 0)
+		theta := a.zion.Load(base + 1)
+
+		// Radial interpolation against the read-only auxiliary array.
+		r := a.rapidr.Load(int(psi*float64(a.rapidr.Len()-1)) % a.rapidr.Len())
+
+		// Compute the four interpolation weights (stack writes).
+		cell := int(theta / (2 * math.Pi) * float64(ng-4))
+		if cell < 0 {
+			cell = 0
+		}
+		frac := theta/(2*math.Pi)*float64(ng-4) - float64(cell)
+		wt.Store(0, (1-frac)*(1-r))
+		wt.Store(1, frac*(1-r))
+		wt.Store(2, (1-frac)*r)
+		wt.Store(3, frac*r)
+		tr.Compute(8)
+
+		// Scatter: read each weight, read-modify-write the density grid.
+		w := a.zion.Load(base + 4)
+		for k := 0; k < 4; k++ {
+			a.density.Add((cell+k)%ng, wt.Load(k)*w)
+		}
+		tr.Compute(8)
+
+		// Gather: read each weight again against the field grid (two field
+		// components per corner pair) and store the local field value.
+		e := 0.0
+		for k := 0; k < 4; k++ {
+			e += wt.Load(k) * a.evector.Load((3*(cell+k))%(3*ng))
+		}
+		e += a.evector.Load((3*cell+1)%(3*ng)) * 0.1
+		e += a.evector.Load((3*cell+2)%(3*ng)) * 0.05
+		ef.Store(0, e)
+		tr.Compute(12)
+
+		// Push: advance the particle using the gathered field; the lagged
+		// copy participates in the second-order (leapfrog-like) step.
+		zeta := a.zion.Load(base + 2)
+		rho := a.zion.Load(base + 3)
+		vpar := a.zion.Load(base + 5)
+		eNow := ef.Load(0)
+		oldTheta := a.zion0.Load(base + 1)
+		oldVpar := a.zion0.Load(base + 5)
+		newTheta := math.Mod(theta+0.01*vpar+0.001*eNow+1e-4*oldTheta+2*math.Pi, 2*math.Pi)
+		newVpar := vpar + 0.001*eNow + 1e-5*oldVpar
+		a.zion0.Store(base+1, theta)
+		a.zion0.Store(base+5, vpar)
+		a.zion.Store(base+1, newTheta)
+		a.zion.Store(base+2, math.Mod(zeta+0.005*vpar+1e-5*rho+2*math.Pi, 2*math.Pi))
+		a.zion.Store(base+5, newVpar)
+		// Weight evolution reads the weights twice more: once for the
+		// delta-f increment and once for the normalization check.
+		dw, norm := 0.0, 0.0
+		for k := 0; k < 4; k++ {
+			dw += wt.Load(k)
+		}
+		for k := 0; k < 4; k++ {
+			norm += wt.Load(k) * 0.25
+		}
+		eAgain := ef.Load(0)
+		a.zion.Store(base+4, w+1e-6*dw*eAgain/(1+norm))
+		tr.Compute(24)
+		sum += newTheta
+	}
+	tr.Leave()
+	_ = fr
+
+	// Field solve: smooth the density into the three field components.
+	frf := tr.Enter("poisson")
+	for i := 0; i < ng; i++ {
+		d := a.density.Load(i)
+		a.evector.Store(3*i+0, d*0.5)
+		a.evector.Store(3*i+1, d*0.3)
+		a.evector.Store(3*i+2, d*0.2)
+	}
+	tr.Compute(uint64(4 * ng))
+	tr.Leave()
+	_ = frf
+
+	// Short-term heap scratch: particle-shift staging allocated and freed
+	// within the step (same signature each iteration).
+	frs := tr.Enter("shifti")
+	stage, obj := tr.HeapF64("shift_stage", "shifti.F90:95", np/8)
+	for i := 0; i < stage.Len(); i++ {
+		stage.Store(i, a.zion.Load((i*attrs+1)%a.zion.Len()))
+	}
+	for i := 0; i < stage.Len(); i++ {
+		sum += stage.Load(i)
+	}
+	tr.Compute(uint64(2 * stage.Len()))
+	tr.Free(obj)
+	tr.Leave()
+	_ = frs
+
+	a.checksum = sum
+	return nil
+}
+
+// Post writes the small diagnostics history.
+func (a *App) Post(tr *memtrace.Tracer) error {
+	fr := tr.Enter("diagnosis")
+	for i := 0; i < a.diag.Len(); i++ {
+		a.diag.Store(i, a.density.Load(i%a.density.Len()))
+	}
+	tr.Compute(uint64(a.diag.Len()))
+	tr.Leave()
+	_ = fr
+	return nil
+}
+
+// Check validates particle coordinates stayed in range.
+func (a *App) Check() error {
+	if math.IsNaN(a.checksum) || math.IsInf(a.checksum, 0) {
+		return fmt.Errorf("gtcmini: checksum diverged")
+	}
+	raw := a.zion.Raw()
+	for p := 0; p < a.particles; p++ {
+		th := raw[p*attrs+1]
+		if th < 0 || th >= 2*math.Pi+1e-9 {
+			return fmt.Errorf("gtcmini: particle %d theta out of range: %v", p, th)
+		}
+	}
+	return nil
+}
+
+// Input implements apps.InputDescriber (Table I's input column).
+func (a *App) Input() string {
+	return fmt.Sprintf("%d tracked particles on a %d-point poloidal grid", a.particles, a.grid)
+}

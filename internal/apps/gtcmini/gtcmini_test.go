@@ -1,0 +1,162 @@
+package gtcmini
+
+import (
+	"testing"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+)
+
+func runGTC(t *testing.T, scale float64, iters int, mode memtrace.StackMode) (*App, *memtrace.Tracer) {
+	t.Helper()
+	app := New(scale)
+	tr := memtrace.New(memtrace.Config{StackMode: mode})
+	if err := apps.Run(app, tr, iters); err != nil {
+		t.Fatal(err)
+	}
+	return app, tr
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.New("gtc", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "gtc" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+// TestTableVCalibration checks GTC's stack numbers: ~44.3% stack reference
+// share, read/write ratio ~3.48.
+func TestTableVCalibration(t *testing.T) {
+	_, tr := runGTC(t, 0.5, 10, memtrace.FastStack)
+	iters := tr.MainLoopIterations()
+	st := tr.SegmentTotals(trace.SegStack, 1, iters)
+	gl := tr.SegmentTotals(trace.SegGlobal, 1, iters)
+	hp := tr.SegmentTotals(trace.SegHeap, 1, iters)
+
+	total := st.Total() + gl.Total() + hp.Total()
+	share := float64(st.Total()) / float64(total)
+	if share < 0.38 || share > 0.50 {
+		t.Errorf("stack reference share = %.3f, want ~0.443", share)
+	}
+	if r := st.ReadWriteRatio(); r < 2.9 || r > 4.1 {
+		t.Errorf("stack r/w ratio = %.2f, want ~3.48", r)
+	}
+}
+
+// TestHeapDominatesFootprint: GTC is allocatable-heavy; the particle arrays
+// must dominate the footprint and have low read/write ratios.
+func TestHeapDominatesFootprint(t *testing.T) {
+	_, tr := runGTC(t, 0.5, 5, memtrace.FastStack)
+	var heapBytes, globalBytes uint64
+	for _, o := range tr.Objects() {
+		switch o.Segment {
+		case trace.SegHeap:
+			if !o.Dead {
+				heapBytes += o.Size
+			}
+		case trace.SegGlobal:
+			globalBytes += o.Size
+		}
+	}
+	if heapBytes <= globalBytes*4 {
+		t.Errorf("heap %d bytes vs global %d: particle arrays must dominate", heapBytes, globalBytes)
+	}
+}
+
+func TestLowObjectRatios(t *testing.T) {
+	_, tr := runGTC(t, 0.3, 10, memtrace.FastStack)
+	for _, o := range tr.Objects() {
+		if o.Segment != trace.SegHeap || o.Dead || o.LoopStats().Refs() == 0 {
+			continue
+		}
+		if r := o.LoopReadWriteRatio(); r > 10 {
+			t.Errorf("%s loop r/w ratio = %.1f: GTC heap objects must stay write-heavy", o.Name, r)
+		}
+	}
+}
+
+func TestRadialAuxReadOnly(t *testing.T) {
+	_, tr := runGTC(t, 0.2, 5, memtrace.FastStack)
+	for _, o := range tr.Objects() {
+		if o.Name == "rapid_r" {
+			if !o.LoopReadOnly() {
+				t.Fatal("rapid_r must be read-only during the loop")
+			}
+			return
+		}
+	}
+	t.Fatal("rapid_r missing")
+}
+
+// TestEvenTouch: every long-lived object is touched in every iteration
+// (the reason the paper omits GTC from Figure 7).
+func TestEvenTouch(t *testing.T) {
+	_, tr := runGTC(t, 0.2, 8, memtrace.FastStack)
+	for _, o := range tr.Objects() {
+		if o.Segment == trace.SegStack || o.LoopStats().Refs() == 0 {
+			continue
+		}
+		if o.Name == "diagnosis" {
+			continue // post-processing only
+		}
+		if o.TouchedIterations() != 8 {
+			t.Errorf("%s touched in %d of 8 iterations: GTC objects are evenly touched", o.Name, o.TouchedIterations())
+		}
+	}
+}
+
+// TestConstantReferenceRates: per-iteration reference counts for the main
+// arrays vary by < 1% across iterations (Figure 11).
+func TestConstantReferenceRates(t *testing.T) {
+	_, tr := runGTC(t, 0.2, 6, memtrace.FastStack)
+	for _, o := range tr.Objects() {
+		if o.Name != "zion" && o.Name != "densityi" {
+			continue
+		}
+		base := o.Iter(1).Refs()
+		for it := 2; it <= 6; it++ {
+			refs := o.Iter(it).Refs()
+			if refs != base {
+				t.Errorf("%s iteration %d refs = %d, want %d (constant rate)", o.Name, it, refs, base)
+			}
+		}
+	}
+}
+
+func TestShortTermScratchFreed(t *testing.T) {
+	_, tr := runGTC(t, 0.2, 4, memtrace.FastStack)
+	found := false
+	for _, o := range tr.HeapObjects() {
+		if o.Name == "shift_stage" {
+			found = true
+			if !o.Dead {
+				t.Error("shift_stage must be freed each iteration")
+			}
+			if o.TouchedIterations() != 4 {
+				t.Errorf("shift_stage touched %d iterations, want 4", o.TouchedIterations())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("shift_stage missing")
+	}
+}
+
+func TestParticlesStayInRange(t *testing.T) {
+	app, _ := runGTC(t, 0.2, 10, memtrace.FastStack)
+	if err := app.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a1, _ := runGTC(t, 0.1, 3, memtrace.FastStack)
+	a2, _ := runGTC(t, 0.1, 3, memtrace.FastStack)
+	if a1.checksum != a2.checksum {
+		t.Fatal("runs must be deterministic")
+	}
+}

@@ -1,0 +1,110 @@
+package kernels
+
+import (
+	"math"
+
+	"nvscavenger/internal/memtrace"
+)
+
+// Additional numerical building blocks for instrumented applications:
+// a radix-2 FFT (spectral transforms are the backbone of CAM-class
+// dynamical cores) and sparse matrix-vector products (the unstructured-
+// mesh workhorse).  Both compute on traced arrays so custom apps built on
+// them inherit full instrumentation.
+
+// FFTRadix2 performs an in-place decimation-in-time FFT on interleaved
+// complex data (re[0], im[0], re[1], im[1], ...).  The length in complex
+// points (data.Len()/2) must be a power of two.  inverse selects the
+// inverse transform (including the 1/n scaling).
+func FFTRadix2(tr *memtrace.Tracer, data memtrace.F64, inverse bool) {
+	n := data.Len() / 2
+	if n < 2 || n&(n-1) != 0 {
+		panic("kernels: FFT length must be a power of two >= 2")
+	}
+
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re1, im1 := data.Load(2*i), data.Load(2*i+1)
+			re2, im2 := data.Load(2*j), data.Load(2*j+1)
+			data.Store(2*i, re2)
+			data.Store(2*i+1, im2)
+			data.Store(2*j, re1)
+			data.Store(2*j+1, im1)
+		}
+	}
+	tr.Compute(uint64(2 * n))
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			half := length / 2
+			for k := 0; k < half; k++ {
+				i, j := start+k, start+k+half
+				aRe, aIm := data.Load(2*i), data.Load(2*i+1)
+				bRe, bIm := data.Load(2*j), data.Load(2*j+1)
+				tRe := bRe*curRe - bIm*curIm
+				tIm := bRe*curIm + bIm*curRe
+				data.Store(2*i, aRe+tRe)
+				data.Store(2*i+1, aIm+tIm)
+				data.Store(2*j, aRe-tRe)
+				data.Store(2*j+1, aIm-tIm)
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+			tr.Compute(uint64(14 * half))
+		}
+	}
+	if inverse {
+		inv := 1.0 / float64(n)
+		for i := 0; i < 2*n; i++ {
+			data.Store(i, data.Load(i)*inv)
+		}
+		tr.Compute(uint64(2 * n))
+	}
+}
+
+// CSR is a compressed-sparse-row matrix over traced storage: RowPtr has
+// rows+1 entries, ColIdx/Vals hold the nonzeros.
+type CSR struct {
+	Rows   int
+	RowPtr memtrace.I64
+	ColIdx memtrace.I64
+	Vals   memtrace.F64
+}
+
+// NewHeapCSR allocates CSR storage on the simulated heap for the given
+// nonzero count.
+func NewHeapCSR(tr *memtrace.Tracer, site string, rows, nnz int) CSR {
+	rowPtr, _ := tr.HeapI64("csr_rowptr", site+":rowptr", rows+1)
+	colIdx, _ := tr.HeapI64("csr_colidx", site+":colidx", nnz)
+	vals, _ := tr.HeapF64("csr_vals", site+":vals", nnz)
+	return CSR{Rows: rows, RowPtr: rowPtr, ColIdx: colIdx, Vals: vals}
+}
+
+// SpMV computes y = A x.  Reads follow the classic CSR pattern: the index
+// structures stream sequentially while x is gathered at column positions —
+// exactly the mixed pattern the paper's locality discussion cares about.
+func SpMV(tr *memtrace.Tracer, a CSR, x, y memtrace.F64) {
+	for r := 0; r < a.Rows; r++ {
+		lo := int(a.RowPtr.Load(r))
+		hi := int(a.RowPtr.Load(r + 1))
+		sum := 0.0
+		for k := lo; k < hi; k++ {
+			c := int(a.ColIdx.Load(k))
+			sum += a.Vals.Load(k) * x.Load(c)
+		}
+		y.Store(r, sum)
+		tr.Compute(uint64(2*(hi-lo) + 2))
+	}
+}

@@ -1,0 +1,203 @@
+// Package mdmini is a Lennard-Jones molecular-dynamics mini-app.  It is not
+// one of the paper's four applications: it exists to exercise the claim of
+// §I that the observations about scientific data structures "apply broadly
+// to many applications beyond our initial set".  The same NVRAM-relevant
+// populations appear:
+//
+//   - read-only tables built at setup (the pair-potential coefficient
+//     table and the per-species mass table) — NVRAM candidates;
+//   - rewritten state (positions, velocities, forces) — DRAM residents;
+//   - a neighbor list rebuilt every few timesteps and only read in
+//     between: its per-iteration read/write ratio swings between pure-read
+//     and write-heavy, the migratable pattern of §II's variance metric;
+//   - post-processing-only diagnostics (the radial distribution histogram).
+package mdmini
+
+import (
+	"fmt"
+	"math"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/apps/kernels"
+	"nvscavenger/internal/memtrace"
+)
+
+func init() {
+	apps.Register("minimd", func(scale float64) apps.App { return New(scale) })
+}
+
+const (
+	neighbors     = 16 // neighbor slots per atom
+	rebuildPeriod = 4  // timesteps between neighbor-list rebuilds
+	species       = 8
+)
+
+// App is the molecular-dynamics proxy.
+type App struct {
+	scale float64
+	atoms int
+
+	// heap state
+	pos, vel, force memtrace.F64
+	neigh           memtrace.I64
+	neighObj        *memtrace.Object
+
+	// read-only tables (global)
+	ljTable, mass memtrace.F64
+
+	// post-processing-only histogram
+	rdf memtrace.F64
+
+	checksum float64
+}
+
+// New returns an MD proxy at the given scale (1.0 ~ 20k atoms).
+func New(scale float64) *App {
+	n := int(20000 * scale)
+	if n < 128 {
+		n = 128
+	}
+	return &App{scale: scale, atoms: n}
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "minimd" }
+
+// Description implements apps.App.
+func (a *App) Description() string {
+	return "Lennard-Jones molecular dynamics (generalization mini-app, not in the paper's set)"
+}
+
+// Setup allocates state and builds the read-only tables.
+func (a *App) Setup(tr *memtrace.Tracer) error {
+	n := a.atoms
+	rng := kernels.NewRNG(71)
+
+	a.pos, _ = tr.HeapF64("x", "atom_vec.go:20", 3*n)
+	a.vel, _ = tr.HeapF64("v", "atom_vec.go:21", 3*n)
+	a.force, _ = tr.HeapF64("f", "atom_vec.go:22", 3*n)
+	a.neigh, a.neighObj = tr.HeapI64("neighbor_list", "neighbor.go:55", n*neighbors)
+	a.ljTable, _ = tr.GlobalF64("lj_coeff", species*species*4)
+	a.mass, _ = tr.GlobalF64("mass_table", species)
+	a.rdf, _ = tr.GlobalF64("rdf_hist", 4096)
+
+	fr := tr.Enter("create_atoms")
+	defer tr.Leave()
+	_ = fr
+	kernels.FillRandom(a.pos, rng, 0, 10)
+	kernels.FillRandom(a.vel, rng, -1, 1)
+	a.force.Fill(0)
+	for i := 0; i < a.ljTable.Len(); i++ {
+		a.ljTable.Store(i, 0.5+rng.Float64())
+	}
+	for s := 0; s < species; s++ {
+		a.mass.Store(s, 1+float64(s)*0.1)
+	}
+	a.rebuildNeighbors(tr, 0)
+	return nil
+}
+
+// rebuildNeighbors fills the neighbor list with a deterministic pseudo-
+// random topology (a real cell-list build reads positions too).
+func (a *App) rebuildNeighbors(tr *memtrace.Tracer, salt int) {
+	h := uint64(salt)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	n := a.atoms
+	for i := 0; i < n; i++ {
+		_ = a.pos.Load(3 * i) // the builder reads each atom's position
+		for k := 0; k < neighbors; k++ {
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			a.neigh.Store(i*neighbors+k, int64(h%uint64(n)))
+		}
+	}
+	tr.Compute(uint64(3 * n * neighbors))
+}
+
+// Step advances one velocity-Verlet timestep.
+func (a *App) Step(tr *memtrace.Tracer, iter int) error {
+	n := a.atoms
+	sum := 0.0
+
+	// Neighbor list: rebuilt every rebuildPeriod steps, read otherwise —
+	// the migratable access pattern.
+	if iter%rebuildPeriod == 1 {
+		fr := tr.Enter("neighbor_build")
+		a.rebuildNeighbors(tr, iter)
+		tr.Leave()
+		_ = fr
+	}
+
+	// Force computation: stack-resident accumulators per atom, table-driven
+	// pair coefficients.
+	fr := tr.Enter("force_lj")
+	acc := fr.LocalF64(3)
+	for i := 0; i < n; i++ {
+		xi := a.pos.Load(3 * i)
+		acc.Store(0, 0)
+		acc.Store(1, 0)
+		acc.Store(2, 0)
+		for k := 0; k < neighbors; k++ {
+			j := int(a.neigh.Load(i*neighbors+k)) % n
+			dx := xi - a.pos.Load(3*j)
+			cij := a.ljTable.Load(((i % species) * species * 4) % a.ljTable.Len())
+			f := cij * dx / (1 + dx*dx)
+			acc.Add(0, f)
+			acc.Add(1, f*0.5)
+			acc.Add(2, f*0.25)
+		}
+		tr.Compute(uint64(8 * neighbors))
+		a.force.Store(3*i, acc.Load(0))
+		a.force.Store(3*i+1, acc.Load(1))
+		a.force.Store(3*i+2, acc.Load(2))
+	}
+	tr.Leave()
+	_ = fr
+
+	// Integrate: read force and mass, update velocity and position.
+	fri := tr.Enter("integrate")
+	for i := 0; i < 3*n; i++ {
+		m := a.mass.Load((i / 3) % species)
+		v := a.vel.Load(i) + 0.001*a.force.Load(i)/m
+		a.vel.Store(i, v)
+		p := a.pos.Load(i) + 0.001*v
+		a.pos.Store(i, math.Mod(p+10, 10))
+		sum += v
+	}
+	tr.Compute(uint64(8 * n))
+	tr.Leave()
+	_ = fri
+
+	a.checksum = sum
+	return nil
+}
+
+// Post computes the radial distribution histogram (post-processing only).
+func (a *App) Post(tr *memtrace.Tracer) error {
+	fr := tr.Enter("compute_rdf")
+	for i := 0; i < a.rdf.Len(); i++ {
+		a.rdf.Store(i, a.pos.Load((3*i)%a.pos.Len()))
+	}
+	tr.Compute(uint64(a.rdf.Len()))
+	tr.Leave()
+	_ = fr
+	return nil
+}
+
+// Check validates positions stayed in the periodic box.
+func (a *App) Check() error {
+	if math.IsNaN(a.checksum) || math.IsInf(a.checksum, 0) {
+		return fmt.Errorf("mdmini: checksum diverged")
+	}
+	for i, p := range a.pos.Raw() {
+		if p < 0 || p > 10 || math.IsNaN(p) {
+			return fmt.Errorf("mdmini: atom coordinate %d out of box: %v", i, p)
+		}
+	}
+	return nil
+}
+
+// Input implements apps.InputDescriber (Table I's input column).
+func (a *App) Input() string {
+	return fmt.Sprintf("%d atoms, %d neighbor slots, rebuild every %d steps", a.atoms, neighbors, rebuildPeriod)
+}

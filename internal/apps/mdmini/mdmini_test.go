@@ -1,0 +1,126 @@
+package mdmini
+
+import (
+	"testing"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/core"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+)
+
+func runMD(t *testing.T, scale float64, iters int) (*App, *memtrace.Tracer) {
+	t.Helper()
+	app := New(scale)
+	tr := memtrace.New(memtrace.Config{StackMode: memtrace.FastStack})
+	if err := apps.Run(app, tr, iters); err != nil {
+		t.Fatal(err)
+	}
+	return app, tr
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.New("minimd", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "minimd" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func objByName(t *testing.T, tr *memtrace.Tracer, name string) *memtrace.Object {
+	t.Helper()
+	for _, o := range tr.Objects() {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("object %q missing", name)
+	return nil
+}
+
+// TestGeneralObservationsHold: the paper's cross-application populations
+// appear in an application outside its evaluation set.
+func TestGeneralObservationsHold(t *testing.T) {
+	_, tr := runMD(t, 0.1, 8)
+
+	// Read-only tables built at setup.
+	lj := objByName(t, tr, "lj_coeff")
+	if !lj.LoopReadOnly() {
+		t.Error("lj_coeff must be read-only during the loop")
+	}
+	mass := objByName(t, tr, "mass_table")
+	if !mass.LoopReadOnly() {
+		t.Error("mass_table must be read-only during the loop")
+	}
+
+	// Rewritten state.
+	force := objByName(t, tr, "f")
+	if force.LoopReadWriteRatio() > 3 {
+		t.Errorf("force ratio = %v, want write-heavy", force.LoopReadWriteRatio())
+	}
+
+	// Post-processing-only diagnostics.
+	rdf := objByName(t, tr, "rdf_hist")
+	if rdf.TouchedIterations() != 0 {
+		t.Error("rdf_hist must be untouched in the main loop")
+	}
+
+	// The neighbor list's ratio swings with the rebuild period.
+	neigh := objByName(t, tr, "neighbor_list")
+	rebuilt := neigh.IterReadWriteRatio(1) // rebuild iteration: writes heavy
+	readPhase := neigh.IterReadWriteRatio(2)
+	if readPhase < rebuilt*4 {
+		t.Errorf("neighbor list ratio should swing: rebuild %v vs read phase %v", rebuilt, readPhase)
+	}
+}
+
+func TestPlacementAdvice(t *testing.T) {
+	_, tr := runMD(t, 0.1, 8)
+	plan := core.Plan(tr, core.DefaultPolicy(core.Category2))
+	byName := map[string]core.Advice{}
+	for _, adv := range plan.Advices {
+		byName[adv.Object.Name] = adv
+	}
+	if got := byName["lj_coeff"].Target; got != core.TargetNVRAM {
+		t.Errorf("lj_coeff -> %v, want NVRAM", got)
+	}
+	if got := byName["rdf_hist"].Target; got != core.TargetNVRAM {
+		t.Errorf("rdf_hist -> %v, want NVRAM (untouched)", got)
+	}
+	if got := byName["x"].Target; got == core.TargetNVRAM {
+		t.Error("positions must not be placed in NVRAM")
+	}
+	if got := byName["neighbor_list"].Target; got != core.TargetMigratable {
+		t.Errorf("neighbor_list -> %v, want migratable (ratio swings across timesteps)", got)
+	}
+}
+
+func TestStackShareModerate(t *testing.T) {
+	_, tr := runMD(t, 0.1, 5)
+	st := tr.SegmentTotals(trace.SegStack, 1, 5)
+	gl := tr.SegmentTotals(trace.SegGlobal, 1, 5)
+	hp := tr.SegmentTotals(trace.SegHeap, 1, 5)
+	share := float64(st.Total()) / float64(st.Total()+gl.Total()+hp.Total())
+	if share < 0.2 || share > 0.8 {
+		t.Errorf("stack share = %v, want moderate", share)
+	}
+}
+
+func TestDeterminismAndCheck(t *testing.T) {
+	a1, _ := runMD(t, 0.05, 4)
+	a2, _ := runMD(t, 0.05, 4)
+	if a1.checksum != a2.checksum {
+		t.Fatal("runs must be deterministic")
+	}
+	if err := a1.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimumScaleClamped(t *testing.T) {
+	if New(1e-9).atoms < 128 {
+		t.Fatal("atom count must be clamped")
+	}
+}

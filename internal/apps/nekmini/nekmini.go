@@ -1,0 +1,379 @@
+// Package nekmini is the Nek5000 proxy: a spectral-element incompressible
+// flow mini-app (paper §VI, "2D eddy problem").
+//
+// Construction, mirroring what §VII reports for Nek5000:
+//
+//   - Element-centric kernels: every element's field values are copied into
+//     stack locals, transformed with tensor-product derivative contractions
+//     (dense matmul-like reads), and written back — stack references
+//     dominate (target: ~75.6% of references, stack R/W ratio ~6.3).
+//   - Read-only auxiliary structures (~7.1% of the footprint): inverse mass
+//     matrices and "element-lagged" mass matrices built during
+//     pre-computing, geometry arrays, and 70 boundary-condition records.
+//   - Mass matrices with read/write ratios above 50 (~4.7% of footprint):
+//     read several times per element per timestep, re-lagged (written) only
+//     in the first timestep.
+//   - ~24.3% of the global footprint untouched during the main loop:
+//     diagonal-preconditioner setup used in pre-computing and MPI
+//     aggregation buffers used in post-processing (Figure 7).
+//   - Uneven per-iteration behaviour: a spectral filter runs only every
+//     fourth timestep and a turbulence-statistics array is touched only in
+//     timesteps 2-3, giving Nek5000 its diverse reference-rate variance
+//     (Figure 8).
+package nekmini
+
+import (
+	"fmt"
+	"math"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/apps/kernels"
+	"nvscavenger/internal/memtrace"
+)
+
+func init() {
+	apps.Register("nek5000", func(scale float64) apps.App { return New(scale) })
+}
+
+// polyOrder is the spectral polynomial order: N=5 gives the stack
+// read/write ratio ~6.3 the calibration targets (reads ~2N^4 per
+// contraction against ~N^3 writes).
+const polyOrder = 5
+
+// App is the Nek5000 proxy.
+type App struct {
+	scale    float64
+	elements int
+
+	// solution fields (global segment, like Nek5000's /SOLN/ commons)
+	vx, vy, vz, temp, pr, rhs memtrace.F64
+
+	// mass matrices: high read/write ratio (re-lagged in timestep 1 only)
+	bm1, tmass memtrace.F64
+
+	// read-only auxiliaries
+	binvm1, bmlag, geom, bc memtrace.F64
+
+	// derivative matrix (read-only, hot)
+	dxm1 memtrace.F64
+
+	// pre-compute-only and post-processing-only data (untouched in the
+	// main loop; Figure 7's 24.3%)
+	diagSetup, aggBuf memtrace.F64
+
+	// unevenly-touched structures
+	filter   memtrace.F64 // applied every 4th step
+	turbHist memtrace.F64 // written only in steps 2-3
+
+	// long-term heap work arrays (gather/scatter buffers)
+	gsWork memtrace.F64
+	gsObj  *memtrace.Object
+
+	// gatherFields are the targets of the neighbour-face indirection.
+	gatherFields [6]memtrace.F64
+
+	checksum float64
+}
+
+// New returns a Nek5000 proxy at the given problem scale (1.0 = calibrated
+// default, ~13 MB footprint: Table I's 824 MB per task divided by 64).
+func New(scale float64) *App {
+	e := int(1000 * scale)
+	if e < 8 {
+		e = 8
+	}
+	return &App{scale: scale, elements: e}
+}
+
+// Name implements apps.App.
+func (a *App) Name() string { return "nek5000" }
+
+// Description implements apps.App.
+func (a *App) Description() string {
+	return "spectral-element incompressible fluid flow (Nek5000 proxy, 2D eddy problem)"
+}
+
+func (a *App) npts() int { return polyOrder * polyOrder * polyOrder }
+
+// Setup allocates and initializes every data structure (pre-computing
+// phase).
+func (a *App) Setup(tr *memtrace.Tracer) error {
+	n3 := a.npts()
+	e := a.elements
+	rng := kernels.NewRNG(11)
+
+	// Solution fields.
+	a.vx, _ = tr.GlobalF64("vx", e*n3)
+	a.vy, _ = tr.GlobalF64("vy", e*n3)
+	a.vz, _ = tr.GlobalF64("vz", e*n3)
+	a.temp, _ = tr.GlobalF64("t", e*n3)
+	a.pr, _ = tr.GlobalF64("pr", e*n3)
+	a.rhs, _ = tr.GlobalF64("rhs", e*n3)
+
+	// Mass matrices (velocity and temperature).
+	a.bm1, _ = tr.GlobalF64("bm1", e*n3)
+	a.tmass, _ = tr.GlobalF64("tmass", e*n3/4)
+
+	// Read-only auxiliaries: inverse mass matrix, element-lagged mass
+	// matrix, geometry, boundary conditions (70 condition records).
+	a.binvm1, _ = tr.GlobalF64("binvm1", e*n3/3)
+	a.bmlag, _ = tr.GlobalF64("bmlag", e*n3/6)
+	a.geom, _ = tr.GlobalF64("geom", e*n3/4)
+	a.bc, _ = tr.GlobalF64("cbc", 70*64)
+
+	// Derivative matrix, shared by all elements.
+	a.dxm1, _ = tr.GlobalF64("dxm1", polyOrder*polyOrder)
+
+	// Pre-compute-only and post-only data: sized so that together they are
+	// ~24.3% of the footprint.
+	a.diagSetup, _ = tr.GlobalF64("diag_setup", e*n3*2)
+	a.aggBuf, _ = tr.GlobalF64("mpi_agg", e*n3/2)
+
+	// Unevenly-touched structures.
+	a.filter, _ = tr.GlobalF64("filt", e*n3/8)
+	a.turbHist, _ = tr.GlobalF64("turb_hist", e*n3/8)
+
+	// Long-term heap work array (gather-scatter exchange buffers).
+	a.gsWork, a.gsObj = tr.HeapF64("gs_work", "gs_setup.f:88", e*8)
+
+	// Initialization: fields get the eddy initial condition; auxiliaries
+	// are derived from the mass matrix (read bm1, write the auxiliaries).
+	f := tr.Enter("init_eddy")
+	defer tr.Leave()
+	kernels.FillRandom(a.bm1, rng, 0.5, 1.5)
+	kernels.FillRandom(a.tmass, rng, 0.5, 1.5)
+	kernels.FillRandom(a.geom, rng, -1, 1)
+	kernels.FillRandom(a.bc, rng, 0, 1)
+	kernels.FillRandom(a.dxm1, rng, -1, 1)
+	for i := 0; i < a.binvm1.Len(); i++ {
+		a.binvm1.Store(i, 1.0/a.bm1.Load(i%a.bm1.Len()))
+	}
+	for i := 0; i < a.bmlag.Len(); i++ {
+		a.bmlag.Store(i, a.bm1.Load(i)*0.99)
+	}
+	for i := 0; i < a.vx.Len(); i++ {
+		x := float64(i%n3) / float64(n3)
+		a.vx.Store(i, math.Sin(2*math.Pi*x))
+		a.vy.Store(i, math.Cos(2*math.Pi*x))
+		a.vz.Store(i, 0)
+		a.temp.Store(i, 1)
+		a.pr.Store(i, 0)
+		a.rhs.Store(i, 0)
+	}
+	tr.Compute(uint64(4 * a.vx.Len()))
+	// Diagonal preconditioner setup: touched here, never again.
+	kernels.FillRandom(a.diagSetup, rng, 0.9, 1.1)
+	kernels.FillRandom(a.filter, rng, 0.9, 1.1)
+	a.gsWork.Fill(0)
+	a.gatherFields = [6]memtrace.F64{a.vx, a.vy, a.vz, a.temp, a.pr, a.rhs}
+	_ = f
+	return nil
+}
+
+// Step advances one timestep: a Helmholtz-like smoothing pass applied
+// element by element through stack-resident locals.
+func (a *App) Step(tr *memtrace.Tracer, iter int) error {
+	n3 := a.npts()
+	n := polyOrder
+
+	// Re-lag the mass matrices in the first timestep only, and only where
+	// properties changed (every 8th entry): with ~10 reads per entry per
+	// run against 1/8 write per entry, their read/write ratio exceeds 50 —
+	// the "R/W > 50" population of Figure 3.
+	if iter == 1 {
+		fr := tr.Enter("setprop")
+		for i := 0; i < a.bm1.Len(); i++ {
+			v := a.bm1.Load(i)
+			if i%8 == 0 {
+				a.bm1.Store(i, v*1.0001)
+			}
+		}
+		for i := 0; i < a.tmass.Len(); i++ {
+			v := a.tmass.Load(i)
+			if i%8 == 0 {
+				a.tmass.Store(i, v*1.0001)
+			}
+		}
+		tr.Compute(uint64(a.bm1.Len() + a.tmass.Len()))
+		tr.Leave()
+		_ = fr
+	}
+
+	sum := 0.0
+	for e := 0; e < a.elements; e++ {
+		fr := tr.Enter("ax_helm") // the element operator kernel
+		local := fr.LocalF64(n3)
+		work := fr.LocalF64(n3)
+
+		base := e * n3
+		// Copy-in: global reads, stack writes.
+		for i := 0; i < n3; i++ {
+			local.Store(i, a.vx.Load(base+i))
+		}
+		// Three tensor contractions along x, y, z: for each output point,
+		// read a row of the derivative matrix from the stack-resident copy
+		// and a line of the local field.  The derivative matrix is first
+		// staged into the frame (its global copy keeps a high ratio).
+		dloc := fr.LocalF64(n * n)
+		for i := 0; i < n*n; i++ {
+			dloc.Store(i, a.dxm1.Load(i))
+		}
+		// Four passes: first derivatives along x, y, z plus the repeated
+		// z pass of the Helmholtz operator's second-derivative term.
+		for dim := 0; dim < 4; dim++ {
+			for p := 0; p < n3; p++ {
+				i := p / (n * n)
+				rem := p % (n * n)
+				j := rem / n
+				k := rem % n
+				acc := 0.0
+				for m := 0; m < n; m++ {
+					var q int
+					switch dim % 3 {
+					case 0:
+						q = (m*n+j)*n + k
+					case 1:
+						q = (i*n+m)*n + k
+					default:
+						q = (i*n+j)*n + m
+					}
+					acc += dloc.Load(i%n*n+m) * local.Load(q)
+				}
+				work.Store(p, acc)
+				tr.Compute(uint64(2 * n))
+			}
+		}
+		// Element update using the mass matrix (global reads with high
+		// ratio) and the inverse mass matrix (read-only).
+		for i := 0; i < n3; i++ {
+			w := work.Load(i) * a.bm1.Load(base+i) * a.binvm1.Load((base+i)%a.binvm1.Len())
+			work.Store(i, w)
+			sum += w
+		}
+		tr.Compute(uint64(3 * n3))
+		// Neighbour-face gather: the element's boundary exchange reads
+		// solution values at mesh-indirection offsets, effectively random
+		// positions spread across the fields — the irregular slice of
+		// Nek5000's traffic that prefetching cannot hide (§V).
+		h := uint64(e+1)*0x9E3779B97F4A7C15 + uint64(iter)
+		for g := 0; g < 12; g++ {
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			f := a.gatherFields[int(h%6)]
+			sum += f.Load(int((h >> 8) % uint64(a.vx.Len())))
+		}
+		tr.Compute(48)
+		// Copy-out: stack reads, global writes.
+		for i := 0; i < n3; i++ {
+			a.vx.Store(base+i, a.vx.Load(base+i)+0.01*work.Load(i))
+		}
+		tr.Compute(uint64(2 * n3))
+		tr.Leave()
+	}
+
+	// Field updates on global arrays: vy/vz/temp relaxations plus the
+	// right-hand side (global traffic balancing the stack share to ~75%).
+	fr := tr.Enter("makef")
+	for i := 0; i < a.rhs.Len(); i++ {
+		r := a.vy.Load(i)*0.5 + a.geom.Load(i%a.geom.Len())*0.1
+		a.rhs.Store(i, r)
+		a.vy.Add(i, 0.001*r)
+		a.vz.Add(i, 0.0005*r)
+	}
+	tr.Compute(uint64(6 * a.rhs.Len()))
+	// Temperature relaxation against the (rarely written) temperature mass
+	// matrix.
+	for i := 0; i < a.tmass.Len(); i++ {
+		a.temp.Store(i, a.temp.Load(i)*0.999+0.001*a.tmass.Load(i))
+	}
+	tr.Compute(uint64(3 * a.tmass.Len()))
+	// Pressure correction from the right-hand side, weighted by the
+	// element-lagged mass matrix (read-only during the loop).
+	for i := 0; i < a.pr.Len(); i++ {
+		a.pr.Store(i, a.pr.Load(i)+0.001*a.rhs.Load(i)*a.bmlag.Load(i%a.bmlag.Len()))
+	}
+	tr.Compute(uint64(3 * a.pr.Len()))
+	tr.Leave()
+	_ = fr
+
+	// Boundary conditions: a sweep over the 70 read-only records.
+	frb := tr.Enter("bcdirvc")
+	for i := 0; i < a.bc.Len(); i += 8 {
+		sum += a.bc.Load(i)
+	}
+	tr.Compute(uint64(a.bc.Len() / 8))
+	tr.Leave()
+	_ = frb
+
+	// Spectral filter: only every 4th timestep (uneven touch, Figure 8).
+	if iter%4 == 0 {
+		frf := tr.Enter("q_filter")
+		for i := 0; i < a.filter.Len(); i++ {
+			a.temp.Store(i%a.temp.Len(), a.temp.Load(i%a.temp.Len())*a.filter.Load(i))
+		}
+		tr.Compute(uint64(2 * a.filter.Len()))
+		tr.Leave()
+		_ = frf
+	}
+	// Turbulence history: written only in timesteps 2 and 3.
+	if iter == 2 || iter == 3 {
+		frt := tr.Enter("turb_stats")
+		for i := 0; i < a.turbHist.Len(); i++ {
+			a.turbHist.Store(i, a.vx.Load(i%a.vx.Len()))
+		}
+		tr.Compute(uint64(a.turbHist.Len()))
+		tr.Leave()
+		_ = frt
+	}
+
+	// Short-term heap scratch: allocated and freed within the timestep
+	// (gather-scatter staging); same signature every timestep, so the tool
+	// tracks it as one recurring object.
+	frg := tr.Enter("gs_op")
+	scratch, obj := tr.HeapF64("gs_stage", "gs_op.f:142", a.elements)
+	for i := 0; i < scratch.Len(); i++ {
+		scratch.Store(i, a.gsWork.Load(i%a.gsWork.Len()))
+	}
+	for i := 0; i < a.gsWork.Len(); i++ {
+		a.gsWork.Store(i, scratch.Load(i%scratch.Len())*0.5)
+	}
+	tr.Compute(uint64(scratch.Len() + a.gsWork.Len()))
+	tr.Free(obj)
+	tr.Leave()
+	_ = frg
+
+	a.checksum = sum
+	return nil
+}
+
+// Post aggregates results (post-processing phase): the aggregation buffers
+// are touched here for the first time since allocation.
+func (a *App) Post(tr *memtrace.Tracer) error {
+	fr := tr.Enter("outpost")
+	for i := 0; i < a.aggBuf.Len(); i++ {
+		a.aggBuf.Store(i, a.vx.Load(i%a.vx.Len()))
+	}
+	tr.Compute(uint64(a.aggBuf.Len()))
+	tr.Leave()
+	_ = fr
+	return nil
+}
+
+// Check validates that the run computed finite results.
+func (a *App) Check() error {
+	if math.IsNaN(a.checksum) || math.IsInf(a.checksum, 0) {
+		return fmt.Errorf("nekmini: checksum diverged: %v", a.checksum)
+	}
+	for i, v := range a.vx.Raw() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("nekmini: vx[%d] diverged: %v", i, v)
+		}
+	}
+	return nil
+}
+
+// Input implements apps.InputDescriber (Table I's input column).
+func (a *App) Input() string {
+	return fmt.Sprintf("2D eddy problem, %d spectral elements of order %d", a.elements, polyOrder)
+}

@@ -1,0 +1,189 @@
+package nekmini
+
+import (
+	"testing"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+)
+
+func runNek(t *testing.T, scale float64, iters int, mode memtrace.StackMode) (*App, *memtrace.Tracer) {
+	t.Helper()
+	app := New(scale)
+	tr := memtrace.New(memtrace.Config{StackMode: mode})
+	if err := apps.Run(app, tr, iters); err != nil {
+		t.Fatal(err)
+	}
+	return app, tr
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.New("nek5000", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "nek5000" {
+		t.Fatalf("name = %q", a.Name())
+	}
+	if a.Description() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+// TestTableVCalibration checks the paper's stack numbers for Nek5000:
+// ~75.6% of references hit the stack with a read/write ratio of ~6.33.
+func TestTableVCalibration(t *testing.T) {
+	_, tr := runNek(t, 0.25, 10, memtrace.FastStack)
+	iters := tr.MainLoopIterations()
+	st := tr.SegmentTotals(trace.SegStack, 1, iters)
+	gl := tr.SegmentTotals(trace.SegGlobal, 1, iters)
+	hp := tr.SegmentTotals(trace.SegHeap, 1, iters)
+
+	total := st.Total() + gl.Total() + hp.Total()
+	share := float64(st.Total()) / float64(total)
+	if share < 0.70 || share > 0.81 {
+		t.Errorf("stack reference share = %.3f, want ~0.756 (band 0.70-0.81)", share)
+	}
+	ratio := st.ReadWriteRatio()
+	if ratio < 5.3 || ratio > 7.4 {
+		t.Errorf("stack read/write ratio = %.2f, want ~6.33 (band 5.3-7.4)", ratio)
+	}
+}
+
+// TestFootprintShape checks the Figure 3/7 structure: ~24.3% of the
+// footprint untouched in the main loop, ~7.1% read-only, and a nonempty
+// population of R/W > 50 objects.
+func TestFootprintShape(t *testing.T) {
+	_, tr := runNek(t, 0.25, 10, memtrace.FastStack)
+
+	var totalBytes, untouched, readOnly, highRatio uint64
+	for _, o := range tr.Objects() {
+		if o.Segment == trace.SegStack {
+			continue
+		}
+		totalBytes += o.Size
+		if o.TouchedIterations() == 0 {
+			untouched += o.Size
+		}
+		if o.LoopReadOnly() {
+			readOnly += o.Size
+		} else if o.LoopReadWriteRatio() > 50 {
+			highRatio += o.Size
+		}
+	}
+	uf := float64(untouched) / float64(totalBytes)
+	if uf < 0.18 || uf > 0.30 {
+		t.Errorf("untouched fraction = %.3f, want ~0.243", uf)
+	}
+	rf := float64(readOnly) / float64(totalBytes)
+	if rf < 0.04 || rf > 0.12 {
+		t.Errorf("read-only fraction = %.3f, want ~0.071", rf)
+	}
+	if highRatio == 0 {
+		t.Error("expected mass matrices in the R/W > 50 population")
+	}
+}
+
+func TestMassMatrixRatioAbove50(t *testing.T) {
+	_, tr := runNek(t, 0.2, 10, memtrace.FastStack)
+	found := false
+	for _, o := range tr.Objects() {
+		if o.Name == "bm1" {
+			found = true
+			if r := o.LoopReadWriteRatio(); r < 50 {
+				t.Errorf("bm1 loop read/write ratio = %.1f, want > 50", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("bm1 object missing")
+	}
+}
+
+func TestUnevenTouch(t *testing.T) {
+	_, tr := runNek(t, 0.2, 10, memtrace.FastStack)
+	byName := map[string]*memtrace.Object{}
+	for _, o := range tr.Objects() {
+		byName[o.Name] = o
+	}
+	if o := byName["diag_setup"]; o == nil || o.TouchedIterations() != 0 {
+		t.Error("diag_setup must be untouched in the main loop")
+	}
+	if o := byName["mpi_agg"]; o == nil || o.TouchedIterations() != 0 {
+		t.Error("mpi_agg must only be touched in post-processing")
+	}
+	if o := byName["turb_hist"]; o == nil || o.TouchedIterations() != 2 {
+		t.Errorf("turb_hist should be touched in exactly 2 iterations")
+	}
+	if o := byName["filt"]; o == nil || o.TouchedIterations() != 2 {
+		// iterations 4 and 8 of 10
+		t.Errorf("filt should be touched in iterations 4 and 8 only")
+	}
+	if o := byName["vx"]; o == nil || o.TouchedIterations() != 10 {
+		t.Error("vx must be touched every iteration")
+	}
+}
+
+func TestShortTermHeapRecycled(t *testing.T) {
+	_, tr := runNek(t, 0.15, 5, memtrace.FastStack)
+	count := 0
+	for _, o := range tr.HeapObjects() {
+		if o.Name == "gs_stage" {
+			count++
+			if !o.Dead {
+				t.Error("gs_stage must be freed at iteration end")
+			}
+			if o.TouchedIterations() != 5 {
+				t.Errorf("gs_stage touched %d iterations, want 5 (same signature each step)", o.TouchedIterations())
+			}
+		}
+	}
+	if count != 1 {
+		t.Fatalf("gs_stage objects = %d, want 1 (per-signature identity)", count)
+	}
+}
+
+func TestSlowModeRoutines(t *testing.T) {
+	_, tr := runNek(t, 0.1, 3, memtrace.SlowStack)
+	routines := tr.StackObjects()
+	if len(routines) < 5 {
+		t.Fatalf("expected several routine frames, got %d", len(routines))
+	}
+	var axHelm *memtrace.Object
+	for _, o := range routines {
+		if o.Name == "ax_helm" {
+			axHelm = o
+		}
+	}
+	if axHelm == nil {
+		t.Fatal("ax_helm frame missing")
+	}
+	tot := uint64(0)
+	for _, o := range routines {
+		tot += o.Total().Refs()
+	}
+	if float64(axHelm.Total().Refs())/float64(tot) < 0.5 {
+		t.Error("the element operator should dominate stack references")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a1, tr1 := runNek(t, 0.1, 3, memtrace.FastStack)
+	a2, tr2 := runNek(t, 0.1, 3, memtrace.FastStack)
+	if a1.checksum != a2.checksum {
+		t.Fatal("checksum must be deterministic")
+	}
+	s1 := tr1.SegmentTotals(trace.SegStack, 1, 3)
+	s2 := tr2.SegmentTotals(trace.SegStack, 1, 3)
+	if s1 != s2 {
+		t.Fatal("access stream must be deterministic")
+	}
+}
+
+func TestMinimumScaleClamped(t *testing.T) {
+	app := New(0.000001)
+	if app.elements < 8 {
+		t.Fatal("element count must be clamped")
+	}
+}

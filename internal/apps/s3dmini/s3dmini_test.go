@@ -1,0 +1,147 @@
+package s3dmini
+
+import (
+	"testing"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+)
+
+func runS3D(t *testing.T, scale float64, iters int, mode memtrace.StackMode) (*App, *memtrace.Tracer) {
+	t.Helper()
+	app := New(scale)
+	tr := memtrace.New(memtrace.Config{StackMode: mode})
+	if err := apps.Run(app, tr, iters); err != nil {
+		t.Fatal(err)
+	}
+	return app, tr
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.New("s3d", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "s3d" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+// TestTableVCalibration checks S3D's stack numbers: ~63.1% stack reference
+// share, read/write ratio ~6.04.
+func TestTableVCalibration(t *testing.T) {
+	_, tr := runS3D(t, 0.25, 10, memtrace.FastStack)
+	iters := tr.MainLoopIterations()
+	st := tr.SegmentTotals(trace.SegStack, 1, iters)
+	gl := tr.SegmentTotals(trace.SegGlobal, 1, iters)
+	hp := tr.SegmentTotals(trace.SegHeap, 1, iters)
+
+	total := st.Total() + gl.Total() + hp.Total()
+	share := float64(st.Total()) / float64(total)
+	if share < 0.56 || share > 0.70 {
+		t.Errorf("stack reference share = %.3f, want ~0.631", share)
+	}
+	if r := st.ReadWriteRatio(); r < 5.1 || r > 7.0 {
+		t.Errorf("stack r/w ratio = %.2f, want ~6.04", r)
+	}
+}
+
+func TestRateTableReadOnly(t *testing.T) {
+	_, tr := runS3D(t, 0.1, 5, memtrace.FastStack)
+	for _, o := range tr.Objects() {
+		if o.Name == "rate_table" {
+			if !o.LoopReadOnly() {
+				t.Fatal("rate_table must be read-only during the loop")
+			}
+			if o.LoopStats().Reads == 0 {
+				t.Fatal("rate_table must be read heavily")
+			}
+			return
+		}
+	}
+	t.Fatal("rate_table missing")
+}
+
+// TestSmallUntouchedFraction: only the restart staging buffer (~1-3% of
+// the footprint) is untouched during the main loop.
+func TestSmallUntouchedFraction(t *testing.T) {
+	_, tr := runS3D(t, 0.25, 5, memtrace.FastStack)
+	var totalBytes, untouched uint64
+	for _, o := range tr.Objects() {
+		if o.Segment == trace.SegStack {
+			continue
+		}
+		totalBytes += o.Size
+		if o.TouchedIterations() == 0 {
+			untouched += o.Size
+		}
+	}
+	uf := float64(untouched) / float64(totalBytes)
+	if uf > 0.06 {
+		t.Errorf("untouched fraction = %.3f, want small (~0.014-0.05)", uf)
+	}
+	if untouched == 0 {
+		t.Error("qsave restart buffer should be untouched in the loop")
+	}
+}
+
+// TestConstantReferenceRates: species field reference counts are identical
+// across iterations (Figure 10).
+func TestConstantReferenceRates(t *testing.T) {
+	_, tr := runS3D(t, 0.1, 6, memtrace.FastStack)
+	for _, o := range tr.Objects() {
+		if o.Segment != trace.SegHeap || o.LoopStats().Refs() == 0 {
+			continue
+		}
+		base := o.Iter(1).Refs()
+		for it := 2; it <= 6; it++ {
+			if got := o.Iter(it).Refs(); got != base {
+				t.Errorf("%s iteration %d refs = %d, want %d", o.Name, it, got, base)
+			}
+		}
+	}
+}
+
+func TestSpeciesStayPhysical(t *testing.T) {
+	app, _ := runS3D(t, 0.1, 10, memtrace.FastStack)
+	if err := app.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapAllocatablesPresent(t *testing.T) {
+	_, tr := runS3D(t, 0.05, 2, memtrace.FastStack)
+	names := map[string]bool{}
+	for _, o := range tr.HeapObjects() {
+		names[o.Name] = true
+	}
+	for _, want := range []string{"yspecies_0", "yspecies_8", "rhs_0", "u_vel", "temp", "pressure"} {
+		if !names[want] {
+			t.Errorf("heap allocatable %q missing", want)
+		}
+	}
+}
+
+func TestSlowModeChemistryDominates(t *testing.T) {
+	_, tr := runS3D(t, 0.05, 2, memtrace.SlowStack)
+	var chem, total uint64
+	for _, o := range tr.StackObjects() {
+		refs := o.Total().Refs()
+		total += refs
+		if o.Name == "reaction_rate" {
+			chem = refs
+		}
+	}
+	if total == 0 || float64(chem)/float64(total) < 0.8 {
+		t.Errorf("reaction_rate carries %d of %d stack refs; expected dominance", chem, total)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a1, _ := runS3D(t, 0.05, 3, memtrace.FastStack)
+	a2, _ := runS3D(t, 0.05, 3, memtrace.FastStack)
+	if a1.checksum != a2.checksum {
+		t.Fatal("runs must be deterministic")
+	}
+}

@@ -1,0 +1,211 @@
+// Package checkpoint quantifies the checkpointing motivation of the
+// paper's introduction: "NVRAM could provide substantial bandwidth for
+// checkpointing and ... would drastically reduce latency.  This will become
+// increasingly important in exascale systems, given the resiliency
+// challenge and limited external I/O bandwidth" (§I).
+//
+// It implements the standard first-order checkpoint/restart efficiency
+// model (Young's and Daly's optimal checkpoint intervals) for two targets:
+// a shared parallel filesystem, whose aggregate bandwidth is divided among
+// all nodes, and node-local byte-addressable NVRAM, whose bandwidth scales
+// with the machine.  Sweeping node count from petascale to exascale
+// exhibits the crossover the paper argues for: filesystem checkpointing
+// efficiency collapses as the machine grows, NVRAM checkpointing does not.
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Target is a checkpoint destination.
+type Target struct {
+	Name string
+	// AggregateBandwidth is the total bytes/second the target sustains
+	// across the whole machine.  Zero means the bandwidth is per-node.
+	AggregateBandwidth float64
+	// PerNodeBandwidth is the bytes/second each node sustains into the
+	// target (node-local NVRAM).  Zero means the target is shared.
+	PerNodeBandwidth float64
+	// WriteLatency is the fixed per-checkpoint overhead (metadata,
+	// barrier, commit), in seconds.
+	WriteLatency float64
+}
+
+// Validate rejects targets with no bandwidth at all.
+func (t Target) Validate() error {
+	if t.AggregateBandwidth <= 0 && t.PerNodeBandwidth <= 0 {
+		return fmt.Errorf("checkpoint: target %q has no bandwidth", t.Name)
+	}
+	if t.AggregateBandwidth > 0 && t.PerNodeBandwidth > 0 {
+		return fmt.Errorf("checkpoint: target %q has both aggregate and per-node bandwidth", t.Name)
+	}
+	if t.WriteLatency < 0 {
+		return fmt.Errorf("checkpoint: target %q has negative latency", t.Name)
+	}
+	return nil
+}
+
+// ParallelFS returns a Jaguar-era parallel filesystem target (~240 GB/s
+// aggregate, as the Spider filesystem sustained around the paper's time).
+func ParallelFS() Target {
+	return Target{Name: "parallel-fs", AggregateBandwidth: 240e9, WriteLatency: 5}
+}
+
+// NodeNVRAM returns a node-local NVRAM DIMM target: a few GB/s per node
+// (paper §I: NVRAM brings checkpointing under hardware control with
+// drastically reduced latency).
+func NodeNVRAM() Target {
+	return Target{Name: "node-nvram", PerNodeBandwidth: 4e9, WriteLatency: 0.01}
+}
+
+// System describes the machine and application.
+type System struct {
+	// Nodes is the machine size.
+	Nodes int
+	// StateBytesPerNode is the per-task checkpoint volume (Table I's
+	// memory footprints are the natural choice).
+	StateBytesPerNode float64
+	// NodeMTBFHours is the mean time between failures of one node.
+	NodeMTBFHours float64
+	// RestartSeconds is the fixed reboot/relaunch cost after a failure;
+	// reading the checkpoint back is charged separately at the target's
+	// bandwidth (restart from node-local NVRAM is as fast as writing it,
+	// which is the §I argument for hardware-controlled checkpointing).
+	RestartSeconds float64
+}
+
+// Validate rejects degenerate systems.
+func (s System) Validate() error {
+	if s.Nodes <= 0 {
+		return fmt.Errorf("checkpoint: non-positive node count")
+	}
+	if s.StateBytesPerNode <= 0 {
+		return fmt.Errorf("checkpoint: non-positive state size")
+	}
+	if s.NodeMTBFHours <= 0 {
+		return fmt.Errorf("checkpoint: non-positive MTBF")
+	}
+	if s.RestartSeconds < 0 {
+		return fmt.Errorf("checkpoint: negative restart time")
+	}
+	return nil
+}
+
+// SystemMTBFSeconds returns the machine-level MTBF: node MTBF divided by
+// the node count (independent exponential failures).
+func (s System) SystemMTBFSeconds() float64 {
+	return s.NodeMTBFHours * 3600 / float64(s.Nodes)
+}
+
+// CheckpointSeconds returns delta, the time to write one global checkpoint
+// to the target.
+func CheckpointSeconds(s System, t Target) float64 {
+	var bw float64
+	if t.PerNodeBandwidth > 0 {
+		// Node-local writes proceed in parallel: the global checkpoint
+		// takes one node's time.
+		bw = t.PerNodeBandwidth
+		return s.StateBytesPerNode/bw + t.WriteLatency
+	}
+	// Shared target: all nodes funnel through the aggregate bandwidth.
+	bw = t.AggregateBandwidth
+	return float64(s.Nodes)*s.StateBytesPerNode/bw + t.WriteLatency
+}
+
+// YoungInterval returns Young's optimal checkpoint interval
+// sqrt(2 * delta * MTBF).
+func YoungInterval(deltaSeconds, mtbfSeconds float64) float64 {
+	if deltaSeconds <= 0 || mtbfSeconds <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * deltaSeconds * mtbfSeconds)
+}
+
+// DalyInterval returns Daly's higher-order optimum, which corrects Young's
+// formula when delta is not small against the MTBF:
+//
+//	tau = sqrt(2 delta M) * (1 + sqrt(delta/(2M))/3 + delta/(9M)) - delta
+//
+// falling back to M when delta > 2M (checkpointing cannot keep up).
+func DalyInterval(deltaSeconds, mtbfSeconds float64) float64 {
+	if deltaSeconds <= 0 || mtbfSeconds <= 0 {
+		return 0
+	}
+	if deltaSeconds > 2*mtbfSeconds {
+		return mtbfSeconds
+	}
+	root := math.Sqrt(2 * deltaSeconds * mtbfSeconds)
+	corr := 1 + math.Sqrt(deltaSeconds/(2*mtbfSeconds))/3 + deltaSeconds/(9*mtbfSeconds)
+	tau := root*corr - deltaSeconds
+	if tau <= 0 {
+		return deltaSeconds
+	}
+	return tau
+}
+
+// Result is the efficiency estimate for one system/target pair.
+type Result struct {
+	Target            string
+	DeltaSeconds      float64 // one checkpoint
+	IntervalSeconds   float64 // Daly-optimal compute segment
+	SystemMTBFSeconds float64
+	// Efficiency is the fraction of wall-clock time spent on useful
+	// computation: 1 - checkpoint overhead - expected rework - restart.
+	Efficiency float64
+}
+
+// Evaluate computes the checkpoint efficiency of a system on a target.
+func Evaluate(s System, t Target) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return Result{}, err
+	}
+	delta := CheckpointSeconds(s, t)
+	mtbf := s.SystemMTBFSeconds()
+	tau := DalyInterval(delta, mtbf)
+	// First-order waste model: per segment of length tau we pay delta of
+	// checkpoint time; a failure arrives every MTBF on average, costing
+	// half a segment of rework plus the restart (reboot + checkpoint
+	// read-back at the target's bandwidth).
+	restart := s.RestartSeconds + delta
+	waste := delta/(tau+delta) + (tau/2+restart)/mtbf
+	eff := 1 - waste
+	if eff < 0 {
+		eff = 0
+	}
+	return Result{
+		Target:            t.Name,
+		DeltaSeconds:      delta,
+		IntervalSeconds:   tau,
+		SystemMTBFSeconds: mtbf,
+		Efficiency:        eff,
+	}, nil
+}
+
+// SweepPoint compares targets at one machine size.
+type SweepPoint struct {
+	Nodes   int
+	Results []Result
+}
+
+// Sweep evaluates every target across machine sizes.
+func Sweep(base System, nodes []int, targets []Target) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(nodes))
+	for _, n := range nodes {
+		s := base
+		s.Nodes = n
+		pt := SweepPoint{Nodes: n}
+		for _, t := range targets {
+			r, err := Evaluate(s, t)
+			if err != nil {
+				return nil, err
+			}
+			pt.Results = append(pt.Results, r)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseSystem() System {
+	return System{
+		Nodes:             10000,
+		StateBytesPerNode: 800e6, // Nek5000's Table I footprint
+		NodeMTBFHours:     50000, // ~5.7 years per node
+		RestartSeconds:    10,
+	}
+}
+
+func TestTargetValidation(t *testing.T) {
+	if err := ParallelFS().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := NodeNVRAM().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Target{
+		{Name: "none"},
+		{Name: "both", AggregateBandwidth: 1, PerNodeBandwidth: 1},
+		{Name: "neglat", PerNodeBandwidth: 1, WriteLatency: -1},
+	}
+	for _, tgt := range bad {
+		if tgt.Validate() == nil {
+			t.Errorf("%s: invalid target accepted", tgt.Name)
+		}
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if err := baseSystem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*System){
+		func(s *System) { s.Nodes = 0 },
+		func(s *System) { s.StateBytesPerNode = 0 },
+		func(s *System) { s.NodeMTBFHours = 0 },
+		func(s *System) { s.RestartSeconds = -1 },
+	}
+	for i, m := range mutations {
+		s := baseSystem()
+		m(&s)
+		if s.Validate() == nil {
+			t.Errorf("case %d: invalid system accepted", i)
+		}
+	}
+}
+
+func TestSystemMTBFScalesInversely(t *testing.T) {
+	s := baseSystem()
+	m1 := s.SystemMTBFSeconds()
+	s.Nodes *= 10
+	m10 := s.SystemMTBFSeconds()
+	if math.Abs(m1/m10-10) > 1e-9 {
+		t.Fatalf("MTBF should shrink 10x with 10x nodes: %v vs %v", m1, m10)
+	}
+}
+
+func TestCheckpointTimeShape(t *testing.T) {
+	s := baseSystem()
+	// Shared target: checkpoint time grows with node count.
+	pfs := ParallelFS()
+	d1 := CheckpointSeconds(s, pfs)
+	s2 := s
+	s2.Nodes *= 4
+	d4 := CheckpointSeconds(s2, pfs)
+	if d4 <= d1 {
+		t.Fatalf("shared-target checkpoint must grow with nodes: %v -> %v", d1, d4)
+	}
+	// Node-local target: checkpoint time independent of node count.
+	nv := NodeNVRAM()
+	n1 := CheckpointSeconds(s, nv)
+	n4 := CheckpointSeconds(s2, nv)
+	if n1 != n4 {
+		t.Fatalf("node-local checkpoint must not depend on node count: %v vs %v", n1, n4)
+	}
+	// NVRAM is much faster at this scale.
+	if n1*10 > d1 {
+		t.Fatalf("NVRAM checkpoint %v should be far below PFS %v", n1, d1)
+	}
+}
+
+func TestYoungInterval(t *testing.T) {
+	if got := YoungInterval(100, 50000); math.Abs(got-math.Sqrt(2*100*50000)) > 1e-9 {
+		t.Fatalf("Young = %v", got)
+	}
+	if YoungInterval(0, 100) != 0 || YoungInterval(100, 0) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestDalyReducesToYoungForSmallDelta(t *testing.T) {
+	delta, mtbf := 1.0, 1e7
+	young := YoungInterval(delta, mtbf)
+	daly := DalyInterval(delta, mtbf)
+	if math.Abs(daly-young)/young > 0.01 {
+		t.Fatalf("Daly %v should approach Young %v for tiny delta", daly, young)
+	}
+}
+
+func TestDalySaturatesWhenCheckpointDominates(t *testing.T) {
+	if got := DalyInterval(1000, 400); got != 400 {
+		t.Fatalf("delta > 2*MTBF should return MTBF, got %v", got)
+	}
+	if DalyInterval(0, 100) != 0 {
+		t.Fatal("zero delta should give 0")
+	}
+}
+
+func TestEvaluateEfficiencyBounds(t *testing.T) {
+	s := baseSystem()
+	for _, tgt := range []Target{ParallelFS(), NodeNVRAM()} {
+		r, err := Evaluate(s, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Efficiency <= 0 || r.Efficiency >= 1 {
+			t.Fatalf("%s efficiency = %v, want in (0,1)", tgt.Name, r.Efficiency)
+		}
+		if r.IntervalSeconds <= 0 || r.DeltaSeconds <= 0 {
+			t.Fatalf("%s degenerate result %+v", tgt.Name, r)
+		}
+	}
+}
+
+func TestEvaluateRejectsBadInputs(t *testing.T) {
+	if _, err := Evaluate(System{}, NodeNVRAM()); err == nil {
+		t.Fatal("bad system must error")
+	}
+	if _, err := Evaluate(baseSystem(), Target{Name: "x"}); err == nil {
+		t.Fatal("bad target must error")
+	}
+}
+
+// TestExascaleCrossover is the paper's §I argument: at exascale node
+// counts, filesystem checkpointing efficiency collapses while node-local
+// NVRAM stays high.
+func TestExascaleCrossover(t *testing.T) {
+	base := baseSystem()
+	pts, err := Sweep(base, []int{1000, 10000, 100000, 1000000},
+		[]Target{ParallelFS(), NodeNVRAM()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		pfs, nv := pt.Results[0], pt.Results[1]
+		if nv.Efficiency < pfs.Efficiency {
+			t.Errorf("%d nodes: NVRAM efficiency %v below PFS %v",
+				pt.Nodes, nv.Efficiency, pfs.Efficiency)
+		}
+	}
+	// The petascale machine is fine either way...
+	if pts[0].Results[0].Efficiency < 0.9 {
+		t.Errorf("petascale PFS efficiency = %v, want > 0.9", pts[0].Results[0].Efficiency)
+	}
+	// ...but at exascale node counts, PFS efficiency collapses while NVRAM
+	// remains usable.
+	exa := pts[len(pts)-1]
+	if exa.Results[0].Efficiency > 0.5 {
+		t.Errorf("exascale PFS efficiency = %v, expected collapse", exa.Results[0].Efficiency)
+	}
+	if exa.Results[1].Efficiency < 0.8 {
+		t.Errorf("exascale NVRAM efficiency = %v, want > 0.8", exa.Results[1].Efficiency)
+	}
+	// PFS efficiency is monotone non-increasing with machine size.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Results[0].Efficiency > pts[i-1].Results[0].Efficiency+1e-12 {
+			t.Errorf("PFS efficiency increased with machine size at %d nodes", pts[i].Nodes)
+		}
+	}
+}
+
+// Property: efficiency is always in [0, 1) and decreases (weakly) as the
+// checkpoint volume grows.
+func TestQuickEfficiencyMonotoneInVolume(t *testing.T) {
+	f := func(volGB uint16, nodes uint16) bool {
+		s := baseSystem()
+		s.Nodes = int(nodes%65000) + 10
+		s.StateBytesPerNode = (float64(volGB%512) + 0.1) * 1e9
+		r1, err := Evaluate(s, ParallelFS())
+		if err != nil {
+			return false
+		}
+		s.StateBytesPerNode *= 2
+		r2, err := Evaluate(s, ParallelFS())
+		if err != nil {
+			return false
+		}
+		inRange := r1.Efficiency >= 0 && r1.Efficiency < 1
+		return inRange && r2.Efficiency <= r1.Efficiency+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Daly's interval never exceeds the system MTBF by more than the
+// saturation rule allows, and is positive whenever delta is.
+func TestQuickDalyBounds(t *testing.T) {
+	f := func(d, m uint32) bool {
+		delta := float64(d%100000) + 0.001
+		mtbf := float64(m%10000000) + 0.001
+		tau := DalyInterval(delta, mtbf)
+		return tau > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+package checkpoint_test
+
+import (
+	"fmt"
+
+	"nvscavenger/internal/checkpoint"
+)
+
+// Example compares checkpoint efficiency at an exascale node count.
+func Example() {
+	sys := checkpoint.System{
+		Nodes:             1000000,
+		StateBytesPerNode: 824e6,
+		NodeMTBFHours:     50000,
+		RestartSeconds:    10,
+	}
+	pfs, err := checkpoint.Evaluate(sys, checkpoint.ParallelFS())
+	if err != nil {
+		panic(err)
+	}
+	nv, err := checkpoint.Evaluate(sys, checkpoint.NodeNVRAM())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("system MTBF: %.0f s\n", sys.SystemMTBFSeconds())
+	fmt.Printf("parallel-fs efficiency below 10%%: %v\n", pfs.Efficiency < 0.10)
+	fmt.Printf("node-nvram efficiency above 85%%: %v\n", nv.Efficiency > 0.85)
+	// Output:
+	// system MTBF: 180 s
+	// parallel-fs efficiency below 10%: true
+	// node-nvram efficiency above 85%: true
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/stats"
+	"nvscavenger/internal/trace"
+)
+
+// StackRow is one application's row of Table V: the whole-stack read/write
+// ratio and the share of all references that hit the stack.
+type StackRow struct {
+	// SteadyRatio is the stack read/write ratio over iterations 2..N (the
+	// paper reports CAM's steady 20.39 separately from its first-iteration
+	// 11.46).
+	SteadyRatio float64
+	// FirstIterRatio is the ratio in iteration 1 alone.
+	FirstIterRatio float64
+	// OverallRatio covers the whole main loop.
+	OverallRatio float64
+	// ReferencePct is stack references / all references over the loop.
+	ReferencePct float64
+}
+
+// StackAnalysis computes the Table V row from a fast-mode run.
+func StackAnalysis(tr *memtrace.Tracer) StackRow {
+	n := tr.MainLoopIterations()
+	st := tr.SegmentTotals(trace.SegStack, 1, n)
+	gl := tr.SegmentTotals(trace.SegGlobal, 1, n)
+	hp := tr.SegmentTotals(trace.SegHeap, 1, n)
+	row := StackRow{OverallRatio: st.ReadWriteRatio()}
+	if total := st.Total() + gl.Total() + hp.Total(); total > 0 {
+		row.ReferencePct = float64(st.Total()) / float64(total) * 100
+	}
+	first := tr.SegmentStats(trace.SegStack, 1)
+	row.FirstIterRatio = first.ReadWriteRatio()
+	if n >= 2 {
+		steady := tr.SegmentTotals(trace.SegStack, 2, n)
+		row.SteadyRatio = steady.ReadWriteRatio()
+	} else {
+		row.SteadyRatio = row.FirstIterRatio
+	}
+	return row
+}
+
+// ObjectRecord is one point of the per-object scatter plots (Figures 2-6):
+// the three metrics plus classification flags.
+type ObjectRecord struct {
+	Name      string
+	Segment   trace.Segment
+	SizeBytes uint64
+	// RWRatio and RefRate are main-loop values (see Metrics).
+	RWRatio float64
+	RefRate float64
+	// Refs is the absolute main-loop reference count (the weight used for
+	// Figure 2's "share of references" statistics).
+	Refs      uint64
+	ReadOnly  bool
+	Untouched bool
+	// TouchedIters counts distinct main-loop iterations with references.
+	TouchedIters int
+	AllocIter    int
+	// Pattern is the dominant spatial access pattern (sequential objects
+	// stream through row buffers and tolerate slow NVRAM best).
+	Pattern memtrace.Pattern
+}
+
+func recordOf(o *memtrace.Object) ObjectRecord {
+	m := MetricsOf(o)
+	return ObjectRecord{
+		Name:         o.Name,
+		Segment:      o.Segment,
+		SizeBytes:    o.Size,
+		RWRatio:      m.ReadWriteRatio,
+		RefRate:      m.ReferenceRate,
+		Refs:         o.LoopStats().Refs(),
+		ReadOnly:     m.ReadOnly,
+		Untouched:    m.Untouched,
+		TouchedIters: o.TouchedIterations(),
+		AllocIter:    o.AllocIter,
+		Pattern:      o.AccessPattern(),
+	}
+}
+
+// ObjectRecords returns the global and heap object records (Figures 3-6).
+// Dead short-term heap objects are included: they carry their accumulated
+// statistics under their program-context identity.
+func ObjectRecords(tr *memtrace.Tracer) []ObjectRecord {
+	var out []ObjectRecord
+	seen := map[memtrace.ObjectID]struct{}{}
+	for _, o := range tr.Objects() {
+		if o.Segment != trace.SegGlobal && o.Segment != trace.SegHeap {
+			continue
+		}
+		if _, dup := seen[o.ID]; dup {
+			continue
+		}
+		seen[o.ID] = struct{}{}
+		out = append(out, recordOf(o))
+	}
+	return out
+}
+
+// StackFrameRecords returns the per-routine stack records from a slow-mode
+// run (Figure 2).
+func StackFrameRecords(tr *memtrace.Tracer) []ObjectRecord {
+	var out []ObjectRecord
+	for _, o := range tr.StackObjects() {
+		if o.LoopStats().Refs() == 0 {
+			continue
+		}
+		out = append(out, recordOf(o))
+	}
+	return out
+}
+
+// Figure2Stats summarizes the per-frame population the way §VII-A does.
+type Figure2Stats struct {
+	// Share of stack objects with R/W > 10 and > 50, and the share of
+	// stack references they draw.
+	CountOver10, RefsOver10 float64
+	CountOver50, RefsOver50 float64
+}
+
+// SummarizeFrames computes the Figure 2 headline statistics.
+func SummarizeFrames(records []ObjectRecord) Figure2Stats {
+	var ratios, weights []float64
+	for _, r := range records {
+		ratios = append(ratios, r.RWRatio)
+		weights = append(weights, float64(r.Refs))
+	}
+	var out Figure2Stats
+	out.CountOver10, out.RefsOver10 = stats.ShareAbove(ratios, weights, 10)
+	out.CountOver50, out.RefsOver50 = stats.ShareAbove(ratios, weights, 50)
+	return out
+}
+
+// UsagePoint is one step of Figure 7's cumulative distribution: UsedInMB
+// megabytes of memory objects are referenced in at most Iterations
+// main-loop iterations (0 = only in the pre/post phases).
+type UsagePoint struct {
+	Iterations   int
+	CumulativeMB float64
+}
+
+// UsageCDF computes Figure 7 for one run.  Short-term heap objects —
+// allocated and freed within the main loop — are excluded, as the paper
+// excludes them: their cumulative size is not a real NVRAM opportunity.
+// Long-term heap objects (allocated during pre-computing) and globals are
+// included.
+func UsageCDF(tr *memtrace.Tracer) []UsagePoint {
+	iters := tr.MainLoopIterations()
+	byCount := make([]uint64, iters+1)
+	seen := map[memtrace.ObjectID]struct{}{}
+	for _, o := range tr.Objects() {
+		if o.Segment != trace.SegGlobal && o.Segment != trace.SegHeap {
+			continue
+		}
+		if _, dup := seen[o.ID]; dup {
+			continue
+		}
+		seen[o.ID] = struct{}{}
+		if o.Segment == trace.SegHeap && o.Dead && o.AllocIter > 0 {
+			continue // short-term heap object
+		}
+		t := o.TouchedIterations()
+		if t > iters {
+			t = iters
+		}
+		byCount[t] += o.Size
+	}
+	out := make([]UsagePoint, 0, iters+1)
+	var cum uint64
+	for i := 0; i <= iters; i++ {
+		cum += byCount[i]
+		out = append(out, UsagePoint{Iterations: i, CumulativeMB: float64(cum) / (1 << 20)})
+	}
+	return out
+}
+
+// VarianceMetric selects which per-iteration metric Figures 8-11 normalize.
+type VarianceMetric int
+
+const (
+	// VarianceRWRatio tracks the per-iteration read/write ratio.
+	VarianceRWRatio VarianceMetric = iota
+	// VarianceRefRate tracks the per-iteration reference rate.
+	VarianceRefRate
+)
+
+// VarianceDistribution computes the Figures 8-11 presentation: for each
+// main-loop iteration, the distribution (over objects) of the selected
+// metric normalized by its first-iteration value, bucketed into
+// stats.VarianceBins.  Row i (1-based) holds the bin shares for iteration
+// i; bin index 2 is the paper's headline [1,2) bucket.
+func VarianceDistribution(tr *memtrace.Tracer, metric VarianceMetric) [][]float64 {
+	iters := tr.MainLoopIterations()
+	var perObject [][]float64
+	seen := map[memtrace.ObjectID]struct{}{}
+	for _, o := range tr.Objects() {
+		if o.Segment != trace.SegGlobal && o.Segment != trace.SegHeap {
+			continue
+		}
+		if _, dup := seen[o.ID]; dup {
+			continue
+		}
+		seen[o.ID] = struct{}{}
+		if o.LoopStats().Refs() == 0 {
+			continue
+		}
+		series := make([]float64, iters+1)
+		for i := 1; i <= iters; i++ {
+			switch metric {
+			case VarianceRefRate:
+				series[i] = o.IterReferenceRate(i)
+			default:
+				series[i] = o.IterReadWriteRatio(i)
+			}
+		}
+		perObject = append(perObject, series)
+	}
+	return stats.NormalizedDistribution(perObject, iters)
+}
+
+// StableShare returns, for a variance distribution, the mean share of
+// objects in the [1,2) bin across iterations 1..N — the paper's "more than
+// 60% of memory objects stay within [1,2)".
+func StableShare(dist [][]float64) float64 {
+	if len(dist) <= 1 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for i := 1; i < len(dist); i++ {
+		if len(dist[i]) > 2 {
+			sum += dist[i][2]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,347 @@
+// Package core implements the paper's primary contribution: identifying,
+// from per-object memory access patterns, the opportunities for
+// byte-addressable NVRAM in a hybrid DRAM-NVRAM memory system.
+//
+// It combines the three metrics of §II — read/write ratio, memory object
+// size, and memory reference rate — with the NVRAM taxonomy of §II to
+// classify every memory object observed by the instrumentation substrate,
+// drive a placement policy for a horizontal (side-by-side) hybrid memory,
+// estimate the NVRAM-suitable share of the working set, and model device
+// endurance under the observed write traffic.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+)
+
+// Category is the NVRAM taxonomy of §II.
+type Category int
+
+const (
+	// Category1 devices have long latencies for both reads and writes
+	// (PCRAM, Flash).  Accesses — writes above all — must be rigorously
+	// managed; only rarely-accessed or overwhelmingly-read data belongs on
+	// them.
+	Category1 Category = 1
+	// Category2 devices have long write latencies but DRAM-class reads
+	// (STTRAM).  Read-intensive pages belong on them; frequently-written
+	// pages do not.
+	Category2 Category = 2
+	// Category3 devices perform close to DRAM (RRAM); the paper leaves
+	// them out of scope as immature, and so does the placement policy.
+	Category3 Category = 3
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case Category1:
+		return "category-1 (slow read/write: PCRAM, Flash)"
+	case Category2:
+		return "category-2 (slow write, fast read: STTRAM)"
+	case Category3:
+		return "category-3 (near-DRAM: RRAM)"
+	}
+	return fmt.Sprintf("category-%d", int(c))
+}
+
+// Metrics are the paper's three NVRAM-opportunity metrics for one memory
+// object, measured over the main computation loop.
+type Metrics struct {
+	// ReadWriteRatio is main-loop reads over writes (§II metric 1): higher
+	// means a less write-intensive object, favoured by NVRAM.
+	ReadWriteRatio float64
+	// SizeBytes is the object size (§II metric 2): static power savings
+	// scale with the bytes moved to NVRAM.
+	SizeBytes uint64
+	// ReferenceRate is main-loop references per million instructions (§II
+	// metric 3): it catches objects whose high ratio still hides a large
+	// absolute write stream.
+	ReferenceRate float64
+	// WriteRate is main-loop writes per million instructions, the §II
+	// corner-case guard made explicit.
+	WriteRate float64
+	// ReadOnly marks objects never written during the loop.
+	ReadOnly bool
+	// Untouched marks objects never referenced during the loop (used only
+	// in pre-computing or post-processing phases, Figure 7's population).
+	Untouched bool
+}
+
+// MetricsOf extracts the metrics from an observed object.
+func MetricsOf(o *memtrace.Object) Metrics {
+	s := o.LoopStats()
+	m := Metrics{
+		ReadWriteRatio: o.LoopReadWriteRatio(),
+		SizeBytes:      o.Size,
+		ReferenceRate:  o.LoopReferenceRate(),
+		ReadOnly:       o.LoopReadOnly(),
+		Untouched:      s.Refs() == 0,
+	}
+	if s.Instructions > 0 {
+		m.WriteRate = float64(s.Writes) / float64(s.Instructions) * 1e6
+	}
+	return m
+}
+
+// Target is where the advisor places an object in the hybrid system.
+type Target int
+
+const (
+	// TargetDRAM keeps the object in DRAM.
+	TargetDRAM Target = iota
+	// TargetNVRAM places the object in NVRAM.
+	TargetNVRAM
+	// TargetMigratable marks objects whose access pattern varies across
+	// timesteps enough that a dynamic page-placement scheme (Ramos et al.,
+	// §II/§VIII) could move them phase by phase.
+	TargetMigratable
+)
+
+// String names the target.
+func (t Target) String() string {
+	switch t {
+	case TargetNVRAM:
+		return "NVRAM"
+	case TargetMigratable:
+		return "migratable"
+	}
+	return "DRAM"
+}
+
+// Policy holds the placement thresholds.  The defaults implement §II's
+// management rules: place as much data as possible in NVRAM while keeping
+// performance-critical frequent accesses — writes above all — out of it.
+type Policy struct {
+	// Category selects which device class the policy provisions for.
+	Category Category
+	// MinReadWriteRatio admits an object into NVRAM when its main-loop
+	// read/write ratio is at least this high (10 for category 2; 50 for
+	// category 1, which also suffers on reads).
+	MinReadWriteRatio float64
+	// MaxWriteRate (writes per million instructions) rejects objects whose
+	// high ratio still carries a heavy absolute write stream — the §II
+	// corner case that the reference-rate metric exists to catch.
+	MaxWriteRate float64
+	// MaxReferenceRate additionally rejects performance-critical objects
+	// for category-1 devices, whose reads are slow too.  Zero disables the
+	// check.  Sequentially-accessed objects are exempt: their reads stream
+	// through the row buffer, so the long array-access latency is paid
+	// once per row rather than once per reference.
+	MaxReferenceRate float64
+	// VarianceThreshold controls the migratable classification: an object
+	// whose per-iteration read/write ratio spans more than this factor
+	// between its minimum and maximum nonzero values is flagged for
+	// dynamic placement rather than static NVRAM residency.
+	VarianceThreshold float64
+}
+
+// DefaultPolicy returns the calibrated policy for a device category.
+func DefaultPolicy(cat Category) Policy {
+	switch cat {
+	case Category1:
+		return Policy{
+			Category:          Category1,
+			MinReadWriteRatio: 50,
+			MaxWriteRate:      50,
+			MaxReferenceRate:  20000,
+			VarianceThreshold: 4,
+		}
+	default:
+		return Policy{
+			Category:          Category2,
+			MinReadWriteRatio: 10,
+			MaxWriteRate:      200,
+			VarianceThreshold: 4,
+		}
+	}
+}
+
+// Advice is the placement decision for one object.
+type Advice struct {
+	Object  *memtrace.Object
+	Metrics Metrics
+	Target  Target
+	// Reason is a short human-readable justification.
+	Reason string
+}
+
+// Classify places one object under the policy.
+func (p Policy) Classify(o *memtrace.Object) Advice {
+	m := MetricsOf(o)
+	adv := Advice{Object: o, Metrics: m}
+	switch {
+	case m.Untouched:
+		adv.Target = TargetNVRAM
+		adv.Reason = "untouched during the main loop: pure standby data"
+	case m.ReadOnly:
+		adv.Target = TargetNVRAM
+		adv.Reason = "read-only during the main loop"
+	case p.varies(o):
+		adv.Target = TargetMigratable
+		adv.Reason = "read/write ratio varies across timesteps: candidate for dynamic placement"
+	case m.ReadWriteRatio >= p.MinReadWriteRatio &&
+		m.WriteRate <= p.MaxWriteRate &&
+		(p.MaxReferenceRate == 0 ||
+			m.ReferenceRate <= p.MaxReferenceRate ||
+			o.AccessPattern() == memtrace.PatternSequential):
+		adv.Target = TargetNVRAM
+		adv.Reason = fmt.Sprintf("read/write ratio %.1f with write rate %.1f/Minstr within budget",
+			m.ReadWriteRatio, m.WriteRate)
+	default:
+		adv.Target = TargetDRAM
+		adv.Reason = "write-intensive or performance-critical: keep in DRAM"
+	}
+	return adv
+}
+
+// varies reports whether the object's per-iteration read/write ratio spans
+// more than the variance threshold across the main loop.
+func (p Policy) varies(o *memtrace.Object) bool {
+	if p.VarianceThreshold <= 0 {
+		return false
+	}
+	minR, maxR := 0.0, 0.0
+	seen := false
+	for i := 1; i < o.Iterations(); i++ {
+		s := o.Iter(i)
+		if s.Refs() == 0 {
+			continue
+		}
+		r := o.IterReadWriteRatio(i)
+		if !seen {
+			minR, maxR = r, r
+			seen = true
+			continue
+		}
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if !seen {
+		return false
+	}
+	if minR == 0 {
+		// A pure-write iteration against any read-dominated iteration is
+		// the extreme variance case (e.g. a checkpoint buffer rewritten in
+		// some timesteps and only read in others).
+		return maxR > p.VarianceThreshold
+	}
+	return maxR/minR > p.VarianceThreshold
+}
+
+// PlacementSummary aggregates the advisor's output over a whole run.
+type PlacementSummary struct {
+	Policy Policy
+	// NVRAMBytes, MigratableBytes and DRAMBytes partition the observed
+	// global+heap footprint.
+	NVRAMBytes, MigratableBytes, DRAMBytes uint64
+	TotalBytes                             uint64
+	// NVRAMShare is the NVRAM-suitable fraction of the working set — the
+	// abstract's "31% and 27% of the memory working sets are suitable for
+	// NVRAM" headline.
+	NVRAMShare float64
+	Advices    []Advice
+}
+
+// Plan classifies every global and heap object a tracer observed (stack
+// placement is a separate dimension: the paper treats stack data in §VII-A
+// and Figure 2 but places whole objects only for heap/global data).
+func Plan(tr *memtrace.Tracer, p Policy) PlacementSummary {
+	sum := PlacementSummary{Policy: p}
+	seen := map[memtrace.ObjectID]struct{}{}
+	for _, o := range tr.Objects() {
+		if o.Segment != trace.SegGlobal && o.Segment != trace.SegHeap {
+			continue
+		}
+		if _, dup := seen[o.ID]; dup {
+			continue
+		}
+		seen[o.ID] = struct{}{}
+		adv := p.Classify(o)
+		sum.Advices = append(sum.Advices, adv)
+		sum.TotalBytes += o.Size
+		switch adv.Target {
+		case TargetNVRAM:
+			sum.NVRAMBytes += o.Size
+		case TargetMigratable:
+			sum.MigratableBytes += o.Size
+		default:
+			sum.DRAMBytes += o.Size
+		}
+	}
+	if sum.TotalBytes > 0 {
+		sum.NVRAMShare = float64(sum.NVRAMBytes) / float64(sum.TotalBytes)
+	}
+	sort.Slice(sum.Advices, func(i, j int) bool {
+		return sum.Advices[i].Object.Size > sum.Advices[j].Object.Size
+	})
+	return sum
+}
+
+// SavingEstimate ties a placement plan to the §IV power model: moving the
+// NVRAM-suitable share of the footprint onto NVRAM removes that share of
+// the DRAM-only background power (cell standby + refresh), since the
+// paper's static-power argument is that NVRAM cells neither leak nor
+// refresh while the peripheral circuitry stays the same.
+type SavingEstimate struct {
+	// NVRAMShare is the working-set share placed in NVRAM.
+	NVRAMShare float64
+	// BackgroundSavingMW is the standing power removed, assuming background
+	// power scales with the capacity moved.
+	BackgroundSavingMW float64
+	// TotalSavingFraction is the saving relative to the all-DRAM background
+	// power.
+	TotalSavingFraction float64
+}
+
+// EstimateSaving computes the static-power consequence of a placement plan
+// under the given device profiles.
+func EstimateSaving(plan PlacementSummary, dram, nvram dramsim.DeviceProfile) SavingEstimate {
+	est := SavingEstimate{NVRAMShare: plan.NVRAMShare}
+	dramOnly := dram.CellStandbyMW + dram.RefreshMW
+	nvramExtra := nvram.CellStandbyMW + nvram.RefreshMW // zero for real NVRAM
+	est.BackgroundSavingMW = plan.NVRAMShare * (dramOnly - nvramExtra)
+	if total := dram.BackgroundMW(); total > 0 {
+		est.TotalSavingFraction = est.BackgroundSavingMW / total
+	}
+	return est
+}
+
+// EnduranceEstimate models device wear for one object placed in NVRAM.
+type EnduranceEstimate struct {
+	ObjectName string
+	// WritesPerBytePerStep is the observed mean write density per timestep.
+	WritesPerBytePerStep float64
+	// LifetimeSteps is how many timesteps the device survives at that
+	// density given its per-cell endurance (with ideal wear-levelling
+	// across the object).
+	LifetimeSteps float64
+}
+
+// Endurance estimates object lifetime on a device with the given per-cell
+// write endurance over the observed main loop.
+func Endurance(o *memtrace.Object, prof dramsim.DeviceProfile, iterations int) EnduranceEstimate {
+	est := EnduranceEstimate{ObjectName: o.Name}
+	if iterations <= 0 || o.Size == 0 {
+		return est
+	}
+	s := o.LoopStats()
+	// One recorded write touches 8 bytes on average (float64 elements).
+	bytesWritten := float64(s.Writes) * 8
+	est.WritesPerBytePerStep = bytesWritten / float64(o.Size) / float64(iterations)
+	if est.WritesPerBytePerStep > 0 {
+		est.LifetimeSteps = prof.WriteEndurance / est.WritesPerBytePerStep
+	} else {
+		est.LifetimeSteps = prof.WriteEndurance // never written: bounded by endurance itself
+	}
+	return est
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+)
+
+// buildScenario constructs a tracer with a controlled object population:
+//   - "readonly": written in setup, read every iteration;
+//   - "hot_write": written heavily every iteration;
+//   - "high_ratio": many reads per write, modest write rate;
+//   - "untouched": allocated, never referenced in the loop;
+//   - "varying": read-dominated in odd iterations, write-dominated in even.
+func buildScenario(t *testing.T, iters int) *memtrace.Tracer {
+	t.Helper()
+	tr := memtrace.New(memtrace.Config{})
+	ro, _ := tr.GlobalF64("readonly", 1024)
+	hw, _ := tr.GlobalF64("hot_write", 2048)
+	hr, _ := tr.HeapF64("high_ratio", "x.go:1", 512)
+	tr.Global("untouched", 4096*8)
+	vy, _ := tr.GlobalF64("varying", 256)
+	ro.Fill(1)
+
+	for it := 1; it <= iters; it++ {
+		tr.BeginIteration()
+		for i := 0; i < ro.Len(); i++ {
+			_ = ro.Load(i)
+		}
+		for i := 0; i < hw.Len(); i++ {
+			hw.Store(i, float64(i))
+		}
+		for r := 0; r < 60; r++ {
+			for i := 0; i < hr.Len(); i += 8 {
+				_ = hr.Load(i)
+			}
+		}
+		hr.Store(0, 1)
+		if it%2 == 1 {
+			for i := 0; i < vy.Len(); i++ {
+				_ = vy.Load(i)
+			}
+			vy.Store(0, 1)
+		} else {
+			for i := 0; i < vy.Len(); i++ {
+				vy.Store(i, 1)
+			}
+		}
+		tr.Compute(10000)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func objByName(t *testing.T, tr *memtrace.Tracer, name string) *memtrace.Object {
+	t.Helper()
+	for _, o := range tr.Objects() {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("object %q missing", name)
+	return nil
+}
+
+func TestCategoryString(t *testing.T) {
+	for _, c := range []Category{Category1, Category2, Category3} {
+		if c.String() == "" || !strings.Contains(c.String(), "category") {
+			t.Errorf("category %d string = %q", c, c)
+		}
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if TargetDRAM.String() != "DRAM" || TargetNVRAM.String() != "NVRAM" || TargetMigratable.String() != "migratable" {
+		t.Fatal("target strings wrong")
+	}
+}
+
+func TestMetricsOf(t *testing.T) {
+	tr := buildScenario(t, 4)
+	ro := MetricsOf(objByName(t, tr, "readonly"))
+	if !ro.ReadOnly || ro.Untouched {
+		t.Errorf("readonly metrics = %+v", ro)
+	}
+	un := MetricsOf(objByName(t, tr, "untouched"))
+	if !un.Untouched {
+		t.Errorf("untouched metrics = %+v", un)
+	}
+	hw := MetricsOf(objByName(t, tr, "hot_write"))
+	if hw.ReadWriteRatio != 0 || hw.WriteRate <= 0 {
+		t.Errorf("hot_write metrics = %+v", hw)
+	}
+	hr := MetricsOf(objByName(t, tr, "high_ratio"))
+	if hr.ReadWriteRatio < 50 {
+		t.Errorf("high_ratio ratio = %v, want >= 50", hr.ReadWriteRatio)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	tr := buildScenario(t, 4)
+	p := DefaultPolicy(Category2)
+	cases := map[string]Target{
+		"readonly":   TargetNVRAM,
+		"untouched":  TargetNVRAM,
+		"hot_write":  TargetDRAM,
+		"high_ratio": TargetNVRAM,
+		"varying":    TargetMigratable,
+	}
+	for name, want := range cases {
+		adv := p.Classify(objByName(t, tr, name))
+		if adv.Target != want {
+			t.Errorf("%s -> %v (%s), want %v", name, adv.Target, adv.Reason, want)
+		}
+		if adv.Reason == "" {
+			t.Errorf("%s: empty reason", name)
+		}
+	}
+}
+
+func TestCategory1StricterThanCategory2(t *testing.T) {
+	tr := memtrace.New(memtrace.Config{})
+	a, _ := tr.GlobalF64("ratio20", 128)
+	tr.BeginIteration()
+	for r := 0; r < 20; r++ {
+		for i := 0; i < a.Len(); i++ {
+			_ = a.Load(i)
+		}
+	}
+	a.Store(0, 1)
+	for i := 0; i < a.Len(); i++ {
+		a.Store(i, 1) // bump writes so ratio lands near 20
+	}
+	tr.Compute(1000000)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	o := objByName(t, tr, "ratio20")
+	if DefaultPolicy(Category2).Classify(o).Target != TargetNVRAM {
+		t.Fatalf("ratio-20 object should fit category 2 (ratio=%v)", o.LoopReadWriteRatio())
+	}
+	if DefaultPolicy(Category1).Classify(o).Target == TargetNVRAM {
+		t.Fatal("ratio-20 object must not fit category 1 (threshold 50)")
+	}
+}
+
+func TestCategory1SequentialExemption(t *testing.T) {
+	// Two objects with identical (high) reference rates and ratios above
+	// the category-1 threshold; one walked sequentially, one randomly.
+	// Only the sequential one may enter category-1 NVRAM when the
+	// reference-rate guard trips.
+	tr := memtrace.New(memtrace.Config{})
+	seq, _ := tr.GlobalF64("seq", 1024)
+	rnd, _ := tr.GlobalF64("rnd", 1024)
+	tr.BeginIteration()
+	for pass := 0; pass < 60; pass++ {
+		for i := 0; i < 1024; i++ {
+			_ = seq.Load(i)
+		}
+		h := uint64(pass + 1)
+		for i := 0; i < 1024; i++ {
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			_ = rnd.Load(int(h % 1024))
+		}
+	}
+	seq.Store(0, 1)
+	rnd.Store(0, 1)
+	tr.Compute(1000) // tiny compute: reference rates far above the cap
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultPolicy(Category1)
+	seqObj, rndObj := objByName(t, tr, "seq"), objByName(t, tr, "rnd")
+	if MetricsOf(seqObj).ReferenceRate <= p.MaxReferenceRate {
+		t.Skip("workload too small to exceed the reference-rate cap")
+	}
+	if got := p.Classify(seqObj).Target; got != TargetNVRAM {
+		t.Errorf("sequential object -> %v, want NVRAM (row-buffer streaming exemption)", got)
+	}
+	if got := p.Classify(rndObj).Target; got == TargetNVRAM {
+		t.Errorf("random object must not enter category-1 NVRAM at this rate")
+	}
+}
+
+func TestPlanPartitionsFootprint(t *testing.T) {
+	tr := buildScenario(t, 4)
+	sum := Plan(tr, DefaultPolicy(Category2))
+	if sum.TotalBytes == 0 {
+		t.Fatal("empty plan")
+	}
+	if got := sum.NVRAMBytes + sum.MigratableBytes + sum.DRAMBytes; got != sum.TotalBytes {
+		t.Fatalf("partition %d != total %d", got, sum.TotalBytes)
+	}
+	if sum.NVRAMShare <= 0 || sum.NVRAMShare > 1 {
+		t.Fatalf("NVRAM share = %v", sum.NVRAMShare)
+	}
+	// untouched (32 KB) + readonly (8 KB) + high_ratio (4 KB) vs
+	// hot_write (16 KB) + varying (2 KB).
+	wantShare := float64(32768+8192+4096) / float64(32768+8192+4096+16384+2048)
+	if diff := sum.NVRAMShare - wantShare; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("NVRAM share = %v, want %v", sum.NVRAMShare, wantShare)
+	}
+	// Advices sorted by size descending.
+	for i := 1; i < len(sum.Advices); i++ {
+		if sum.Advices[i].Object.Size > sum.Advices[i-1].Object.Size {
+			t.Fatal("advices not sorted by size")
+		}
+	}
+}
+
+func TestEndurance(t *testing.T) {
+	tr := buildScenario(t, 4)
+	hw := objByName(t, tr, "hot_write")
+	est := Endurance(hw, dramsim.PCRAM(), 4)
+	if est.WritesPerBytePerStep <= 0 {
+		t.Fatalf("hot_write must show write density: %+v", est)
+	}
+	// 2048 writes x 8 bytes per step over 16384 bytes = 1 write/byte/step.
+	if est.WritesPerBytePerStep < 0.9 || est.WritesPerBytePerStep > 1.1 {
+		t.Fatalf("write density = %v, want ~1", est.WritesPerBytePerStep)
+	}
+	if est.LifetimeSteps < 4e9 || est.LifetimeSteps > 6e9 {
+		t.Fatalf("PCRAM lifetime = %v steps, want ~5e9", est.LifetimeSteps)
+	}
+	ro := Endurance(objByName(t, tr, "readonly"), dramsim.PCRAM(), 4)
+	if ro.LifetimeSteps != dramsim.PCRAM().WriteEndurance {
+		t.Fatal("unwritten object lifetime should equal raw endurance")
+	}
+	zero := Endurance(hw, dramsim.PCRAM(), 0)
+	if zero.LifetimeSteps != 0 || zero.WritesPerBytePerStep != 0 {
+		t.Fatal("zero iterations must give zero estimate")
+	}
+}
+
+func TestStackAnalysis(t *testing.T) {
+	tr := memtrace.New(memtrace.Config{StackMode: memtrace.FastStack})
+	g, _ := tr.GlobalF64("g", 64)
+	for it := 1; it <= 3; it++ {
+		tr.BeginIteration()
+		f := tr.Enter("k")
+		l := f.LocalF64(16)
+		writes := 1
+		if it == 1 {
+			writes = 4 // write-heavy first iteration
+		}
+		for w := 0; w < writes; w++ {
+			for i := 0; i < 16; i++ {
+				l.Store(i, 1)
+			}
+		}
+		for r := 0; r < 8; r++ {
+			for i := 0; i < 16; i++ {
+				_ = l.Load(i)
+			}
+		}
+		tr.Leave()
+		g.Store(0, 1)
+		tr.Compute(100)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	row := StackAnalysis(tr)
+	if row.FirstIterRatio >= row.SteadyRatio {
+		t.Fatalf("first-iter ratio %v should be below steady %v", row.FirstIterRatio, row.SteadyRatio)
+	}
+	if row.SteadyRatio != 8 {
+		t.Fatalf("steady ratio = %v, want 8", row.SteadyRatio)
+	}
+	if row.ReferencePct < 95 {
+		t.Fatalf("reference pct = %v, want ~99", row.ReferencePct)
+	}
+	if row.OverallRatio <= 0 {
+		t.Fatal("overall ratio must be positive")
+	}
+}
+
+func TestObjectRecords(t *testing.T) {
+	tr := buildScenario(t, 4)
+	recs := ObjectRecords(tr)
+	if len(recs) != 5 {
+		t.Fatalf("records = %d, want 5", len(recs))
+	}
+	byName := map[string]ObjectRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if !byName["readonly"].ReadOnly {
+		t.Error("readonly record flag missing")
+	}
+	if !byName["untouched"].Untouched {
+		t.Error("untouched record flag missing")
+	}
+	if byName["high_ratio"].Segment != trace.SegHeap {
+		t.Error("high_ratio should be heap")
+	}
+	if byName["hot_write"].TouchedIters != 4 {
+		t.Errorf("hot_write touched = %d, want 4", byName["hot_write"].TouchedIters)
+	}
+}
+
+func TestUsageCDF(t *testing.T) {
+	tr := buildScenario(t, 4)
+	pts := UsageCDF(tr)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5 (iterations 0..4)", len(pts))
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CumulativeMB < pts[i-1].CumulativeMB {
+			t.Fatal("usage CDF must be monotone")
+		}
+	}
+	// The untouched object (32 KB) is the x=0 mass.
+	if pts[0].CumulativeMB < 0.031_05 || pts[0].CumulativeMB > 0.0313 {
+		t.Fatalf("x=0 mass = %v MB, want ~0.03125 (the untouched 32 KB)", pts[0].CumulativeMB)
+	}
+	total := pts[len(pts)-1].CumulativeMB
+	want := float64(8192+16384+4096+32768+2048) / (1 << 20)
+	if diff := total - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("total = %v MB, want %v", total, want)
+	}
+}
+
+func TestUsageCDFExcludesShortTermHeap(t *testing.T) {
+	tr := memtrace.New(memtrace.Config{})
+	tr.BeginIteration()
+	_, obj := tr.HeapF64("shortterm", "a.go:1", 1024)
+	tr.Free(obj)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pts := UsageCDF(tr)
+	if pts[len(pts)-1].CumulativeMB != 0 {
+		t.Fatal("short-term heap objects must be excluded from Figure 7")
+	}
+}
+
+func TestVarianceDistribution(t *testing.T) {
+	tr := buildScenario(t, 4)
+	dist := VarianceDistribution(tr, VarianceRWRatio)
+	if len(dist) != 5 {
+		t.Fatalf("distribution rows = %d, want 5", len(dist))
+	}
+	for iter := 1; iter <= 4; iter++ {
+		sum := 0.0
+		for _, f := range dist[iter] {
+			sum += f
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("iteration %d distribution sums to %v", iter, sum)
+		}
+	}
+	// Stable objects dominate: readonly, hot_write, high_ratio all have
+	// constant per-iteration metrics -> [1,2) bin.
+	if share := StableShare(dist); share < 0.6 {
+		t.Fatalf("stable share = %v, want > 0.6", share)
+	}
+	rate := VarianceDistribution(tr, VarianceRefRate)
+	if share := StableShare(rate); share < 0.6 {
+		t.Fatalf("rate stable share = %v, want > 0.6", share)
+	}
+}
+
+func TestStackFrameRecordsAndFigure2(t *testing.T) {
+	tr := memtrace.New(memtrace.Config{StackMode: memtrace.SlowStack})
+	for it := 1; it <= 2; it++ {
+		tr.BeginIteration()
+		for r, reads := range []int{5, 20, 60} {
+			f := tr.Enter([]string{"low", "mid", "high"}[r])
+			l := f.LocalF64(32)
+			for i := 0; i < 32; i++ {
+				l.Store(i, 1)
+			}
+			for k := 0; k < reads; k++ {
+				for i := 0; i < 32; i++ {
+					_ = l.Load(i)
+				}
+			}
+			tr.Leave()
+		}
+		tr.Compute(1000)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := StackFrameRecords(tr)
+	if len(recs) != 3 {
+		t.Fatalf("frame records = %d, want 3", len(recs))
+	}
+	fig := SummarizeFrames(recs)
+	if fig.CountOver10 < 0.6 || fig.CountOver10 > 0.7 {
+		t.Fatalf("count over 10 = %v, want 2/3", fig.CountOver10)
+	}
+	if fig.CountOver50 < 0.3 || fig.CountOver50 > 0.36 {
+		t.Fatalf("count over 50 = %v, want 1/3", fig.CountOver50)
+	}
+	if fig.RefsOver50 <= 0 || fig.RefsOver50 >= fig.RefsOver10 {
+		t.Fatalf("refs shares inconsistent: %+v", fig)
+	}
+}
+
+func TestStableShareEmpty(t *testing.T) {
+	if StableShare(nil) != 0 {
+		t.Fatal("empty distribution should give 0")
+	}
+	if StableShare([][]float64{nil}) != 0 {
+		t.Fatal("no-iteration distribution should give 0")
+	}
+}
+
+func TestEstimateSaving(t *testing.T) {
+	tr := buildScenario(t, 4)
+	plan := Plan(tr, DefaultPolicy(Category2))
+	est := EstimateSaving(plan, dramsim.DDR3(), dramsim.PCRAM())
+	if est.NVRAMShare != plan.NVRAMShare {
+		t.Fatal("share not propagated")
+	}
+	if est.BackgroundSavingMW <= 0 {
+		t.Fatalf("saving = %v, want positive", est.BackgroundSavingMW)
+	}
+	want := plan.NVRAMShare * (dramsim.DDR3().CellStandbyMW + dramsim.DDR3().RefreshMW)
+	if diff := est.BackgroundSavingMW - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("saving = %v, want %v", est.BackgroundSavingMW, want)
+	}
+	if est.TotalSavingFraction <= 0 || est.TotalSavingFraction >= 1 {
+		t.Fatalf("fraction = %v", est.TotalSavingFraction)
+	}
+	// Placing everything in NVRAM cannot save more than the DRAM-only
+	// background share.
+	full := PlacementSummary{NVRAMShare: 1}
+	cap := EstimateSaving(full, dramsim.DDR3(), dramsim.PCRAM())
+	if est.TotalSavingFraction > cap.TotalSavingFraction {
+		t.Fatal("partial placement cannot beat full placement")
+	}
+}

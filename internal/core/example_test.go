@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"nvscavenger/internal/core"
+	"nvscavenger/internal/memtrace"
+)
+
+// Example classifies a small object population for a category-2 (STTRAM)
+// hybrid memory.
+func Example() {
+	tr := memtrace.New(memtrace.Config{})
+	table, _ := tr.GlobalF64("lookup_table", 1024)
+	field, _ := tr.GlobalF64("field", 1024)
+	tr.Global("restart_buffer", 64*1024)
+	table.Fill(1)
+
+	for step := 1; step <= 3; step++ {
+		tr.BeginIteration()
+		for i := 0; i < 1024; i++ {
+			field.Store(i, field.Load(i)+table.Load(i))
+		}
+		tr.Compute(20000)
+	}
+	if err := tr.Close(); err != nil {
+		panic(err)
+	}
+
+	plan := core.Plan(tr, core.DefaultPolicy(core.Category2))
+	for _, adv := range plan.Advices {
+		fmt.Printf("%-14s -> %s\n", adv.Object.Name, adv.Target)
+	}
+	fmt.Printf("NVRAM share: %.0f%%\n", plan.NVRAMShare*100)
+	// Output:
+	// restart_buffer -> NVRAM
+	// lookup_table   -> NVRAM
+	// field          -> DRAM
+	// NVRAM share: 90%
+}

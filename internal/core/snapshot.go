@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+)
+
+// Snapshot is a serializable export of one instrumented run's analysis:
+// the per-object records, segment totals and placement plan, in a stable
+// JSON shape for downstream tooling (plotting, regression tracking,
+// co-design loops).
+type Snapshot struct {
+	// App and Iterations identify the run.
+	App        string `json:"app"`
+	Iterations int    `json:"iterations"`
+
+	FootprintBytes uint64 `json:"footprint_bytes"`
+	Instructions   uint64 `json:"instructions"`
+
+	Stack    StackRow       `json:"stack"`
+	Segments []SegmentTotal `json:"segments"`
+	Objects  []ObjectJSON   `json:"objects"`
+
+	Placement *PlacementJSON `json:"placement,omitempty"`
+}
+
+// SegmentTotal is one segment's main-loop totals.
+type SegmentTotal struct {
+	Segment string `json:"segment"`
+	Reads   uint64 `json:"reads"`
+	Writes  uint64 `json:"writes"`
+}
+
+// ObjectJSON is the serializable form of an ObjectRecord.
+type ObjectJSON struct {
+	Name         string  `json:"name"`
+	Segment      string  `json:"segment"`
+	SizeBytes    uint64  `json:"size_bytes"`
+	RWRatio      float64 `json:"rw_ratio"`
+	RefRate      float64 `json:"ref_rate_per_minstr"`
+	Refs         uint64  `json:"refs"`
+	ReadOnly     bool    `json:"read_only"`
+	Untouched    bool    `json:"untouched"`
+	TouchedIters int     `json:"touched_iterations"`
+	Pattern      string  `json:"pattern"`
+	// Target is filled when a placement plan was requested.
+	Target string `json:"target,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// PlacementJSON summarizes the plan.
+type PlacementJSON struct {
+	Category        int     `json:"category"`
+	NVRAMBytes      uint64  `json:"nvram_bytes"`
+	MigratableBytes uint64  `json:"migratable_bytes"`
+	DRAMBytes       uint64  `json:"dram_bytes"`
+	NVRAMShare      float64 `json:"nvram_share"`
+}
+
+// BuildSnapshot collects the analysis of a finished run.  A nil policy
+// omits placement.
+func BuildSnapshot(appName string, tr *memtrace.Tracer, policy *Policy) Snapshot {
+	snap := Snapshot{
+		App:            appName,
+		Iterations:     tr.MainLoopIterations(),
+		FootprintBytes: tr.Footprint(),
+		Instructions:   tr.Instructions(),
+		Stack:          StackAnalysis(tr),
+	}
+	for _, seg := range []trace.Segment{trace.SegStack, trace.SegGlobal, trace.SegHeap} {
+		tot := tr.SegmentTotals(seg, 1, tr.MainLoopIterations())
+		snap.Segments = append(snap.Segments, SegmentTotal{
+			Segment: seg.String(), Reads: tot.Reads, Writes: tot.Writes,
+		})
+	}
+
+	var advice map[string]Advice
+	if policy != nil {
+		plan := Plan(tr, *policy)
+		snap.Placement = &PlacementJSON{
+			Category:        int(policy.Category),
+			NVRAMBytes:      plan.NVRAMBytes,
+			MigratableBytes: plan.MigratableBytes,
+			DRAMBytes:       plan.DRAMBytes,
+			NVRAMShare:      plan.NVRAMShare,
+		}
+		advice = make(map[string]Advice, len(plan.Advices))
+		for _, adv := range plan.Advices {
+			advice[fmt.Sprintf("%d", adv.Object.ID)] = adv
+		}
+	}
+
+	for _, rec := range ObjectRecords(tr) {
+		oj := ObjectJSON{
+			Name:         rec.Name,
+			Segment:      rec.Segment.String(),
+			SizeBytes:    rec.SizeBytes,
+			RWRatio:      rec.RWRatio,
+			RefRate:      rec.RefRate,
+			Refs:         rec.Refs,
+			ReadOnly:     rec.ReadOnly,
+			Untouched:    rec.Untouched,
+			TouchedIters: rec.TouchedIters,
+			Pattern:      rec.Pattern.String(),
+		}
+		snap.Objects = append(snap.Objects, oj)
+	}
+	// Join placement decisions by name (names are unique per run for
+	// globals; heap signatures may repeat a name, in which case the first
+	// decision stands).
+	if advice != nil {
+		byName := map[string]Advice{}
+		for _, adv := range advice {
+			if _, dup := byName[adv.Object.Name]; !dup {
+				byName[adv.Object.Name] = adv
+			}
+		}
+		for i := range snap.Objects {
+			if adv, ok := byName[snap.Objects[i].Name]; ok {
+				snap.Objects[i].Target = adv.Target.String()
+				snap.Objects[i].Reason = adv.Reason
+			}
+		}
+	}
+	return snap
+}
+
+// WriteJSON encodes the snapshot with stable indentation.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot decodes a snapshot previously written with WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return s, nil
+}

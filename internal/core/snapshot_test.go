@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tr := buildScenario(t, 4)
+	policy := DefaultPolicy(Category2)
+	snap := BuildSnapshot("scenario", tr, &policy)
+
+	if snap.App != "scenario" || snap.Iterations != 4 {
+		t.Fatalf("identity = %s/%d", snap.App, snap.Iterations)
+	}
+	if snap.FootprintBytes == 0 || snap.Instructions == 0 {
+		t.Fatal("totals missing")
+	}
+	if len(snap.Segments) != 3 {
+		t.Fatalf("segments = %d", len(snap.Segments))
+	}
+	if len(snap.Objects) != 5 {
+		t.Fatalf("objects = %d", len(snap.Objects))
+	}
+	if snap.Placement == nil || snap.Placement.NVRAMShare <= 0 {
+		t.Fatal("placement missing")
+	}
+	var sawTarget bool
+	for _, o := range snap.Objects {
+		if o.Target != "" {
+			sawTarget = true
+		}
+		if o.Pattern == "" {
+			t.Fatalf("%s: pattern missing", o.Name)
+		}
+	}
+	if !sawTarget {
+		t.Fatal("no object carries a placement target")
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rw_ratio"`) {
+		t.Fatal("JSON keys missing")
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != snap.App || len(back.Objects) != len(snap.Objects) {
+		t.Fatal("round trip lost data")
+	}
+	if back.Placement.NVRAMShare != snap.Placement.NVRAMShare {
+		t.Fatal("placement lost in round trip")
+	}
+}
+
+func TestSnapshotWithoutPolicy(t *testing.T) {
+	tr := buildScenario(t, 2)
+	snap := BuildSnapshot("scenario", tr, nil)
+	if snap.Placement != nil {
+		t.Fatal("nil policy must omit placement")
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"placement"`) {
+		t.Fatal("placement key should be omitted")
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must error")
+	}
+}

@@ -1,0 +1,28 @@
+package cpusim_test
+
+import (
+	"fmt"
+
+	"nvscavenger/internal/cpusim"
+	"nvscavenger/internal/trace"
+)
+
+// Example runs the same reference stream at DRAM and PCRAM latencies and
+// reports the slowdown, the §V experiment in miniature.
+func Example() {
+	run := func(latencyNS float64) float64 {
+		core := cpusim.MustNew(cpusim.PaperConfig(latencyNS))
+		for i := 0; i < 20000; i++ {
+			// 30 compute instructions between strided misses.
+			core.Event(30, trace.Access{Addr: uint64(i%4096) * 4096, Size: 8, Op: trace.Read})
+		}
+		return core.Cycles()
+	}
+	dram := run(10)
+	pcram := run(100)
+	fmt.Printf("PCRAM slower than DRAM: %v\n", pcram > dram)
+	fmt.Printf("slowdown bounded by the latency ratio: %v\n", pcram/dram < 10)
+	// Output:
+	// PCRAM slower than DRAM: true
+	// slowdown bounded by the latency ratio: true
+}

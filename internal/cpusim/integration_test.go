@@ -1,0 +1,122 @@
+package cpusim
+
+import (
+	"testing"
+
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/trace"
+)
+
+// TestIntegratedTimingPower couples the core model with the power simulator
+// (§IV: "It can be integrated into full system simulators too.  When the
+// power simulator is integrated with a full system simulator that provides
+// timing information, power estimates can be accurately computed").  The
+// same workload priced at full speed must report a power upper bound; the
+// timestamped run spreads the same energy over real program time.
+func TestIntegratedTimingPower(t *testing.T) {
+	workload := func(core *Core) {
+		for i := 0; i < 20000; i++ {
+			// Compute-bound phases between strided misses: the memory
+			// system can keep pace with the request stream, so its elapsed
+			// time tracks the core's.  (The core model applies a fixed
+			// memory latency without bandwidth backpressure, so a
+			// memory-bound stream would legitimately make the memory
+			// simulator's clock outrun the core's.)
+			core.Event(200, trace.Access{Addr: uint64(i%65536) * 4096, Size: 8, Op: trace.Read})
+		}
+	}
+
+	// Full-speed trace mode: collect the transactions, replay untimed.
+	var collected []trace.Transaction
+	collectCore := MustNew(func() Config {
+		cfg := PaperConfig(10)
+		cfg.MemSink = txFunc(func(tx trace.Transaction) error {
+			collected = append(collected, tx)
+			return nil
+		})
+		return cfg
+	}())
+	workload(collectCore)
+	if len(collected) == 0 {
+		t.Fatal("workload generated no memory traffic")
+	}
+	fullSpeed := dramsim.MustNew(dramsim.PaperConfig(dramsim.DDR3()))
+	for _, tx := range collected {
+		if err := fullSpeed.Transaction(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fullRep := fullSpeed.Report()
+
+	// Integrated mode: the power simulator honours the core's timestamps.
+	timedCfg := dramsim.PaperConfig(dramsim.DDR3())
+	timedCfg.CPUFreqGHz = 2.266
+	timed := dramsim.MustNew(timedCfg)
+	timedCore := MustNew(func() Config {
+		cfg := PaperConfig(10)
+		cfg.MemSink = timed
+		return cfg
+	}())
+	workload(timedCore)
+	timedRep := timed.Report()
+
+	if timedRep.Reads != fullRep.Reads || timedRep.Writes != fullRep.Writes {
+		t.Fatalf("transaction counts diverged: %d/%d vs %d/%d",
+			timedRep.Reads, timedRep.Writes, fullRep.Reads, fullRep.Writes)
+	}
+	if timedRep.ElapsedNS <= fullRep.ElapsedNS {
+		t.Fatalf("timestamped elapsed %v must exceed full-speed %v (compute time between misses)",
+			timedRep.ElapsedNS, fullRep.ElapsedNS)
+	}
+	// Same dynamic energy over longer time: less dynamic power -> the
+	// full-speed estimate is the upper bound §IV promises.
+	if timedRep.BurstMW >= fullRep.BurstMW {
+		t.Fatalf("timed burst power %v should undercut full-speed %v",
+			timedRep.BurstMW, fullRep.BurstMW)
+	}
+	// The timestamped elapsed time must roughly match the core's own run
+	// time (the memory system finishes soon after the last miss issues).
+	coreNS := timedCore.Cycles() / 2.266
+	if timedRep.ElapsedNS < coreNS*0.5 || timedRep.ElapsedNS > coreNS*1.5 {
+		t.Fatalf("memory elapsed %v ns vs core %v ns: integration timestamps inconsistent",
+			timedRep.ElapsedNS, coreNS)
+	}
+}
+
+type txFunc func(trace.Transaction) error
+
+func (f txFunc) Transaction(t trace.Transaction) error { return f(t) }
+
+func TestNegativeCPUFreqRejected(t *testing.T) {
+	cfg := dramsim.PaperConfig(dramsim.DDR3())
+	cfg.CPUFreqGHz = -1
+	if _, err := dramsim.New(cfg); err == nil {
+		t.Fatal("negative CPU frequency must be rejected")
+	}
+}
+
+func TestMemSinkReceivesStampedTransactions(t *testing.T) {
+	var cycles []uint64
+	cfg := PaperConfig(10)
+	cfg.MemSink = txFunc(func(tx trace.Transaction) error {
+		cycles = append(cycles, tx.Cycle)
+		return nil
+	})
+	core := MustNew(cfg)
+	for i := 0; i < 2000; i++ {
+		core.Event(10, trace.Access{Addr: uint64(i) * 4096, Size: 8, Op: trace.Read})
+	}
+	if len(cycles) == 0 {
+		t.Fatal("no transactions delivered")
+	}
+	var prev uint64
+	for i, c := range cycles {
+		if c < prev {
+			t.Fatalf("timestamp %d went backwards: %d < %d", i, c, prev)
+		}
+		prev = c
+	}
+	if cycles[len(cycles)-1] == 0 {
+		t.Fatal("timestamps never advanced")
+	}
+}

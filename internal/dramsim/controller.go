@@ -1,0 +1,210 @@
+package dramsim
+
+import (
+	"fmt"
+
+	"nvscavenger/internal/trace"
+)
+
+// Scheduling selects how the controller orders pending transactions.
+type Scheduling uint8
+
+const (
+	// InOrder services transactions strictly in arrival order — the
+	// simplest trace-replay mode.
+	InOrder Scheduling = iota
+	// FRFCFS is first-ready, first-come-first-served: within a reorder
+	// window, transactions that hit an open row are serviced before older
+	// row-miss transactions, as DRAMSim2's default scheduler does.
+	FRFCFS
+)
+
+// String names the scheduling policy.
+func (s Scheduling) String() string {
+	if s == FRFCFS {
+		return "fr-fcfs"
+	}
+	return "in-order"
+}
+
+// RowPolicy selects what the controller does with a row after a column
+// access.
+type RowPolicy uint8
+
+const (
+	// OpenPage leaves the row open; a subsequent access to the same row
+	// skips activation (row-buffer hit).  DRAMSim2's default.
+	OpenPage RowPolicy = iota
+	// ClosedPage precharges immediately after every access; every access
+	// pays activation, but the precharge is off the critical path.
+	ClosedPage
+)
+
+// String names the policy.
+func (p RowPolicy) String() string {
+	if p == ClosedPage {
+		return "closed-page"
+	}
+	return "open-page"
+}
+
+// picoseconds per nanosecond; all controller time-keeping is integral ps.
+const psPerNS = 1000
+
+func ns2ps(ns float64) uint64 { return uint64(ns * psPerNS) }
+
+// bank tracks the state of one bank: the open row (if any) and the earliest
+// time the bank can accept the next command.
+type bank struct {
+	openRow int // -1 when precharged
+	freeAt  uint64
+}
+
+// controller regulates the flow of transactions to the devices: address
+// mapping, row policy and bank state updates (paper §IV, second module).
+type controller struct {
+	geom   Geometry
+	prof   DeviceProfile
+	policy RowPolicy
+	// psPerCycle, when nonzero, honours transaction timestamps: a request
+	// does not issue before Cycle * psPerCycle.
+	psPerCycle float64
+	banks      []bank
+
+	busFreeAt uint64 // data bus is shared by all ranks
+	now       uint64 // completion time of the most recent transaction
+	lastStart uint64
+
+	// event counts for the power model
+	reads      uint64
+	writes     uint64
+	activates  uint64
+	rowHits    uint64
+	rowMisses  uint64
+	outOfRange uint64
+}
+
+func newController(geom Geometry, prof DeviceProfile, policy RowPolicy) (*controller, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	banks := make([]bank, geom.TotalBanks())
+	for i := range banks {
+		banks[i].openRow = -1
+	}
+	return &controller{geom: geom, prof: prof, policy: policy, banks: banks}, nil
+}
+
+// enqueue services one transaction at full speed: it issues as early as the
+// owning bank and the shared data bus allow.  Returns the completion time.
+func (c *controller) enqueue(t trace.Transaction) uint64 {
+	addr := t.Addr % c.geom.CapacityBytes()
+	if addr != t.Addr {
+		c.outOfRange++
+	}
+	p := c.geom.Map(addr)
+	b := &c.banks[c.geom.BankIndex(p)]
+
+	var access uint64
+	if t.Write {
+		access = ns2ps(c.prof.WriteLatencyNS)
+		c.writes++
+	} else {
+		access = ns2ps(c.prof.ReadLatencyNS)
+		c.reads++
+	}
+
+	// Row policy: a hit skips activation; a miss pays precharge (if a row
+	// is open) plus activate.
+	var rowOverhead uint64
+	switch {
+	case c.policy == ClosedPage:
+		// Precharge after the previous access is already folded into the
+		// bank's freeAt (see below); each access pays a fresh activation.
+		rowOverhead = ns2ps(c.prof.TRCDNS)
+		c.activates++
+		c.rowMisses++
+	case b.openRow == p.Row:
+		c.rowHits++
+	default:
+		rowOverhead = ns2ps(c.prof.TRCDNS)
+		if b.openRow >= 0 {
+			rowOverhead += ns2ps(c.prof.TRPNS)
+		}
+		c.activates++
+		c.rowMisses++
+		b.openRow = p.Row
+	}
+
+	burst := ns2ps(c.prof.BurstNS)
+
+	// Issue as soon as the bank is ready; additionally the data burst must
+	// find the shared bus free.  In timestamped mode the request cannot
+	// issue before its arrival time.
+	start := b.freeAt
+	if c.psPerCycle > 0 {
+		if arrival := uint64(float64(t.Cycle) * c.psPerCycle); arrival > start {
+			start = arrival
+		}
+	}
+	if dataAt := start + rowOverhead + access; dataAt < c.busFreeAt {
+		start += c.busFreeAt - dataAt
+	}
+	if start < c.lastStart {
+		// The command bus serializes issue order in a trace-driven run.
+		start = c.lastStart
+	}
+	c.lastStart = start
+
+	done := start + rowOverhead + access + burst
+	c.busFreeAt = done
+	b.freeAt = done
+	if c.policy == ClosedPage {
+		b.freeAt += ns2ps(c.prof.TRPNS) // auto-precharge off the critical path
+		b.openRow = -1
+	}
+	if done > c.now {
+		c.now = done
+	}
+	return done
+}
+
+// isRowHit reports whether a transaction would hit the currently open row
+// of its bank (the first-ready test of FR-FCFS).
+func (c *controller) isRowHit(t trace.Transaction) bool {
+	if c.policy == ClosedPage {
+		return false
+	}
+	addr := t.Addr % c.geom.CapacityBytes()
+	p := c.geom.Map(addr)
+	return c.banks[c.geom.BankIndex(p)].openRow == p.Row
+}
+
+// elapsedPS returns the total simulated time.
+func (c *controller) elapsedPS() uint64 { return c.now }
+
+// stats summarizes controller activity.
+type controllerStats struct {
+	Reads, Writes        uint64
+	Activates            uint64
+	RowHits, RowMisses   uint64
+	ElapsedPS            uint64
+	OutOfRangeWrapAround uint64
+}
+
+func (c *controller) snapshot() controllerStats {
+	return controllerStats{
+		Reads: c.reads, Writes: c.writes,
+		Activates: c.activates,
+		RowHits:   c.rowHits, RowMisses: c.rowMisses,
+		ElapsedPS:            c.elapsedPS(),
+		OutOfRangeWrapAround: c.outOfRange,
+	}
+}
+
+func (c *controller) String() string {
+	return fmt.Sprintf("controller{%s, %s, banks=%d}", c.prof.Name, c.policy, len(c.banks))
+}

@@ -1,0 +1,500 @@
+package dramsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvscavenger/internal/trace"
+)
+
+func TestProfilesMatchTableIV(t *testing.T) {
+	want := map[string][2]float64{
+		"DDR3":   {10, 10},
+		"PCRAM":  {20, 100},
+		"STTRAM": {10, 20},
+		"MRAM":   {12, 12},
+	}
+	for _, p := range Profiles() {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Fatalf("unexpected profile %q", p.Name)
+		}
+		if p.ReadLatencyNS != w[0] || p.WriteLatencyNS != w[1] {
+			t.Errorf("%s latencies = %v/%v, want %v/%v",
+				p.Name, p.ReadLatencyNS, p.WriteLatencyNS, w[0], w[1])
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestNVRAMHasNoRefreshOrStandby(t *testing.T) {
+	for _, p := range []DeviceProfile{PCRAM(), STTRAM(), MRAM()} {
+		if p.RefreshMW != 0 {
+			t.Errorf("%s refresh power = %v, want 0", p.Name, p.RefreshMW)
+		}
+		if p.CellStandbyMW != 0 {
+			t.Errorf("%s cell standby = %v, want 0", p.Name, p.CellStandbyMW)
+		}
+		if p.PeripheralMW != DDR3().PeripheralMW {
+			t.Errorf("%s peripheral power differs from DRAM: the paper assumes identical circuitry", p.Name)
+		}
+	}
+	if DDR3().RefreshMW == 0 || DDR3().CellStandbyMW == 0 {
+		t.Error("DRAM must pay refresh and cell standby power")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	p := DDR3()
+	p.ReadLatencyNS = 0
+	if p.Validate() == nil {
+		t.Error("zero read latency must fail validation")
+	}
+	p = DDR3()
+	p.VDD = -1
+	if p.Validate() == nil {
+		t.Error("negative VDD must fail validation")
+	}
+	p = DDR3()
+	p.IWriteMA = -5
+	if p.Validate() == nil {
+		t.Error("negative current must fail validation")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	g := PaperGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalBanks() != 256 {
+		t.Errorf("total banks = %d, want 256 (16 ranks x 16 banks)", g.TotalBanks())
+	}
+	if got := g.CapacityBytes(); got != 16*16*1024*1024*64 {
+		t.Errorf("capacity = %d", got)
+	}
+	bad := g
+	bad.Rows = 1000
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two rows must fail")
+	}
+	bad = g
+	bad.Ranks = 0
+	if bad.Validate() == nil {
+		t.Error("zero ranks must fail")
+	}
+}
+
+func TestAddressMappingRoundTrip(t *testing.T) {
+	g := PaperGeometry()
+	seen := map[Place]bool{}
+	for i := 0; i < 4096; i++ {
+		addr := uint64(i) * 64
+		p := g.Map(addr)
+		if p.Rank >= g.Ranks || p.Bank >= g.BanksPerRnk || p.Row >= g.Rows || p.Col >= g.Cols {
+			t.Fatalf("mapped out of range: %+v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate mapping for %#x: %+v", addr, p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestConsecutiveLinesShareRow(t *testing.T) {
+	g := PaperGeometry()
+	p0 := g.Map(0)
+	p1 := g.Map(64)
+	if p0.Row != p1.Row || p0.Bank != p1.Bank || p0.Rank != p1.Rank {
+		t.Fatal("consecutive lines must fall in the same open row (column-fastest ordering)")
+	}
+	if p1.Col != p0.Col+1 {
+		t.Fatalf("columns not consecutive: %d then %d", p0.Col, p1.Col)
+	}
+}
+
+func TestRowBufferHitsSequentialStream(t *testing.T) {
+	m := MustNew(PaperConfig(DDR3()))
+	for i := 0; i < 1024; i++ {
+		if err := m.Transaction(trace.Transaction{Addr: uint64(i) * 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := m.Report()
+	if rep.RowHitRatio() < 0.99 {
+		t.Fatalf("sequential stream row hit ratio = %v, want ~1 (open page)", rep.RowHitRatio())
+	}
+	if rep.Activates != 1 {
+		t.Fatalf("activates = %d, want 1", rep.Activates)
+	}
+}
+
+func TestClosedPageAlwaysActivates(t *testing.T) {
+	cfg := PaperConfig(DDR3())
+	cfg.Policy = ClosedPage
+	m := MustNew(cfg)
+	for i := 0; i < 100; i++ {
+		if err := m.Transaction(trace.Transaction{Addr: uint64(i) * 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := m.Report()
+	if rep.Activates != 100 {
+		t.Fatalf("closed page activates = %d, want 100", rep.Activates)
+	}
+	if rep.RowHits != 0 {
+		t.Fatalf("closed page row hits = %d, want 0", rep.RowHits)
+	}
+}
+
+func TestRowPolicyString(t *testing.T) {
+	if OpenPage.String() != "open-page" || ClosedPage.String() != "closed-page" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestSlowerDeviceTakesLonger(t *testing.T) {
+	txs := make([]trace.Transaction, 2000)
+	rng := rand.New(rand.NewSource(42))
+	for i := range txs {
+		txs[i] = trace.Transaction{Addr: uint64(rng.Intn(1 << 22)), Write: i%4 == 0}
+	}
+	reps, err := Compare(PaperGeometry(), OpenPage, []DeviceProfile{DDR3(), PCRAM()}, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[1].ElapsedNS <= reps[0].ElapsedNS {
+		t.Fatalf("PCRAM elapsed %v <= DDR3 %v: long write latency must slow the run",
+			reps[1].ElapsedNS, reps[0].ElapsedNS)
+	}
+}
+
+// appLikeTrace mimics a cache-filtered scientific trace: mostly sequential
+// streams over a few arrays (high row-buffer locality) with a slice of
+// irregular traffic, read:write roughly 70:30.
+func appLikeTrace(n int, writeFrac float64, seed int64) []trace.Transaction {
+	rng := rand.New(rand.NewSource(seed))
+	txs := make([]trace.Transaction, 0, n)
+	cursor := uint64(0)
+	for len(txs) < n {
+		if rng.Float64() < 0.85 {
+			// sequential run
+			runLen := rng.Intn(64) + 8
+			for j := 0; j < runLen && len(txs) < n; j++ {
+				cursor += 64
+				txs = append(txs, trace.Transaction{Addr: cursor % (1 << 31), Write: rng.Float64() < writeFrac})
+			}
+		} else {
+			txs = append(txs, trace.Transaction{Addr: uint64(rng.Int63n(1 << 31)), Write: rng.Float64() < writeFrac})
+			cursor = uint64(rng.Int63n(1 << 31))
+		}
+	}
+	return txs
+}
+
+// TestTableVIShape is the calibration test for the Table VI reproduction:
+// every NVRAM saves at least 27% versus DDR3, and the loading effect orders
+// PCRAM <= STTRAM <= MRAM.
+func TestTableVIShape(t *testing.T) {
+	txs := appLikeTrace(30000, 0.3, 7)
+	reps, err := Compare(PaperGeometry(), OpenPage, Profiles(), txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := Normalize(reps)
+	if norm[0] != 1 {
+		t.Fatalf("DDR3 normalization = %v, want 1", norm[0])
+	}
+	names := []string{"DDR3", "PCRAM", "STTRAM", "MRAM"}
+	for i := 1; i < 4; i++ {
+		if norm[i] > 0.73 {
+			t.Errorf("%s normalized power = %.3f, want <= 0.73 (>= 27%% saving)", names[i], norm[i])
+		}
+		if norm[i] < 0.60 {
+			t.Errorf("%s normalized power = %.3f, implausibly low (< 0.60)", names[i], norm[i])
+		}
+	}
+	if !(norm[1] <= norm[2]+1e-9 && norm[2] <= norm[3]+1e-9) {
+		t.Errorf("loading-effect ordering violated: PCRAM %.4f, STTRAM %.4f, MRAM %.4f",
+			norm[1], norm[2], norm[3])
+	}
+}
+
+func TestReportComponentsConsistent(t *testing.T) {
+	m := MustNew(PaperConfig(DDR3()))
+	for _, tx := range appLikeTrace(5000, 0.25, 3) {
+		if err := m.Transaction(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := m.Report()
+	sum := rep.BurstMW + rep.ActPreMW + rep.BackgroundMW + rep.RefreshMW
+	if diff := rep.TotalMW - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("TotalMW %v != component sum %v", rep.TotalMW, sum)
+	}
+	if rep.Reads+rep.Writes != 5000 {
+		t.Fatalf("reads+writes = %d, want 5000", rep.Reads+rep.Writes)
+	}
+	if rep.ElapsedNS <= 0 || rep.BurstEnergyPJ <= 0 {
+		t.Fatal("elapsed time and burst energy must be positive")
+	}
+}
+
+func TestBandwidthAndUtilization(t *testing.T) {
+	m := MustNew(PaperConfig(DDR3()))
+	for i := 0; i < 10000; i++ {
+		if err := m.Transaction(trace.Transaction{Addr: uint64(i) * 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := m.Report()
+	if rep.BandwidthGBs <= 0 {
+		t.Fatal("bandwidth must be positive")
+	}
+	if rep.BusUtilization <= 0 || rep.BusUtilization > 1.0000001 {
+		t.Fatalf("bus utilization = %v, want (0,1]", rep.BusUtilization)
+	}
+	// The theoretical peak for 64B per 6ns is ~10.67 GB/s; a row-hit
+	// stream on one bank is bank-limited below that.
+	if rep.BandwidthGBs > 64.0/6.0+1e-9 {
+		t.Fatalf("bandwidth %v exceeds the bus peak", rep.BandwidthGBs)
+	}
+}
+
+func TestLoadingEffectVisibleInBandwidth(t *testing.T) {
+	txs := make([]trace.Transaction, 4000)
+	for i := range txs {
+		txs[i] = trace.Transaction{Addr: uint64(i) * 64, Write: i%3 == 0}
+	}
+	reps, err := Compare(PaperGeometry(), OpenPage, []DeviceProfile{DDR3(), PCRAM()}, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[1].BandwidthGBs >= reps[0].BandwidthGBs {
+		t.Fatalf("PCRAM bandwidth %v should trail DDR3 %v (the loading effect)",
+			reps[1].BandwidthGBs, reps[0].BandwidthGBs)
+	}
+}
+
+func TestTransactionAfterReportRejected(t *testing.T) {
+	m := MustNew(PaperConfig(DDR3()))
+	_ = m.Report()
+	if err := m.Transaction(trace.Transaction{}); err == nil {
+		t.Fatal("transactions after Report must be rejected")
+	}
+}
+
+func TestReplayTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewTransactionWriter(&buf)
+	for i := 0; i < 100; i++ {
+		if err := w.WriteTransaction(trace.Transaction{Addr: uint64(i) * 64, Write: i%3 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(PaperConfig(PCRAM()))
+	n, err := m.ReplayTrace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("replayed %d transactions, want 100", n)
+	}
+	rep := m.Report()
+	if rep.Reads+rep.Writes != 100 {
+		t.Fatalf("report shows %d transactions", rep.Reads+rep.Writes)
+	}
+}
+
+func TestReplayRejectsAccessTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewAccessWriter(&buf)
+	if err := w.WriteAccess(trace.Access{Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(PaperConfig(DDR3()))
+	if _, err := m.ReplayTrace(r); err == nil {
+		t.Fatal("access-kind trace must be rejected")
+	}
+}
+
+func TestNormalizeEdgeCases(t *testing.T) {
+	if got := Normalize(nil); len(got) != 0 {
+		t.Fatal("empty normalize should return empty")
+	}
+	got := Normalize([]PowerReport{{TotalMW: 0}, {TotalMW: 5}})
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatal("zero base should yield zeros, not NaN")
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := New(Config{Geometry: Geometry{}, Profile: DDR3()}); err == nil {
+		t.Fatal("bad geometry must be rejected")
+	}
+	p := DDR3()
+	p.BurstNS = 0
+	if _, err := New(Config{Geometry: PaperGeometry(), Profile: p}); err == nil {
+		t.Fatal("bad profile must be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic on bad config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+// Property: completion times are monotone non-decreasing in issue order.
+func TestQuickCompletionMonotone(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctl, err := newController(PaperGeometry(), PCRAM(), OpenPage)
+		if err != nil {
+			return false
+		}
+		var prev uint64
+		for i := 0; i < int(n%500)+1; i++ {
+			done := ctl.enqueue(trace.Transaction{
+				Addr:  uint64(rng.Int63n(1 << 32)),
+				Write: rng.Intn(2) == 0,
+			})
+			if done < prev {
+				return false
+			}
+			prev = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: row hits + row misses == accesses, and activates == row misses
+// under open-page policy.
+func TestQuickRowAccounting(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctl, err := newController(PaperGeometry(), DDR3(), OpenPage)
+		if err != nil {
+			return false
+		}
+		count := uint64(n%400) + 1
+		for i := uint64(0); i < count; i++ {
+			ctl.enqueue(trace.Transaction{Addr: uint64(rng.Int63n(1 << 28))})
+		}
+		s := ctl.snapshot()
+		return s.RowHits+s.RowMisses == count && s.Activates == s.RowMisses &&
+			s.Reads == count && s.Writes == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on a bank-limited (single-row sequential) stream, a more
+// write-heavy mix cannot be faster on PCRAM, whose writes are 5x slower
+// than its reads.
+func TestQuickWriteFractionSlowsPCRAM(t *testing.T) {
+	f := func(seed int64) bool {
+		mkElapsed := func(writeFrac float64) float64 {
+			m := MustNew(PaperConfig(PCRAM()))
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 600; i++ {
+				// Walk one row of one bank: every access contends on the
+				// same bank, so device latency dominates throughput.
+				m.Transaction(trace.Transaction{
+					Addr:  uint64(i%1024) * 64,
+					Write: rng.Float64() < writeFrac,
+				})
+			}
+			return m.Report().ElapsedNS
+		}
+		return mkElapsed(0.9) >= mkElapsed(0.1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulingString(t *testing.T) {
+	if InOrder.String() != "in-order" || FRFCFS.String() != "fr-fcfs" {
+		t.Fatal("scheduling strings wrong")
+	}
+}
+
+func TestFRFCFSServicesEverything(t *testing.T) {
+	cfg := PaperConfig(DDR3())
+	cfg.Scheduling = FRFCFS
+	cfg.WindowSize = 8
+	m := MustNew(cfg)
+	for i := 0; i < 1000; i++ {
+		if err := m.Transaction(trace.Transaction{Addr: uint64(i%128) * 1 << 20, Write: i%3 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := m.Report()
+	if rep.Reads+rep.Writes != 1000 {
+		t.Fatalf("serviced %d of 1000 (window not drained)", rep.Reads+rep.Writes)
+	}
+}
+
+func TestFRFCFSImprovesRowHits(t *testing.T) {
+	// Two interleaved row streams within one bank: in-order ping-pongs
+	// between rows; FR-FCFS batches row hits within its window.
+	mkTxs := func() []trace.Transaction {
+		var txs []trace.Transaction
+		for i := 0; i < 2000; i++ {
+			row := uint64(i%2) * (1 << 26) // two distinct rows, same bank
+			txs = append(txs, trace.Transaction{Addr: row + uint64(i/2%64)*64})
+		}
+		return txs
+	}
+	run := func(s Scheduling) PowerReport {
+		cfg := PaperConfig(DDR3())
+		cfg.Scheduling = s
+		m := MustNew(cfg)
+		for _, tx := range mkTxs() {
+			if err := m.Transaction(tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Report()
+	}
+	inorder, frfcfs := run(InOrder), run(FRFCFS)
+	if frfcfs.RowHitRatio() <= inorder.RowHitRatio() {
+		t.Fatalf("FR-FCFS row hits %.3f should beat in-order %.3f",
+			frfcfs.RowHitRatio(), inorder.RowHitRatio())
+	}
+	if frfcfs.ElapsedNS >= inorder.ElapsedNS {
+		t.Fatalf("FR-FCFS elapsed %v should beat in-order %v",
+			frfcfs.ElapsedNS, inorder.ElapsedNS)
+	}
+}
+
+func TestFRFCFSNegativeWindowRejected(t *testing.T) {
+	cfg := PaperConfig(DDR3())
+	cfg.WindowSize = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative window must be rejected")
+	}
+}

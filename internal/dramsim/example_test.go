@@ -1,0 +1,29 @@
+package dramsim_test
+
+import (
+	"fmt"
+
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/trace"
+)
+
+// Example prices a short sequential transaction stream on DDR3 and PCRAM.
+func Example() {
+	var txs []trace.Transaction
+	for i := 0; i < 1000; i++ {
+		txs = append(txs, trace.Transaction{Addr: uint64(i) * 64, Write: i%4 == 0})
+	}
+	reps, err := dramsim.Compare(dramsim.PaperGeometry(), dramsim.OpenPage,
+		[]dramsim.DeviceProfile{dramsim.DDR3(), dramsim.PCRAM()}, txs)
+	if err != nil {
+		panic(err)
+	}
+	norm := dramsim.Normalize(reps)
+	fmt.Printf("%s row-hit ratio: %.2f\n", reps[0].Device, reps[0].RowHitRatio())
+	fmt.Printf("%s refresh power: %.0f mW\n", reps[1].Device, reps[1].RefreshMW)
+	fmt.Printf("PCRAM saves at least 27%%: %v\n", norm[1] <= 0.73)
+	// Output:
+	// DDR3 row-hit ratio: 1.00
+	// PCRAM refresh power: 0 mW
+	// PCRAM saves at least 27%: true
+}

@@ -1,0 +1,68 @@
+package dramsim
+
+import "fmt"
+
+// Geometry describes the organization of the simulated memory system,
+// following Table III of the paper: 2 GB across 16 ranks of 16 banks, 1024
+// rows x 1024 columns per bank, device width 4, 64-bit JEDEC data bus.
+type Geometry struct {
+	Ranks       int
+	BanksPerRnk int
+	Rows        int
+	Cols        int
+	// LineBytes is the transaction granularity (one cache line / burst).
+	LineBytes int
+}
+
+// PaperGeometry returns the Table III organization.
+func PaperGeometry() Geometry {
+	return Geometry{Ranks: 16, BanksPerRnk: 16, Rows: 1024, Cols: 1024, LineBytes: 64}
+}
+
+// Validate rejects degenerate geometries.
+func (g Geometry) Validate() error {
+	if g.Ranks <= 0 || g.BanksPerRnk <= 0 || g.Rows <= 0 || g.Cols <= 0 || g.LineBytes <= 0 {
+		return fmt.Errorf("dramsim: non-positive geometry %+v", g)
+	}
+	for _, v := range []int{g.Ranks, g.BanksPerRnk, g.Rows, g.Cols, g.LineBytes} {
+		if v&(v-1) != 0 {
+			return fmt.Errorf("dramsim: geometry fields must be powers of two: %+v", g)
+		}
+	}
+	return nil
+}
+
+// TotalBanks returns ranks x banks-per-rank.
+func (g Geometry) TotalBanks() int { return g.Ranks * g.BanksPerRnk }
+
+// CapacityBytes returns the addressable capacity.
+func (g Geometry) CapacityBytes() uint64 {
+	return uint64(g.Ranks) * uint64(g.BanksPerRnk) * uint64(g.Rows) * uint64(g.Cols) * uint64(g.LineBytes)
+}
+
+// Place identifies the physical location of one transaction.
+type Place struct {
+	Rank int
+	Bank int
+	Row  int
+	Col  int
+}
+
+// BankIndex flattens (rank, bank) into [0, TotalBanks).
+func (g Geometry) BankIndex(p Place) int { return p.Rank*g.BanksPerRnk + p.Bank }
+
+// Map decomposes a line-aligned physical address using the DRAMSim2-style
+// "scheme 7" ordering row:rank:bank:column:offset, which sends consecutive
+// cache lines to consecutive columns of the same open row — the arrangement
+// that rewards the spatial locality scientific traces exhibit.
+func (g Geometry) Map(addr uint64) Place {
+	a := addr / uint64(g.LineBytes)
+	col := int(a % uint64(g.Cols))
+	a /= uint64(g.Cols)
+	bank := int(a % uint64(g.BanksPerRnk))
+	a /= uint64(g.BanksPerRnk)
+	rank := int(a % uint64(g.Ranks))
+	a /= uint64(g.Ranks)
+	row := int(a % uint64(g.Rows))
+	return Place{Rank: rank, Bank: bank, Row: row, Col: col}
+}

@@ -1,0 +1,246 @@
+package dramsim
+
+import (
+	"fmt"
+	"io"
+
+	"nvscavenger/internal/trace"
+)
+
+// Config assembles a memory system.
+type Config struct {
+	Geometry Geometry
+	Profile  DeviceProfile
+	Policy   RowPolicy
+	// CPUFreqGHz, when positive, enables timestamped replay: each
+	// transaction's Cycle field is converted to time and the request is
+	// not issued before it.  This is §IV's integrated mode — with timing
+	// information from a full-system simulator, power estimates become
+	// accurate instead of full-speed upper bounds on loading.  Zero keeps
+	// the trace-driven full-speed mode.
+	CPUFreqGHz float64
+	// Scheduling selects in-order or FR-FCFS transaction ordering.
+	Scheduling Scheduling
+	// WindowSize is the FR-FCFS reorder window (default 32; ignored for
+	// in-order scheduling).
+	WindowSize int
+}
+
+// PaperConfig returns the Table III/IV system for one device profile.
+func PaperConfig(prof DeviceProfile) Config {
+	return Config{Geometry: PaperGeometry(), Profile: prof, Policy: OpenPage}
+}
+
+// PowerReport is the output of one simulation: the average power by
+// component, in milliwatts, plus the underlying event counts.
+type PowerReport struct {
+	Device string
+
+	// Average power components (mW).
+	BurstMW      float64 // cost of reading/writing memory cells
+	ActPreMW     float64 // activation/precharge power
+	BackgroundMW float64 // peripheral + cell standby
+	RefreshMW    float64 // zero for NVRAM
+	TotalMW      float64
+
+	// Energy totals (pJ) and bookkeeping.
+	BurstEnergyPJ  float64
+	ActPreEnergyPJ float64
+	ElapsedNS      float64
+	Reads, Writes  uint64
+	Activates      uint64
+	RowHits        uint64
+	RowMisses      uint64
+
+	// BandwidthGBs is the achieved data bandwidth (GB/s) over the run; the
+	// loading effect of Table VI is this number moving with device speed.
+	BandwidthGBs float64
+	// BusUtilization is the fraction of elapsed time the data bus spent
+	// bursting.
+	BusUtilization float64
+}
+
+// RowHitRatio returns row-buffer hits over all accesses.
+func (r PowerReport) RowHitRatio() float64 {
+	total := r.RowHits + r.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RowHits) / float64(total)
+}
+
+// MemorySystem is the top-level module: it accepts main-memory transactions
+// (from trace files or from the cache simulator) and produces a PowerReport.
+// It implements the cachesim TxSink contract via Transaction, so a cache
+// hierarchy can feed it directly.
+type MemorySystem struct {
+	cfg  Config
+	ctl  *controller
+	done bool
+	// window holds pending transactions under FR-FCFS scheduling.
+	window []trace.Transaction
+}
+
+// New builds a MemorySystem.
+func New(cfg Config) (*MemorySystem, error) {
+	if cfg.CPUFreqGHz < 0 {
+		return nil, fmt.Errorf("dramsim: negative CPU frequency %v", cfg.CPUFreqGHz)
+	}
+	ctl, err := newController(cfg.Geometry, cfg.Profile, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CPUFreqGHz > 0 {
+		ctl.psPerCycle = 1000 / cfg.CPUFreqGHz // ps per CPU cycle
+	}
+	if cfg.Scheduling == FRFCFS && cfg.WindowSize == 0 {
+		cfg.WindowSize = 32
+	}
+	if cfg.WindowSize < 0 {
+		return nil, fmt.Errorf("dramsim: negative reorder window")
+	}
+	return &MemorySystem{cfg: cfg, ctl: ctl}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *MemorySystem {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Transaction services one main-memory request.  Under FR-FCFS the request
+// enters the reorder window; a transaction is issued once the window fills,
+// preferring row hits over older row misses.
+func (m *MemorySystem) Transaction(t trace.Transaction) error {
+	if m.done {
+		return fmt.Errorf("dramsim: transaction after Report")
+	}
+	if m.cfg.Scheduling != FRFCFS {
+		m.ctl.enqueue(t)
+		return nil
+	}
+	m.window = append(m.window, t)
+	if len(m.window) >= m.cfg.WindowSize {
+		m.issueBest()
+	}
+	return nil
+}
+
+// issueBest removes and services the first-ready transaction: the oldest
+// row hit, or the oldest transaction when nothing hits an open row.
+func (m *MemorySystem) issueBest() {
+	pick := 0
+	for i, t := range m.window {
+		if m.ctl.isRowHit(t) {
+			pick = i
+			break
+		}
+	}
+	t := m.window[pick]
+	m.window = append(m.window[:pick], m.window[pick+1:]...)
+	m.ctl.enqueue(t)
+}
+
+// drainWindow issues everything still pending (end of trace).
+func (m *MemorySystem) drainWindow() {
+	for len(m.window) > 0 {
+		m.issueBest()
+	}
+}
+
+// ReplayTrace feeds every transaction from a binary trace stream.
+func (m *MemorySystem) ReplayTrace(r *trace.Reader) (int, error) {
+	if r.Kind() != trace.KindTransaction {
+		return 0, fmt.Errorf("dramsim: trace stream is not a transaction trace")
+	}
+	n := 0
+	for {
+		t, err := r.ReadTransaction()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := m.Transaction(t); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Report computes the average-power report over everything processed so
+// far.  In the absence of timing information the controller has processed
+// requests at full speed, so the report is the average memory power in the
+// sense of §IV.
+func (m *MemorySystem) Report() PowerReport {
+	m.drainWindow()
+	m.done = true
+	s := m.ctl.snapshot()
+	p := m.cfg.Profile
+
+	burstPJ := float64(s.Reads)*p.ReadEnergyPJ() + float64(s.Writes)*p.WriteEnergyPJ()
+	actPJ := float64(s.Activates) * p.ActPreEnergyPJ()
+	elapsedNS := float64(s.ElapsedPS) / psPerNS
+
+	rep := PowerReport{
+		Device:         p.Name,
+		BurstEnergyPJ:  burstPJ,
+		ActPreEnergyPJ: actPJ,
+		ElapsedNS:      elapsedNS,
+		Reads:          s.Reads,
+		Writes:         s.Writes,
+		Activates:      s.Activates,
+		RowHits:        s.RowHits,
+		RowMisses:      s.RowMisses,
+	}
+	rep.BackgroundMW = p.PeripheralMW + p.CellStandbyMW
+	rep.RefreshMW = p.RefreshMW
+	if elapsedNS > 0 {
+		// pJ / ns = mW
+		rep.BurstMW = burstPJ / elapsedNS
+		rep.ActPreMW = actPJ / elapsedNS
+		bytes := float64(s.Reads+s.Writes) * float64(m.cfg.Geometry.LineBytes)
+		rep.BandwidthGBs = bytes / elapsedNS // B/ns == GB/s
+		rep.BusUtilization = float64(s.Reads+s.Writes) * p.BurstNS / elapsedNS
+	}
+	rep.TotalMW = rep.BurstMW + rep.ActPreMW + rep.BackgroundMW + rep.RefreshMW
+	return rep
+}
+
+// Compare runs the same transaction sequence against each profile and
+// returns the power reports in profile order.  The convenience wrapper used
+// by the Table VI harness.
+func Compare(geom Geometry, policy RowPolicy, profiles []DeviceProfile, txs []trace.Transaction) ([]PowerReport, error) {
+	out := make([]PowerReport, 0, len(profiles))
+	for _, p := range profiles {
+		m, err := New(Config{Geometry: geom, Profile: p, Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range txs {
+			if err := m.Transaction(t); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, m.Report())
+	}
+	return out, nil
+}
+
+// Normalize divides each report's total power by the first report's total,
+// producing the Table VI presentation (power normalized to DDR3).
+func Normalize(reports []PowerReport) []float64 {
+	out := make([]float64, len(reports))
+	if len(reports) == 0 || reports[0].TotalMW == 0 {
+		return out
+	}
+	base := reports[0].TotalMW
+	for i, r := range reports {
+		out[i] = r.TotalMW / base
+	}
+	return out
+}

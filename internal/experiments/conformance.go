@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nvscavenger/internal/core"
+)
+
+// Check is one paper-vs-measured conformance assertion: the measured value
+// must land inside [Lo, Hi], a band around the paper's reported number wide
+// enough for a simulator substrate but tight enough to catch a broken
+// reproduction.
+type Check struct {
+	Exhibit  string
+	Name     string
+	Paper    string // the paper's reported value, for the table
+	Measured float64
+	Lo, Hi   float64
+}
+
+// Pass reports whether the measurement is inside its band.
+func (c Check) Pass() bool { return c.Measured >= c.Lo && c.Measured <= c.Hi }
+
+// Conformance evaluates every headline number of the evaluation against
+// its band and returns the checks in exhibit order.
+func (s *Session) Conformance() ([]Check, error) {
+	var out []Check
+	add := func(exhibit, name, paper string, measured, lo, hi float64) {
+		out = append(out, Check{Exhibit: exhibit, Name: name, Paper: paper,
+			Measured: measured, Lo: lo, Hi: hi})
+	}
+
+	// Table V.
+	t5, err := s.Table5()
+	if err != nil {
+		return nil, err
+	}
+	t5Bands := map[string]struct {
+		paperRatio string
+		rLo, rHi   float64
+		paperPct   string
+		pLo, pHi   float64
+	}{
+		"nek5000": {"6.33", 5.3, 7.4, "75.6%", 70, 81},
+		"cam":     {"20.39", 17, 24, "76.3%", 70, 82},
+		"gtc":     {"3.48", 2.9, 4.1, "44.3%", 38, 50},
+		"s3d":     {"6.04", 5.1, 7.0, "63.1%", 56, 70},
+	}
+	for _, r := range t5 {
+		b := t5Bands[r.App]
+		add("table5", r.App+" stack r/w ratio", b.paperRatio, r.SteadyRatio, b.rLo, b.rHi)
+		add("table5", r.App+" stack reference %", b.paperPct, r.ReferencePct, b.pLo, b.pHi)
+	}
+	var camFirst float64
+	for _, r := range t5 {
+		if r.App == "cam" {
+			camFirst = r.FirstIterRatio
+		}
+	}
+	add("table5", "cam first-iteration ratio", "11.46", camFirst, 9, 14)
+
+	// Figure 2.
+	_, fig2, err := s.Figure2()
+	if err != nil {
+		return nil, err
+	}
+	add("fig2", "stack objects with r/w > 10", "43.3%", fig2.CountOver10*100, 35, 50)
+	add("fig2", "references from r/w > 10", "68.9%", fig2.RefsOver10*100, 60, 78)
+	add("fig2", "stack objects with r/w > 50", "3.2%", fig2.CountOver50*100, 2, 7)
+	add("fig2", "references from r/w > 50", "8.9%", fig2.RefsOver50*100, 5, 13)
+
+	// Figure 7.
+	cdfs, err := s.Figure7()
+	if err != nil {
+		return nil, err
+	}
+	frac0 := func(app string) float64 {
+		pts := cdfs[app]
+		total := pts[len(pts)-1].CumulativeMB
+		if total == 0 {
+			return 0
+		}
+		return pts[0].CumulativeMB / total * 100
+	}
+	add("fig7", "nek5000 untouched in loop", "24.3%", frac0("nek5000"), 18, 30)
+	add("fig7", "cam untouched in loop", "11.5%", frac0("cam"), 8, 20)
+	add("fig7", "s3d untouched in loop", "~1.4%", frac0("s3d"), 0, 6)
+
+	// Figures 8-11: stable [1,2) share > 60%.
+	for _, app := range AppNames {
+		ratio, rate, err := s.VarianceFigure(app)
+		if err != nil {
+			return nil, err
+		}
+		add("fig8-11", app+" stable ratio share", ">60%", core.StableShare(ratio)*100, 60, 100)
+		add("fig8-11", app+" stable rate share", ">60%", core.StableShare(rate)*100, 60, 100)
+	}
+
+	// Table VI.
+	t6, err := s.Table6()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range t6 {
+		add("table6", r.App+" PCRAM normalized power", "0.686-0.688", r.Normalized[1], 0.60, 0.73)
+		add("table6", r.App+" STTRAM normalized power", "0.699-0.711", r.Normalized[2], 0.63, 0.73)
+		add("table6", r.App+" MRAM normalized power", "0.701-0.730", r.Normalized[3], 0.63, 0.73)
+	}
+
+	// Figure 12.
+	f12, err := s.Figure12()
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range f12 {
+		for _, r := range row.Results {
+			switch r.MemLatencyNS {
+			case 12:
+				add("fig12", row.App+" slowdown at 12 ns", "negligible", r.Normalized, 0.999, 1.02)
+			case 20:
+				add("fig12", row.App+" slowdown at 20 ns", "< 5%", r.Normalized, 0.999, 1.05)
+			case 100:
+				add("fig12", row.App+" slowdown at 100 ns", "up to ~25%", r.Normalized, 1.02, 1.30)
+			}
+		}
+	}
+
+	// Abstract headline.
+	plans, err := s.Placement()
+	if err != nil {
+		return nil, err
+	}
+	add("abstract", "nek5000 NVRAM-suitable working set", "31%",
+		plans["nek5000"].NVRAMShare*100, 26, 42)
+	add("abstract", "cam NVRAM-suitable working set", "27%",
+		plans["cam"].NVRAMShare*100, 22, 40)
+
+	return out, nil
+}
+
+// FormatConformance renders the check table and a pass/fail summary.
+func FormatConformance(checks []Check) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Conformance: paper-vs-measured headline checks\n")
+	fmt.Fprintf(&b, "%-8s %-38s %-14s %10s %18s %s\n",
+		"exhibit", "check", "paper", "measured", "band", "result")
+	passed := 0
+	for _, c := range checks {
+		result := "PASS"
+		if c.Pass() {
+			passed++
+		} else {
+			result = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-8s %-38s %-14s %10.3f [%7.3f,%7.3f] %s\n",
+			c.Exhibit, c.Name, c.Paper, c.Measured, c.Lo, c.Hi, result)
+	}
+	fmt.Fprintf(&b, "%d/%d checks passed\n", passed, len(checks))
+	return b.String()
+}

@@ -1,0 +1,378 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VII).  It wires the mini-applications through the
+// NV-SCAVENGER substrate, the cache hierarchy, the memory power simulator
+// and the CPU timing model, and returns the data each exhibit plots.
+//
+// A Session memoizes app runs so that the many exhibits sharing one
+// instrumented run (Tables I/V, Figures 3-11) do not re-execute it.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/cachesim"
+	"nvscavenger/internal/core"
+	"nvscavenger/internal/cpusim"
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/trace"
+
+	// Register the four mini-applications.
+	_ "nvscavenger/internal/apps/cammini"
+	_ "nvscavenger/internal/apps/gtcmini"
+	_ "nvscavenger/internal/apps/nekmini"
+	_ "nvscavenger/internal/apps/s3dmini"
+)
+
+// AppNames is the paper's application order.
+var AppNames = []string{"nek5000", "cam", "gtc", "s3d"}
+
+// Options scales the experiment suite.  The zero value is replaced by the
+// calibrated defaults (scale 1.0, 10 iterations — the paper collects data
+// for the first 10 iterations of each main loop, §VII).
+type Options struct {
+	Scale      float64
+	Iterations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 10
+	}
+	return o
+}
+
+// Run is one memoized instrumented execution.
+type Run struct {
+	App       apps.App
+	Tracer    *memtrace.Tracer
+	Hierarchy *cachesim.Hierarchy
+	// Transactions is the cache-filtered main-memory trace (fast runs only).
+	Transactions []trace.Transaction
+}
+
+// Session memoizes runs across exhibits.  A Session is not safe for
+// concurrent exhibit calls; use Warm to populate the caches in parallel
+// up front (the paper's tools run in parallel the same way, §III-D).
+type Session struct {
+	opts Options
+	mu   sync.Mutex
+	fast map[string]*Run
+	slow map[string]*Run
+}
+
+// NewSession returns a Session with the given options.
+func NewSession(opts Options) *Session {
+	return &Session{opts: opts.withDefaults(), fast: map[string]*Run{}, slow: map[string]*Run{}}
+}
+
+// Options returns the session's effective options.
+func (s *Session) Options() Options { return s.opts }
+
+type txCapture struct{ txs []trace.Transaction }
+
+func (c *txCapture) Transaction(t trace.Transaction) error {
+	c.txs = append(c.txs, t)
+	return nil
+}
+
+// Fast returns the memoized fast-stack-mode run of an app, with the cache
+// hierarchy attached and the filtered memory trace captured.
+func (s *Session) Fast(name string) (*Run, error) {
+	s.mu.Lock()
+	r, ok := s.fast[name]
+	s.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	run, err := s.runFast(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.fast[name] = run
+	s.mu.Unlock()
+	return run, nil
+}
+
+func (s *Session) runFast(name string) (*Run, error) {
+	app, err := apps.New(name, s.opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cap := &txCapture{}
+	hier := cachesim.MustNew(cachesim.PaperConfig(), cap)
+	tr := memtrace.New(memtrace.Config{StackMode: memtrace.FastStack, Sink: hier})
+	if err := apps.Run(app, tr, s.opts.Iterations); err != nil {
+		return nil, err
+	}
+	hier.Drain()
+	if err := hier.Err(); err != nil {
+		return nil, err
+	}
+	return &Run{App: app, Tracer: tr, Hierarchy: hier, Transactions: cap.txs}, nil
+}
+
+// Slow returns the memoized slow-stack-mode run (per-frame attribution).
+func (s *Session) Slow(name string) (*Run, error) {
+	s.mu.Lock()
+	r, ok := s.slow[name]
+	s.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	run, err := s.runSlow(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.slow[name] = run
+	s.mu.Unlock()
+	return run, nil
+}
+
+func (s *Session) runSlow(name string) (*Run, error) {
+	app, err := apps.New(name, s.opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	tr := memtrace.New(memtrace.Config{StackMode: memtrace.SlowStack})
+	if err := apps.Run(app, tr, s.opts.Iterations); err != nil {
+		return nil, err
+	}
+	return &Run{App: app, Tracer: tr}, nil
+}
+
+// Warm populates every memoized run the exhibits need, executing the
+// instrumented runs concurrently — the same trick the original tool uses
+// to amortize instrumentation time (§III-D: "We run the three tools in
+// parallel to collect memory access patterns").  It returns the first
+// error encountered.
+func (s *Session) Warm() error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(AppNames)+1)
+	for _, name := range AppNames {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if _, err := s.Fast(name); err != nil {
+				errCh <- fmt.Errorf("fast %s: %w", name, err)
+			}
+		}(name)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Slow("cam"); err != nil {
+			errCh <- fmt.Errorf("slow cam: %w", err)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// Table1Row is one application characteristics row (Table I).
+type Table1Row struct {
+	App         string
+	Input       string
+	Description string
+	FootprintMB float64
+}
+
+// Table1 reproduces Table I.
+func (s *Session) Table1() ([]Table1Row, error) {
+	out := make([]Table1Row, 0, len(AppNames))
+	for _, name := range AppNames {
+		run, err := s.Fast(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table1Row{
+			App:         name,
+			Input:       apps.InputOf(run.App),
+			Description: run.App.Description(),
+			FootprintMB: float64(run.Tracer.Footprint()) / (1 << 20),
+		})
+	}
+	return out, nil
+}
+
+// Table5Row is one stack-analysis row (Table V).
+type Table5Row struct {
+	App string
+	core.StackRow
+}
+
+// Table5 reproduces Table V with the fast version of the tool.
+func (s *Session) Table5() ([]Table5Row, error) {
+	out := make([]Table5Row, 0, len(AppNames))
+	for _, name := range AppNames {
+		run, err := s.Fast(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table5Row{App: name, StackRow: core.StackAnalysis(run.Tracer)})
+	}
+	return out, nil
+}
+
+// Figure2 reproduces the CAM per-frame stack analysis with the slow tool.
+func (s *Session) Figure2() ([]core.ObjectRecord, core.Figure2Stats, error) {
+	run, err := s.Slow("cam")
+	if err != nil {
+		return nil, core.Figure2Stats{}, err
+	}
+	recs := core.StackFrameRecords(run.Tracer)
+	return recs, core.SummarizeFrames(recs), nil
+}
+
+// ObjectFigure reproduces one of Figures 3-6: the per-object read/write
+// ratios, reference rates and sizes for the named app's global+heap data.
+func (s *Session) ObjectFigure(name string) ([]core.ObjectRecord, error) {
+	run, err := s.Fast(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.ObjectRecords(run.Tracer), nil
+}
+
+// Figure7 reproduces the cumulative memory-usage distributions.  The paper
+// plots Nek5000, CAM and S3D; GTC is omitted because its objects are evenly
+// touched.
+func (s *Session) Figure7() (map[string][]core.UsagePoint, error) {
+	out := map[string][]core.UsagePoint{}
+	for _, name := range []string{"nek5000", "cam", "s3d"} {
+		run, err := s.Fast(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = core.UsageCDF(run.Tracer)
+	}
+	return out, nil
+}
+
+// VarianceFigure reproduces one of Figures 8-11 for the named app: the
+// distributions of the normalized read/write ratio and reference rate.
+func (s *Session) VarianceFigure(name string) (ratio, rate [][]float64, err error) {
+	run, err := s.Fast(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.VarianceDistribution(run.Tracer, core.VarianceRWRatio),
+		core.VarianceDistribution(run.Tracer, core.VarianceRefRate), nil
+}
+
+// Table6Row is one normalized-power row (Table VI).
+type Table6Row struct {
+	App        string
+	Reports    []dramsim.PowerReport // DDR3, PCRAM, STTRAM, MRAM
+	Normalized []float64
+}
+
+// Table6 reproduces Table VI: the filtered memory trace of each app is
+// replayed through the power simulator for each device profile and the
+// average power is normalized to DDR3.
+func (s *Session) Table6() ([]Table6Row, error) {
+	out := make([]Table6Row, 0, len(AppNames))
+	for _, name := range AppNames {
+		run, err := s.Fast(name)
+		if err != nil {
+			return nil, err
+		}
+		if len(run.Transactions) == 0 {
+			return nil, fmt.Errorf("experiments: %s produced no memory transactions", name)
+		}
+		reps, err := dramsim.Compare(dramsim.PaperGeometry(), dramsim.OpenPage, dramsim.Profiles(), run.Transactions)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table6Row{App: name, Reports: reps, Normalized: dramsim.Normalize(reps)})
+	}
+	return out, nil
+}
+
+// Figure12Latencies are the Table IV performance-simulation points.
+var Figure12Latencies = []float64{10, 12, 20, 100}
+
+// Figure12Devices name the sweep points in Table IV order.
+var Figure12Devices = []string{"DRAM", "MRAM", "STTRAM", "PCRAM"}
+
+// Figure12Row holds one app's latency sweep.
+type Figure12Row struct {
+	App     string
+	Results []cpusim.SweepResult
+}
+
+// Figure12 reproduces the performance-sensitivity study.  As in §VII-E,
+// only one iteration of the main loop is simulated, and only for two
+// applications (Nek5000 and CAM).  The app is re-executed for each memory
+// latency with the timing model attached; runs are deterministic, so every
+// sweep point sees the identical reference stream.
+func (s *Session) Figure12() ([]Figure12Row, error) {
+	out := []Figure12Row{}
+	for _, name := range []string{"nek5000", "cam"} {
+		res, err := s.latencySweep(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure12Row{App: name, Results: res})
+	}
+	return out, nil
+}
+
+type perfAdapter struct {
+	sink interface {
+		Event(uint64, trace.Access)
+	}
+}
+
+func (p perfAdapter) Event(gap uint64, a trace.Access) { p.sink.Event(gap, a) }
+
+func (s *Session) latencySweep(name string) ([]cpusim.SweepResult, error) {
+	var runErr error
+	replay := func(sink interface {
+		Event(uint64, trace.Access)
+	}) {
+		app, err := apps.New(name, s.opts.Scale)
+		if err != nil {
+			runErr = err
+			return
+		}
+		tr := memtrace.New(memtrace.Config{
+			StackMode: memtrace.FastStack,
+			Perf:      perfAdapter{sink: sink},
+		})
+		if err := apps.Run(app, tr, 1); err != nil {
+			runErr = err
+		}
+	}
+	res, err := cpusim.Sweep(Figure12Devices, Figure12Latencies, replay)
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// Placement runs the §II placement analysis: the NVRAM-suitable share of
+// each app's working set under the category-2 policy (the abstract's "31%
+// and 27%" headline for Nek5000 and CAM).
+func (s *Session) Placement() (map[string]core.PlacementSummary, error) {
+	out := map[string]core.PlacementSummary{}
+	for _, name := range AppNames {
+		run, err := s.Fast(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = core.Plan(run.Tracer, core.DefaultPolicy(core.Category2))
+	}
+	return out, nil
+}

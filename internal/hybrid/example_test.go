@@ -1,0 +1,36 @@
+package hybrid_test
+
+import (
+	"fmt"
+
+	"nvscavenger/internal/hybrid"
+	"nvscavenger/internal/trace"
+)
+
+// Example drives the dynamic page-placement system with a skewed workload:
+// two hot pages earn DRAM residency, the cold majority stays in NVRAM.
+func Example() {
+	sys := hybrid.MustNew(hybrid.Config{
+		DRAMBudgetPages:   2,
+		EpochTransactions: 1000,
+	})
+	for epoch := 0; epoch < 3; epoch++ {
+		for i := 0; i < 1000; i++ {
+			pn := uint64(i % 2) // hot pages 0 and 1
+			if i%50 == 0 {
+				pn = uint64(10 + i/50) // a sprinkle of cold pages
+			}
+			if err := sys.Transaction(trace.Transaction{Addr: pn * 4096, Write: i%5 == 0}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	r := sys.Report()
+	fmt.Printf("pages: %d total, %d in DRAM\n", r.Pages, r.DRAMPages)
+	fmt.Printf("DRAM serves most traffic: %v\n", r.DRAMServiceFraction > 0.5)
+	fmt.Printf("background saving positive: %v\n", r.BackgroundSaving > 0)
+	// Output:
+	// pages: 22 total, 2 in DRAM
+	// DRAM serves most traffic: true
+	// background saving positive: true
+}

@@ -1,0 +1,367 @@
+// Package hybrid simulates a horizontal hybrid DRAM/NVRAM main memory with
+// hardware-driven dynamic page placement — the system design the paper's
+// characterization exists to inform (§II: "for a dynamic page placement
+// solution [Ramos et al.], this information is valuable because it reflects
+// how the usage of memory objects changes").
+//
+// Both memories sit side by side behind the bus (the paper argues the
+// hierarchical DRAM-cache organization fits scientific workloads poorly).
+// The memory controller monitors the popularity and write intensity of
+// pages over epochs, and at each epoch boundary migrates pages so that
+// performance-critical and frequently-written pages live in DRAM while
+// cold and read-mostly pages live in NVRAM, maximizing standby-power
+// savings at bounded performance loss.  Pages start in NVRAM ("place
+// memory pages in NVRAMs as much as possible", §II).
+//
+// The simulator consumes the cache-filtered transaction stream (it
+// implements the cachesim TxSink contract) and reports the placement
+// split, migration traffic, the average access latency against all-DRAM
+// and all-NVRAM bounds, and an analytic power estimate combining the
+// dramsim device profiles.
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+
+	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/trace"
+)
+
+// Config parametrizes the hybrid system.
+type Config struct {
+	// PageBytes is the migration granularity (default 4096).
+	PageBytes int
+	// DRAMBudgetPages caps how many pages the DRAM partition holds.
+	DRAMBudgetPages int
+	// EpochTransactions is the monitoring window length (default 100000).
+	EpochTransactions int
+	// WriteWeight is the extra score a write contributes relative to a
+	// read when ranking pages for DRAM residency; NVRAM write latency and
+	// endurance both argue for weighting writes heavily (default 4).
+	WriteWeight float64
+	// DRAM and NVRAM are the device profiles (defaults: DDR3 and PCRAM).
+	DRAM  dramsim.DeviceProfile
+	NVRAM dramsim.DeviceProfile
+	// MinScore is the minimum epoch score a page needs to be considered
+	// for DRAM at all; pages below it are treated as cold (default 2).
+	MinScore float64
+	// Hysteresis multiplies the score of pages already resident in DRAM
+	// when ranking, so that a challenger must beat the incumbent by a
+	// margin before a migration pays its copy cost.  Prevents ping-pong
+	// between equally hot pages (default 1.5).
+	Hysteresis float64
+	// MaxMigrationsPerEpoch throttles promotions per epoch boundary, as
+	// hardware-driven placement must: each migration occupies both
+	// memories for a full page copy.  Negative disables the limit;
+	// zero selects the default (64).
+	MaxMigrationsPerEpoch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageBytes == 0 {
+		c.PageBytes = 4096
+	}
+	if c.EpochTransactions == 0 {
+		c.EpochTransactions = 100000
+	}
+	if c.WriteWeight == 0 {
+		c.WriteWeight = 4
+	}
+	if c.DRAM.Name == "" {
+		c.DRAM = dramsim.DDR3()
+	}
+	if c.NVRAM.Name == "" {
+		c.NVRAM = dramsim.PCRAM()
+	}
+	if c.MinScore == 0 {
+		c.MinScore = 2
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 1.5
+	}
+	switch {
+	case c.MaxMigrationsPerEpoch == 0:
+		c.MaxMigrationsPerEpoch = 64
+	case c.MaxMigrationsPerEpoch < 0:
+		c.MaxMigrationsPerEpoch = int(^uint(0) >> 1) // unlimited
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("hybrid: page size %d not a power of two", c.PageBytes)
+	}
+	if c.DRAMBudgetPages < 0 {
+		return fmt.Errorf("hybrid: negative DRAM budget")
+	}
+	if c.EpochTransactions <= 0 {
+		return fmt.Errorf("hybrid: non-positive epoch")
+	}
+	if c.WriteWeight < 0 {
+		return fmt.Errorf("hybrid: negative write weight")
+	}
+	if c.Hysteresis < 1 {
+		return fmt.Errorf("hybrid: hysteresis %v below 1 invites ping-pong", c.Hysteresis)
+	}
+	return nil
+}
+
+// Location is where a page currently resides.
+type Location uint8
+
+const (
+	// InNVRAM is the initial location of every page.
+	InNVRAM Location = iota
+	// InDRAM marks pages promoted by the controller.
+	InDRAM
+)
+
+// String names the location.
+func (l Location) String() string {
+	if l == InDRAM {
+		return "DRAM"
+	}
+	return "NVRAM"
+}
+
+type page struct {
+	loc Location
+	// epoch counters, reset at each boundary
+	epochReads, epochWrites uint64
+	// lifetime counters
+	reads, writes uint64
+}
+
+func (p *page) score(writeWeight float64) float64 {
+	return float64(p.epochReads) + writeWeight*float64(p.epochWrites)
+}
+
+// System is the hybrid memory simulator.
+type System struct {
+	cfg       Config
+	pageShift uint
+	pages     map[uint64]*page
+
+	txInEpoch int
+	epochs    uint64
+
+	// service counters by current residency
+	dramReads, dramWrites   uint64
+	nvramReads, nvramWrites uint64
+	// migration accounting
+	promotions uint64 // NVRAM -> DRAM
+	demotions  uint64 // DRAM -> NVRAM
+}
+
+// New builds a System.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.PageBytes {
+		shift++
+	}
+	return &System{cfg: cfg, pageShift: shift, pages: map[uint64]*page{}}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Transaction services one main-memory request (cachesim TxSink contract).
+func (s *System) Transaction(t trace.Transaction) error {
+	pn := t.Addr >> s.pageShift
+	p := s.pages[pn]
+	if p == nil {
+		p = &page{loc: InNVRAM}
+		s.pages[pn] = p
+	}
+	if t.Write {
+		p.epochWrites++
+		p.writes++
+		if p.loc == InDRAM {
+			s.dramWrites++
+		} else {
+			s.nvramWrites++
+		}
+	} else {
+		p.epochReads++
+		p.reads++
+		if p.loc == InDRAM {
+			s.dramReads++
+		} else {
+			s.nvramReads++
+		}
+	}
+	s.txInEpoch++
+	if s.txInEpoch >= s.cfg.EpochTransactions {
+		s.rebalance()
+	}
+	return nil
+}
+
+// rebalance is the epoch-boundary migration pass: the controller ranks
+// pages by popularity/write intensity and fills the DRAM budget from the
+// top, exactly the hardware-driven policy of Ramos et al. that the paper
+// cites.
+func (s *System) rebalance() {
+	s.epochs++
+	s.txInEpoch = 0
+
+	type cand struct {
+		pn    uint64
+		p     *page
+		score float64
+	}
+	cands := make([]cand, 0, len(s.pages))
+	for pn, p := range s.pages {
+		sc := p.score(s.cfg.WriteWeight)
+		if p.loc == InDRAM {
+			sc *= s.cfg.Hysteresis // the incumbent's migration is sunk cost
+		}
+		if sc >= s.cfg.MinScore {
+			cands = append(cands, cand{pn, p, sc})
+		}
+		p.epochReads, p.epochWrites = 0, 0
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].pn < cands[j].pn // deterministic tie-break
+	})
+
+	wantDRAM := map[uint64]bool{}
+	for i, c := range cands {
+		if i >= s.cfg.DRAMBudgetPages {
+			break
+		}
+		wantDRAM[c.pn] = true
+	}
+	// Demote incumbents that fell out of the ranking (making room is
+	// cheap), then promote challengers top-down under the migration
+	// throttle.
+	for pn, p := range s.pages {
+		if !wantDRAM[pn] && p.loc == InDRAM {
+			p.loc = InNVRAM
+			s.demotions++
+		}
+	}
+	promoted := 0
+	for i, c := range cands {
+		if i >= s.cfg.DRAMBudgetPages {
+			break
+		}
+		if c.p.loc == InNVRAM {
+			if promoted >= s.cfg.MaxMigrationsPerEpoch {
+				break
+			}
+			c.p.loc = InDRAM
+			s.promotions++
+			promoted++
+		}
+	}
+}
+
+// Report summarizes the run.
+type Report struct {
+	Pages      int
+	DRAMPages  int
+	NVRAMPages int
+	Epochs     uint64
+	Promotions uint64
+	Demotions  uint64
+
+	// Service counts by residency at access time.
+	DRAMReads, DRAMWrites   uint64
+	NVRAMReads, NVRAMWrites uint64
+
+	// DRAMServiceFraction is the share of all transactions served by DRAM.
+	DRAMServiceFraction float64
+	// NVRAMWriteShare is the share of all writes that landed in NVRAM —
+	// the endurance-relevant outcome the placement minimizes.
+	NVRAMWriteShare float64
+
+	// AvgLatencyNS is the service-weighted device access latency, with the
+	// all-DRAM and all-NVRAM bounds for comparison.  Migration traffic is
+	// charged as one page of line reads plus line writes per migration,
+	// priced at the source/destination latency.
+	AvgLatencyNS      float64
+	AllDRAMLatencyNS  float64
+	AllNVRAMLatencyNS float64
+
+	// BackgroundMW is the standing power of the hybrid configuration,
+	// against the all-DRAM bound: the DRAM partition pays DRAM background
+	// per byte, the NVRAM partition only the peripheral share.
+	BackgroundMW        float64
+	AllDRAMBackgroundMW float64
+	// BackgroundSaving is 1 - BackgroundMW/AllDRAMBackgroundMW.
+	BackgroundSaving float64
+}
+
+// Report computes the summary.
+func (s *System) Report() Report {
+	r := Report{Pages: len(s.pages), Epochs: s.epochs,
+		Promotions: s.promotions, Demotions: s.demotions,
+		DRAMReads: s.dramReads, DRAMWrites: s.dramWrites,
+		NVRAMReads: s.nvramReads, NVRAMWrites: s.nvramWrites,
+	}
+	for _, p := range s.pages {
+		if p.loc == InDRAM {
+			r.DRAMPages++
+		} else {
+			r.NVRAMPages++
+		}
+	}
+	total := s.dramReads + s.dramWrites + s.nvramReads + s.nvramWrites
+	writes := s.dramWrites + s.nvramWrites
+	if total > 0 {
+		r.DRAMServiceFraction = float64(s.dramReads+s.dramWrites) / float64(total)
+	}
+	if writes > 0 {
+		r.NVRAMWriteShare = float64(s.nvramWrites) / float64(writes)
+	}
+
+	d, n := s.cfg.DRAM, s.cfg.NVRAM
+	linesPerPage := float64(s.cfg.PageBytes / 64)
+	migrations := float64(s.promotions + s.demotions)
+	// A promotion reads the page from NVRAM and writes it to DRAM; a
+	// demotion the reverse.  Both directions cost one read + one write per
+	// line; we price them with the slower device's side to stay an upper
+	// bound (consistent with §IV's upper-bound stance).
+	migrationNS := migrations * linesPerPage * (n.ReadLatencyNS + n.WriteLatencyNS)
+
+	latSum := float64(s.dramReads)*d.ReadLatencyNS + float64(s.dramWrites)*d.WriteLatencyNS +
+		float64(s.nvramReads)*n.ReadLatencyNS + float64(s.nvramWrites)*n.WriteLatencyNS +
+		migrationNS
+	if total > 0 {
+		r.AvgLatencyNS = latSum / float64(total)
+		r.AllDRAMLatencyNS = (float64(s.dramReads+s.nvramReads)*d.ReadLatencyNS +
+			float64(writes)*d.WriteLatencyNS) / float64(total)
+		r.AllNVRAMLatencyNS = (float64(s.dramReads+s.nvramReads)*n.ReadLatencyNS +
+			float64(writes)*n.WriteLatencyNS) / float64(total)
+	}
+
+	// Background power by capacity share: the DRAM partition pays the full
+	// DRAM background (peripheral + cell standby + refresh); the NVRAM
+	// partition pays only its peripheral share.
+	if len(s.pages) > 0 {
+		dramFrac := float64(r.DRAMPages) / float64(len(s.pages))
+		nvramFrac := 1 - dramFrac
+		r.BackgroundMW = dramFrac*d.BackgroundMW() + nvramFrac*n.BackgroundMW()
+		r.AllDRAMBackgroundMW = d.BackgroundMW()
+		if r.AllDRAMBackgroundMW > 0 {
+			r.BackgroundSaving = 1 - r.BackgroundMW/r.AllDRAMBackgroundMW
+		}
+	}
+	return r
+}

@@ -1,0 +1,176 @@
+package memtrace
+
+import "nvscavenger/internal/trace"
+
+// Typed arrays route every element access through the tracer, playing the
+// role PIN's per-instruction instrumentation plays for a native binary: the
+// tracer observes (address, size, op) for each reference while the program
+// computes on real data.
+
+// F64 is an instrumented float64 array.
+type F64 struct {
+	t    *Tracer
+	base uint64
+	data []float64
+}
+
+// Len returns the element count.
+func (a F64) Len() int { return len(a.data) }
+
+// Base returns the simulated base address.
+func (a F64) Base() uint64 { return a.base }
+
+// Load returns element i, recording an 8-byte read.
+func (a F64) Load(i int) float64 {
+	a.t.access(a.base+uint64(i)*8, 8, trace.Read)
+	return a.data[i]
+}
+
+// Store sets element i, recording an 8-byte write.
+func (a F64) Store(i int, v float64) {
+	a.t.access(a.base+uint64(i)*8, 8, trace.Write)
+	a.data[i] = v
+}
+
+// Add adds v to element i (one read plus one write, as the generated code
+// for a load-modify-store would issue).
+func (a F64) Add(i int, v float64) {
+	a.t.access(a.base+uint64(i)*8, 8, trace.Read)
+	a.t.access(a.base+uint64(i)*8, 8, trace.Write)
+	a.data[i] += v
+}
+
+// Fill stores v into every element.
+func (a F64) Fill(v float64) {
+	for i := range a.data {
+		a.Store(i, v)
+	}
+}
+
+// Slice returns a sub-array view [lo, hi); accesses through the view are
+// attributed to the parent object.
+func (a F64) Slice(lo, hi int) F64 {
+	return F64{t: a.t, base: a.base + uint64(lo)*8, data: a.data[lo:hi]}
+}
+
+// Raw exposes the backing slice WITHOUT tracing.  For test assertions and
+// result verification only; never use it inside an instrumented kernel.
+func (a F64) Raw() []float64 { return a.data }
+
+// F32 is an instrumented float32 array (4-byte accesses): many production
+// codes keep single-precision state to halve memory footprint and
+// bandwidth.
+type F32 struct {
+	t    *Tracer
+	base uint64
+	data []float32
+}
+
+// Len returns the element count.
+func (a F32) Len() int { return len(a.data) }
+
+// Base returns the simulated base address.
+func (a F32) Base() uint64 { return a.base }
+
+// Load returns element i, recording a 4-byte read.
+func (a F32) Load(i int) float32 {
+	a.t.access(a.base+uint64(i)*4, 4, trace.Read)
+	return a.data[i]
+}
+
+// Store sets element i, recording a 4-byte write.
+func (a F32) Store(i int, v float32) {
+	a.t.access(a.base+uint64(i)*4, 4, trace.Write)
+	a.data[i] = v
+}
+
+// Add adds v to element i (read + write).
+func (a F32) Add(i int, v float32) {
+	a.t.access(a.base+uint64(i)*4, 4, trace.Read)
+	a.t.access(a.base+uint64(i)*4, 4, trace.Write)
+	a.data[i] += v
+}
+
+// Raw exposes the backing slice WITHOUT tracing (tests only).
+func (a F32) Raw() []float32 { return a.data }
+
+// HeapF32 allocates an n-element float32 array on the simulated heap.
+func (t *Tracer) HeapF32(name, site string, n int) (F32, *Object) {
+	obj := t.Malloc(name, site, uint64(n)*4)
+	return F32{t: t, base: obj.Base, data: make([]float32, n)}, obj
+}
+
+// GlobalF32 registers an n-element float32 global array.
+func (t *Tracer) GlobalF32(name string, n int) (F32, *Object) {
+	obj := t.Global(name, uint64(n)*4)
+	return F32{t: t, base: obj.Base, data: make([]float32, n)}, obj
+}
+
+// LocalF32 allocates an n-element float32 array in the current frame.
+func (f Frame) LocalF32(n int) F32 {
+	base := f.alloc(uint64(n) * 4)
+	return F32{t: f.t, base: base, data: make([]float32, n)}
+}
+
+// I64 is an instrumented int64 array.
+type I64 struct {
+	t    *Tracer
+	base uint64
+	data []int64
+}
+
+// Len returns the element count.
+func (a I64) Len() int { return len(a.data) }
+
+// Base returns the simulated base address.
+func (a I64) Base() uint64 { return a.base }
+
+// Load returns element i, recording an 8-byte read.
+func (a I64) Load(i int) int64 {
+	a.t.access(a.base+uint64(i)*8, 8, trace.Read)
+	return a.data[i]
+}
+
+// Store sets element i, recording an 8-byte write.
+func (a I64) Store(i int, v int64) {
+	a.t.access(a.base+uint64(i)*8, 8, trace.Write)
+	a.data[i] = v
+}
+
+// Add adds v to element i (read + write).
+func (a I64) Add(i int, v int64) {
+	a.t.access(a.base+uint64(i)*8, 8, trace.Read)
+	a.t.access(a.base+uint64(i)*8, 8, trace.Write)
+	a.data[i] += v
+}
+
+// Raw exposes the backing slice WITHOUT tracing (tests only).
+func (a I64) Raw() []int64 { return a.data }
+
+// Mat is an instrumented dense row-major matrix over an F64 array.
+type Mat struct {
+	A    F64
+	Rows int
+	Cols int
+}
+
+// NewHeapMat allocates a rows×cols matrix on the simulated heap.
+func (t *Tracer) NewHeapMat(name, site string, rows, cols int) (Mat, *Object) {
+	a, obj := t.HeapF64(name, site, rows*cols)
+	return Mat{A: a, Rows: rows, Cols: cols}, obj
+}
+
+// NewGlobalMat registers a rows×cols matrix in the global segment.
+func (t *Tracer) NewGlobalMat(name string, rows, cols int) (Mat, *Object) {
+	a, obj := t.GlobalF64(name, rows*cols)
+	return Mat{A: a, Rows: rows, Cols: cols}, obj
+}
+
+// At returns m[i,j] (traced read).
+func (m Mat) At(i, j int) float64 { return m.A.Load(i*m.Cols + j) }
+
+// Set stores m[i,j] = v (traced write).
+func (m Mat) Set(i, j int, v float64) { m.A.Store(i*m.Cols+j, v) }
+
+// Add adds v to m[i,j] (traced read+write).
+func (m Mat) Add(i, j int, v float64) { m.A.Add(i*m.Cols+j, v) }

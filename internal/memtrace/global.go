@@ -1,0 +1,167 @@
+package memtrace
+
+import (
+	"fmt"
+	"sort"
+
+	"nvscavenger/internal/trace"
+)
+
+// Global-segment instrumentation (paper §III-C).
+//
+// Globals are identified by symbol name, base address and size — the
+// information libdwarf extracts from the executable.  FORTRAN common blocks
+// let different program units view one shared block under different names
+// and partitions, so distinct symbols can overlap in memory; overlapping
+// globals are merged into a single object whose range is the union of the
+// individual ranges and whose name combines the member names.
+
+// globalBase is the simulated base address of the static data segment.
+const globalBase uint64 = 0x0000_0040_0000
+
+const globalAlign = 16
+
+type globalState struct {
+	brk   uint64
+	order []*Object
+}
+
+func newGlobalState() globalState {
+	return globalState{brk: globalBase}
+}
+
+// Global registers a global symbol of size bytes at the next free static
+// address and returns its object.
+func (t *Tracer) Global(name string, size uint64) *Object {
+	if size == 0 {
+		panic("memtrace: Global of size 0")
+	}
+	base := t.globals.brk
+	t.globals.brk += (size + globalAlign - 1) &^ uint64(globalAlign-1)
+	return t.GlobalAt(name, base, size)
+}
+
+// GlobalAt registers a global symbol with an explicit base address, which is
+// how FORTRAN common-block aliases are declared.  If the new range overlaps
+// existing globals, all overlapping objects are merged: the resulting object
+// covers the union of the ranges, its name is the combined symbol name, and
+// accumulated statistics are summed.
+func (t *Tracer) GlobalAt(name string, base, size uint64) *Object {
+	if size == 0 {
+		panic("memtrace: GlobalAt of size 0")
+	}
+	if base >= heapBase {
+		panic(fmt.Sprintf("memtrace: global %q at %#x collides with heap segment", name, base))
+	}
+	lo, hi := base, base+size
+	var overlapped []*Object
+	for _, g := range t.globals.order {
+		if g.Base < hi && lo < g.Base+g.Size {
+			overlapped = append(overlapped, g)
+		}
+	}
+	if len(overlapped) == 0 {
+		obj := t.reg.newObject(Object{
+			Name:      name,
+			Segment:   trace.SegGlobal,
+			Base:      base,
+			Size:      size,
+			AllocIter: t.iter,
+		})
+		t.globals.order = append(t.globals.order, obj)
+		t.reg.insert(obj)
+		if hi > t.globals.brk {
+			t.globals.brk = (hi + globalAlign - 1) &^ uint64(globalAlign-1)
+		}
+		return obj
+	}
+
+	// Merge: extend the first overlapped object to the union range, fold the
+	// other overlapped objects into it, and combine the symbol names.
+	merged := overlapped[0]
+	t.reg.remove(merged)
+	names := []string{merged.Name}
+	if merged.Base < lo {
+		lo = merged.Base
+	}
+	if end := merged.Base + merged.Size; end > hi {
+		hi = end
+	}
+	for _, g := range overlapped[1:] {
+		t.reg.remove(g)
+		names = append(names, g.Name)
+		if g.Base < lo {
+			lo = g.Base
+		}
+		if end := g.Base + g.Size; end > hi {
+			hi = end
+		}
+		merged.total.Reads += g.total.Reads
+		merged.total.Writes += g.total.Writes
+		for i := 0; i < g.Iterations(); i++ {
+			s := g.Iter(i)
+			merged.record(i, false, s.Reads)
+			merged.record(i, true, s.Writes)
+			// record() double-counts into total; undo that.
+			merged.total.Reads -= s.Reads
+			merged.total.Writes -= s.Writes
+		}
+		g.Dead = true
+		t.removeGlobal(g)
+	}
+	names = append(names, name)
+	sort.Strings(names)
+	merged.Name = joinNames(names)
+	merged.Base = lo
+	merged.Size = hi - lo
+	t.reg.insert(merged)
+	if end := merged.Base + merged.Size; end > t.globals.brk {
+		t.globals.brk = (end + globalAlign - 1) &^ uint64(globalAlign-1)
+	}
+	return merged
+}
+
+func (t *Tracer) removeGlobal(g *Object) {
+	for i, o := range t.globals.order {
+		if o == g {
+			t.globals.order = append(t.globals.order[:i], t.globals.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func joinNames(names []string) string {
+	out := ""
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if out != "" {
+			out += "+"
+		}
+		out += n
+	}
+	return out
+}
+
+// GlobalF64 registers an n-element float64 global array.
+func (t *Tracer) GlobalF64(name string, n int) (F64, *Object) {
+	obj := t.Global(name, uint64(n)*8)
+	return F64{t: t, base: obj.Base, data: make([]float64, n)}, obj
+}
+
+// GlobalI64 registers an n-element int64 global array.
+func (t *Tracer) GlobalI64(name string, n int) (I64, *Object) {
+	obj := t.Global(name, uint64(n)*8)
+	return I64{t: t, base: obj.Base, data: make([]int64, n)}, obj
+}
+
+// GlobalObjects returns the live global objects in registration order
+// (merged common blocks appear once).
+func (t *Tracer) GlobalObjects() []*Object {
+	out := make([]*Object, len(t.globals.order))
+	copy(out, t.globals.order)
+	return out
+}

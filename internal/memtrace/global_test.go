@@ -1,0 +1,128 @@
+package memtrace
+
+import (
+	"testing"
+
+	"nvscavenger/internal/trace"
+)
+
+func TestGlobalRegistration(t *testing.T) {
+	tr := newFast(t)
+	g := tr.Global("grid_lon", 4096)
+	if g.Segment != trace.SegGlobal {
+		t.Fatalf("segment = %v", g.Segment)
+	}
+	if g.Size != 4096 {
+		t.Fatalf("size = %d", g.Size)
+	}
+	h := tr.Global("grid_lat", 4096)
+	if h.Base < g.Base+g.Size {
+		t.Fatal("globals overlap")
+	}
+}
+
+func TestZeroSizeGlobalPanics(t *testing.T) {
+	tr := newFast(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size global must panic")
+		}
+	}()
+	tr.Global("z", 0)
+}
+
+func TestCommonBlockMergeTwoWay(t *testing.T) {
+	// Two program units view one common block under different names with
+	// overlapping partitions; the tool merges them into one object whose
+	// range is the union and whose name combines the symbols (§III-C).
+	tr := newFast(t)
+	a := tr.GlobalAt("comm_a", globalBase+0x10000, 1024)
+	b := tr.GlobalAt("comm_b", globalBase+0x10000+512, 1024)
+	if a != b {
+		t.Fatal("overlapping globals must merge into one object")
+	}
+	if a.Base != globalBase+0x10000 || a.Size != 1536 {
+		t.Fatalf("merged range = [%#x,+%d), want union of the two", a.Base, a.Size)
+	}
+	if a.Name != "comm_a+comm_b" {
+		t.Fatalf("merged name = %q", a.Name)
+	}
+	if n := len(tr.GlobalObjects()); n != 1 {
+		t.Fatalf("global object count = %d, want 1", n)
+	}
+}
+
+func TestCommonBlockMergeThreeWayWithStats(t *testing.T) {
+	tr := newFast(t)
+	tr.BeginIteration()
+	a := tr.GlobalAt("u1", globalBase+0x20000, 256)
+	tr.access(a.Base, 8, trace.Write)
+	c := tr.GlobalAt("u3", globalBase+0x20000+512, 256)
+	tr.access(c.Base, 8, trace.Read)
+	// u2 bridges u1 and u3: all three merge.
+	m := tr.GlobalAt("u2", globalBase+0x20000+128, 512)
+	if m.Size != 768 {
+		t.Fatalf("merged size = %d, want 768", m.Size)
+	}
+	if got := m.Total(); got.Reads != 1 || got.Writes != 1 {
+		t.Fatalf("merged stats = %+v, want accumulated 1/1", got)
+	}
+	if got := m.Iter(1); got.Reads != 1 || got.Writes != 1 {
+		t.Fatalf("merged per-iteration stats = %+v", got)
+	}
+	if n := len(tr.GlobalObjects()); n != 1 {
+		t.Fatalf("global object count = %d, want 1", n)
+	}
+	// The merged object is found by address anywhere in the union.
+	tr.access(globalBase+0x20000+700, 8, trace.Read)
+	if m.Total().Reads != 2 {
+		t.Fatal("access in merged tail not attributed")
+	}
+}
+
+func TestDisjointGlobalsDoNotMerge(t *testing.T) {
+	tr := newFast(t)
+	a := tr.GlobalAt("left", globalBase+0x30000, 256)
+	b := tr.GlobalAt("right", globalBase+0x30000+256, 256) // adjacent, not overlapping
+	if a == b {
+		t.Fatal("adjacent globals must stay distinct")
+	}
+	if n := len(tr.GlobalObjects()); n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+}
+
+func TestMergedNameDeduplicates(t *testing.T) {
+	tr := newFast(t)
+	tr.GlobalAt("cb", globalBase+0x40000, 128)
+	m := tr.GlobalAt("cb", globalBase+0x40000+64, 128)
+	if m.Name != "cb" {
+		t.Fatalf("same-name merge should not duplicate: %q", m.Name)
+	}
+}
+
+func TestGlobalCollidingWithHeapPanics(t *testing.T) {
+	tr := newFast(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("global inside heap segment must panic")
+		}
+	}()
+	tr.GlobalAt("bad", heapBase+16, 64)
+}
+
+func TestGlobalAccessAfterMergeAttribution(t *testing.T) {
+	tr := newFast(t)
+	g1, _ := tr.GlobalF64("block", 64)
+	tr.BeginIteration()
+	g1.Store(0, 1)
+	// Register an alias over the same storage mid-run.
+	merged := tr.GlobalAt("alias", g1.Base(), 64*8)
+	g1.Store(1, 2)
+	if merged.Total().Writes != 2 {
+		t.Fatalf("merged writes = %d, want 2 (pre-merge + post-merge)", merged.Total().Writes)
+	}
+	if merged.Name != "alias+block" {
+		t.Fatalf("merged name = %q", merged.Name)
+	}
+}

@@ -1,0 +1,171 @@
+package memtrace
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"nvscavenger/internal/trace"
+)
+
+// Heap instrumentation (paper §III-B).
+//
+// The tool intercepts allocation at the system-library level.  Each heap
+// object is identified by a signature combining the allocation call site
+// (file:line), the requested size, and the starting addresses of the
+// routines active on the shadow stack at allocation time.  Memory objects
+// allocated in different execution phases with the same signature appear
+// within the same program context, tend to share an access pattern, and are
+// therefore regarded as the same object; this shrinks the tracking set and
+// ties objects back to application code.
+//
+// Deallocated objects carry a dead flag so that a recycled virtual address
+// is never attributed to a stale object.  realloc is modelled as free
+// followed by malloc.
+
+// heapBase is the simulated base address of the allocation arena.
+const heapBase uint64 = 0x2000_0000_0000
+
+const heapAlign = 16
+
+// heapSig is the identity of a heap allocation context.
+type heapSig struct {
+	site      string // "file.f90:123"
+	size      uint64
+	stackHash uint64 // FNV of the shadow-stack routine names
+	// gen disambiguates multiple simultaneously-live allocations from the
+	// same program context: the k-th concurrent allocation carries gen k.
+	// The chain is deterministic, so a later phase that again performs k+1
+	// live allocations from this context revives the same k+1 objects.
+	gen int
+}
+
+type heapState struct {
+	brk      uint64              // bump pointer
+	freeList map[uint64][]uint64 // size -> reusable base addresses
+	bySig    map[heapSig]*Object
+	// order preserves registration order for deterministic reports.
+	order []*Object
+}
+
+func newHeapState() heapState {
+	return heapState{
+		brk:      heapBase,
+		freeList: map[uint64][]uint64{},
+		bySig:    map[heapSig]*Object{},
+	}
+}
+
+// stackHash fingerprints the current shadow call stack.  In the original
+// tool the signature uses routine start addresses; routine names are the
+// equivalent identity here.
+func (t *Tracer) stackHash() uint64 {
+	h := fnv.New64a()
+	for _, f := range t.frames {
+		// Only the routine identity matters, not the dynamic frame base: the
+		// same call path must produce the same signature in every phase.
+		h.Write([]byte(f.name))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func (t *Tracer) heapAddr(size uint64) uint64 {
+	size = (size + heapAlign - 1) &^ uint64(heapAlign-1)
+	if free := t.heap.freeList[size]; len(free) > 0 {
+		base := free[len(free)-1]
+		t.heap.freeList[size] = free[:len(free)-1]
+		return base
+	}
+	base := t.heap.brk
+	t.heap.brk += size
+	return base
+}
+
+// Malloc simulates a heap allocation of size bytes at the given call site
+// ("file:line").  name is a human label for reports.  It returns the object
+// record; use the typed-array constructors (HeapF64 and friends) for data
+// that the program will actually compute on.
+func (t *Tracer) Malloc(name, site string, size uint64) *Object {
+	if size == 0 {
+		panic("memtrace: Malloc of size 0")
+	}
+	sig := heapSig{site: site, size: size, stackHash: t.stackHash()}
+	base := t.heapAddr(size)
+	// Walk the generation chain: revive the first dead object allocated
+	// from this program context, or mint a new generation if every recorded
+	// one is currently live.
+	for {
+		obj, ok := t.heap.bySig[sig]
+		if !ok {
+			break
+		}
+		if obj.Dead {
+			t.reviveHeapObject(obj, base, size)
+			return obj
+		}
+		sig.gen++
+	}
+	obj := t.reg.newObject(Object{
+		Name:      name,
+		Segment:   trace.SegHeap,
+		Base:      base,
+		Size:      size,
+		AllocIter: t.iter,
+		Site:      site,
+	})
+	t.heap.bySig[sig] = obj
+	t.heap.order = append(t.heap.order, obj)
+	t.reg.insert(obj)
+	return obj
+}
+
+func (t *Tracer) reviveHeapObject(obj *Object, base, size uint64) {
+	obj.Dead = false
+	obj.Base = base
+	obj.Size = size
+	t.reg.insert(obj)
+}
+
+// Free marks a heap object dead and releases its address range for reuse.
+// Freeing an already-dead or non-heap object panics: it indicates a bug in
+// the instrumented program.
+func (t *Tracer) Free(obj *Object) {
+	if obj.Segment != trace.SegHeap {
+		panic(fmt.Sprintf("memtrace: Free of non-heap object %v", obj))
+	}
+	if obj.Dead {
+		panic(fmt.Sprintf("memtrace: double free of %v", obj))
+	}
+	t.reg.remove(obj)
+	obj.Dead = true
+	size := (obj.Size + heapAlign - 1) &^ uint64(heapAlign-1)
+	t.heap.freeList[size] = append(t.heap.freeList[size], obj.Base)
+}
+
+// Realloc models realloc() as a deallocation followed by a fresh allocation
+// at the same call site, exactly as §III-B prescribes.
+func (t *Tracer) Realloc(obj *Object, newSize uint64) *Object {
+	name, site := obj.Name, obj.Site
+	t.Free(obj)
+	return t.Malloc(name, site, newSize)
+}
+
+// HeapF64 allocates an n-element float64 array on the simulated heap.
+func (t *Tracer) HeapF64(name, site string, n int) (F64, *Object) {
+	obj := t.Malloc(name, site, uint64(n)*8)
+	return F64{t: t, base: obj.Base, data: make([]float64, n)}, obj
+}
+
+// HeapI64 allocates an n-element int64 array on the simulated heap.
+func (t *Tracer) HeapI64(name, site string, n int) (I64, *Object) {
+	obj := t.Malloc(name, site, uint64(n)*8)
+	return I64{t: t, base: obj.Base, data: make([]int64, n)}, obj
+}
+
+// HeapObjects returns every heap object ever registered, in allocation
+// order (dead objects included; they carry their accumulated statistics).
+func (t *Tracer) HeapObjects() []*Object {
+	out := make([]*Object, len(t.heap.order))
+	copy(out, t.heap.order)
+	return out
+}

@@ -1,0 +1,209 @@
+package memtrace
+
+import (
+	"testing"
+
+	"nvscavenger/internal/trace"
+)
+
+func TestMallocFreeLifecycle(t *testing.T) {
+	tr := newFast(t)
+	obj := tr.Malloc("buf", "x.go:10", 128)
+	if obj.Segment != trace.SegHeap || obj.Dead {
+		t.Fatalf("fresh heap object wrong: %+v", obj)
+	}
+	if obj.Site != "x.go:10" {
+		t.Fatalf("site = %q", obj.Site)
+	}
+	tr.Free(obj)
+	if !obj.Dead {
+		t.Fatal("freed object should be dead")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	tr := newFast(t)
+	obj := tr.Malloc("buf", "x.go:10", 64)
+	tr.Free(obj)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free must panic")
+		}
+	}()
+	tr.Free(obj)
+}
+
+func TestFreeNonHeapPanics(t *testing.T) {
+	tr := newFast(t)
+	g := tr.Global("g", 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing a global must panic")
+		}
+	}()
+	tr.Free(g)
+}
+
+func TestZeroSizeMallocPanics(t *testing.T) {
+	tr := newFast(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size malloc must panic")
+		}
+	}()
+	tr.Malloc("z", "x.go:1", 0)
+}
+
+func TestSameSignatureSameObject(t *testing.T) {
+	// Per §III-B: a region allocated each iteration with the same call
+	// context and size is the same memory object; statistics accumulate.
+	tr := newFast(t)
+	var first *Object
+	for it := 1; it <= 3; it++ {
+		tr.BeginIteration()
+		tr.Enter("step")
+		a, obj := tr.HeapF64("scratch", "step.go:5", 16)
+		if first == nil {
+			first = obj
+		} else if obj != first {
+			t.Fatalf("iteration %d allocated a different object", it)
+		}
+		a.Store(0, float64(it))
+		tr.Free(obj)
+		tr.Leave()
+	}
+	if first.Total().Writes != 3 {
+		t.Fatalf("accumulated writes = %d, want 3", first.Total().Writes)
+	}
+	if first.TouchedIterations() != 3 {
+		t.Fatalf("touched iterations = %d, want 3", first.TouchedIterations())
+	}
+}
+
+func TestDifferentCallstackDifferentObject(t *testing.T) {
+	tr := newFast(t)
+	tr.Enter("pathA")
+	objA := tr.Malloc("buf", "alloc.go:1", 64)
+	tr.Leave()
+	tr.Enter("pathB")
+	objB := tr.Malloc("buf", "alloc.go:1", 64)
+	tr.Leave()
+	if objA == objB {
+		t.Fatal("different shadow stacks must yield different heap objects")
+	}
+}
+
+func TestDifferentSizeDifferentObject(t *testing.T) {
+	tr := newFast(t)
+	a := tr.Malloc("buf", "alloc.go:1", 64)
+	tr.Free(a)
+	b := tr.Malloc("buf", "alloc.go:1", 128)
+	if a == b {
+		t.Fatal("different sizes must yield different heap objects")
+	}
+}
+
+func TestRecycledAddressNotAttributedToDeadObject(t *testing.T) {
+	tr := newFast(t)
+	tr.BeginIteration()
+	a, objA := tr.HeapF64("first", "a.go:1", 8)
+	base := a.Base()
+	a.Store(0, 1)
+	tr.Free(objA)
+	// The freed block is recycled for a different-signature allocation.
+	b, objB := tr.HeapF64("second", "b.go:2", 8)
+	if b.Base() != base {
+		t.Fatalf("free list should recycle the block: got %#x want %#x", b.Base(), base)
+	}
+	b.Store(0, 2)
+	_ = b.Load(0)
+	if got := objA.Total(); got.Writes != 1 || got.Reads != 0 {
+		t.Fatalf("dead object accumulated recycled-address accesses: %+v", got)
+	}
+	if got := objB.Total(); got.Writes != 1 || got.Reads != 1 {
+		t.Fatalf("live object stats = %+v, want 1 write 1 read", got)
+	}
+}
+
+func TestReallocIsFreePlusMalloc(t *testing.T) {
+	tr := newFast(t)
+	obj := tr.Malloc("grow", "g.go:1", 64)
+	obj2 := tr.Realloc(obj, 256)
+	if !obj.Dead && obj != obj2 {
+		t.Fatal("old object should be dead after realloc (unless revived)")
+	}
+	if obj2.Size != 256 {
+		t.Fatalf("new size = %d, want 256", obj2.Size)
+	}
+	if obj2.Dead {
+		t.Fatal("realloc result must be live")
+	}
+}
+
+func TestTwoLiveAllocationsSameSignature(t *testing.T) {
+	tr := newFast(t)
+	a := tr.Malloc("pair", "p.go:1", 32)
+	b := tr.Malloc("pair", "p.go:1", 32)
+	if a == b {
+		t.Fatal("two simultaneously live allocations cannot share an object")
+	}
+	if a.Base == b.Base {
+		t.Fatal("live objects must occupy distinct ranges")
+	}
+	tr.Free(a)
+	tr.Free(b)
+	// Re-allocating twice again revives both records rather than minting new ones.
+	c := tr.Malloc("pair", "p.go:1", 32)
+	d := tr.Malloc("pair", "p.go:1", 32)
+	if c != a && c != b {
+		t.Fatal("first re-allocation should revive an existing record")
+	}
+	if d != a && d != b {
+		t.Fatal("second re-allocation should revive the other record")
+	}
+	if c == d {
+		t.Fatal("revived records must be distinct")
+	}
+}
+
+func TestHeapObjectsOrder(t *testing.T) {
+	tr := newFast(t)
+	tr.Malloc("a", "1", 16)
+	tr.Malloc("b", "2", 16)
+	tr.Malloc("c", "3", 16)
+	objs := tr.HeapObjects()
+	if len(objs) != 3 {
+		t.Fatalf("len = %d, want 3", len(objs))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if objs[i].Name != want {
+			t.Fatalf("objs[%d].Name = %q, want %q", i, objs[i].Name, want)
+		}
+	}
+}
+
+func TestHeapAllocIterRecorded(t *testing.T) {
+	tr := newFast(t)
+	pre := tr.Malloc("pre", "p.go:1", 16)
+	tr.BeginIteration()
+	tr.BeginIteration()
+	mid := tr.Malloc("mid", "m.go:1", 16)
+	if pre.AllocIter != 0 {
+		t.Fatalf("pre-compute allocation iter = %d, want 0", pre.AllocIter)
+	}
+	if mid.AllocIter != 2 {
+		t.Fatalf("mid-loop allocation iter = %d, want 2", mid.AllocIter)
+	}
+}
+
+func TestHeapAlignment(t *testing.T) {
+	tr := newFast(t)
+	a := tr.Malloc("odd", "o.go:1", 13)
+	b := tr.Malloc("next", "o.go:2", 13)
+	if a.Base%heapAlign != 0 || b.Base%heapAlign != 0 {
+		t.Fatal("heap bases must be aligned")
+	}
+	if b.Base < a.Base+13 {
+		t.Fatal("allocations overlap")
+	}
+}

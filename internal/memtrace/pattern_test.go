@@ -1,0 +1,118 @@
+package memtrace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternString(t *testing.T) {
+	want := map[Pattern]string{
+		PatternUnknown: "unknown", PatternSequential: "sequential",
+		PatternStrided: "strided", PatternRandom: "random",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("Pattern(%d) = %q, want %q", p, p.String(), w)
+		}
+	}
+}
+
+func TestSequentialPattern(t *testing.T) {
+	tr := New(Config{})
+	a, obj := tr.GlobalF64("seq", 256)
+	tr.BeginIteration()
+	for i := 0; i < 256; i++ {
+		_ = a.Load(i)
+	}
+	if got := obj.AccessPattern(); got != PatternSequential {
+		t.Fatalf("pattern = %v, want sequential", got)
+	}
+}
+
+func TestStridedPattern(t *testing.T) {
+	tr := New(Config{})
+	a, obj := tr.GlobalF64("stride", 4096)
+	tr.BeginIteration()
+	for i := 0; i < 4096; i += 16 { // 128-byte stride
+		_ = a.Load(i)
+	}
+	if got := obj.AccessPattern(); got != PatternStrided {
+		t.Fatalf("pattern = %v, want strided", got)
+	}
+}
+
+func TestRandomPattern(t *testing.T) {
+	tr := New(Config{})
+	a, obj := tr.GlobalF64("rand", 4096)
+	tr.BeginIteration()
+	h := uint64(12345)
+	for i := 0; i < 500; i++ {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		_ = a.Load(int(h % 4096))
+	}
+	if got := obj.AccessPattern(); got != PatternRandom {
+		t.Fatalf("pattern = %v, want random", got)
+	}
+}
+
+func TestUnknownPatternFewRefs(t *testing.T) {
+	tr := New(Config{})
+	a, obj := tr.GlobalF64("few", 64)
+	tr.BeginIteration()
+	_ = a.Load(0)
+	_ = a.Load(5)
+	if got := obj.AccessPattern(); got != PatternUnknown {
+		t.Fatalf("pattern = %v, want unknown for <8 classified refs", got)
+	}
+}
+
+func TestReverseWalkIsSequential(t *testing.T) {
+	tr := New(Config{})
+	a, obj := tr.GlobalF64("rev", 256)
+	tr.BeginIteration()
+	for i := 255; i >= 0; i-- {
+		_ = a.Load(i)
+	}
+	if got := obj.AccessPattern(); got != PatternSequential {
+		t.Fatalf("pattern = %v, want sequential (|delta| = 8)", got)
+	}
+}
+
+func TestPatternCountsConsistent(t *testing.T) {
+	tr := New(Config{})
+	a, obj := tr.GlobalF64("mix", 512)
+	tr.BeginIteration()
+	n := 0
+	for i := 0; i < 512; i++ {
+		_ = a.Load(i)
+		n++
+	}
+	seq, strided, random := obj.PatternCounts()
+	// First reference establishes the base and is not classified.
+	if seq+strided+random != uint64(n-1) {
+		t.Fatalf("pattern counts %d+%d+%d != %d classified refs", seq, strided, random, n-1)
+	}
+}
+
+// Property: classified reference count always equals refs-1 for an object
+// that is the sole target of accesses.
+func TestQuickPatternConservation(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		tr := New(Config{})
+		a, obj := tr.GlobalF64("p", 65536)
+		tr.BeginIteration()
+		for _, off := range offsets {
+			_ = a.Load(int(off))
+		}
+		seq, strided, random := obj.PatternCounts()
+		return seq+strided+random == uint64(len(offsets))-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

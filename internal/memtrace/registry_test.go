@@ -1,0 +1,215 @@
+package memtrace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvscavenger/internal/trace"
+)
+
+func TestRegistryLookupBasics(t *testing.T) {
+	r := newRegistry(4)
+	o := r.newObject(Object{Name: "a", Base: 1000, Size: 100})
+	r.insert(o)
+	if got := r.lookup(1000); got != o {
+		t.Fatal("first byte not found")
+	}
+	if got := r.lookup(1099); got != o {
+		t.Fatal("last byte not found")
+	}
+	if got := r.lookup(1100); got != nil {
+		t.Fatal("one-past-end must not match")
+	}
+	if got := r.lookup(999); got != nil {
+		t.Fatal("byte before base must not match")
+	}
+}
+
+func TestRegistryCacheHit(t *testing.T) {
+	r := newRegistry(4)
+	o := r.newObject(Object{Name: "a", Base: 1000, Size: 100})
+	r.insert(o)
+	r.lookup(1000)
+	hitsBefore := r.CacheHits
+	r.lookup(1050)
+	if r.CacheHits != hitsBefore+1 {
+		t.Fatal("second lookup should hit the software cache")
+	}
+}
+
+func TestRegistryCacheDisabled(t *testing.T) {
+	r := newRegistry(0)
+	o := r.newObject(Object{Name: "a", Base: 1000, Size: 100})
+	r.insert(o)
+	r.lookup(1000)
+	r.lookup(1000)
+	if r.CacheHits != 0 {
+		t.Fatal("disabled cache must never hit")
+	}
+}
+
+func TestRegistryCacheLRUOrder(t *testing.T) {
+	r := newRegistry(2)
+	a := r.newObject(Object{Name: "a", Base: 0x1000, Size: 16})
+	b := r.newObject(Object{Name: "b", Base: 0x2000, Size: 16})
+	c := r.newObject(Object{Name: "c", Base: 0x3000, Size: 16})
+	for _, o := range []*Object{a, b, c} {
+		r.insert(o)
+	}
+	r.lookup(0x1000) // cache: [a]
+	r.lookup(0x2000) // cache: [b a]
+	r.lookup(0x3000) // cache: [c b], a evicted
+	hits := r.CacheHits
+	r.lookup(0x2000) // hit
+	if r.CacheHits != hits+1 {
+		t.Fatal("b should still be cached")
+	}
+	hits = r.CacheHits
+	r.lookup(0x1000) // miss: a was evicted
+	if r.CacheHits != hits {
+		t.Fatal("a should have been evicted from the 2-entry cache")
+	}
+}
+
+func TestRegistryRemove(t *testing.T) {
+	r := newRegistry(4)
+	o := r.newObject(Object{Name: "a", Base: 1000, Size: 100})
+	r.insert(o)
+	r.lookup(1000) // prime the cache
+	r.remove(o)
+	if got := r.lookup(1000); got != nil {
+		t.Fatal("removed object must not resolve (including via cache)")
+	}
+}
+
+func TestRegistryDeadObjectSkipped(t *testing.T) {
+	r := newRegistry(4)
+	o := r.newObject(Object{Name: "a", Base: 1000, Size: 100})
+	r.insert(o)
+	o.Dead = true
+	if got := r.lookup(1050); got != nil {
+		t.Fatal("dead object must not resolve")
+	}
+}
+
+func TestRegistryObjectSpanningBuckets(t *testing.T) {
+	r := newRegistry(4)
+	// Force a wide covered range so buckets are coarse, then insert one
+	// object spanning multiple buckets.
+	far := r.newObject(Object{Name: "far", Base: 1 << 30, Size: 16})
+	r.insert(far)
+	span := r.newObject(Object{Name: "span", Base: 4096, Size: 1 << 22})
+	r.insert(span)
+	for _, addr := range []uint64{4096, 4096 + 1<<21, 4096 + 1<<22 - 1} {
+		if got := r.lookup(addr); got != span {
+			t.Fatalf("addr %#x not resolved to spanning object", addr)
+		}
+	}
+}
+
+func TestRegistryGrowsCoveredRange(t *testing.T) {
+	r := newRegistry(4)
+	lo := r.newObject(Object{Name: "lo", Base: 100, Size: 10})
+	r.insert(lo)
+	hi := r.newObject(Object{Name: "hi", Base: 1 << 40, Size: 10})
+	r.insert(hi)
+	if got := r.lookup(105); got != lo {
+		t.Fatal("low object lost after range growth")
+	}
+	if got := r.lookup(1<<40 + 5); got != hi {
+		t.Fatal("high object not found")
+	}
+}
+
+func TestRegistryRebalanceOnClustering(t *testing.T) {
+	r := newRegistry(0)
+	// Insert a far object to make the covered range enormous, so that all
+	// subsequent clustered objects land in one bucket initially.
+	far := r.newObject(Object{Name: "far", Base: 1 << 44, Size: 16})
+	r.insert(far)
+	base := uint64(1 << 20)
+	n := defaultBucketCount // enough to trip the live-count gate
+	objs := make([]*Object, n)
+	for i := 0; i < n; i++ {
+		o := r.newObject(Object{Base: base + uint64(i)*32, Size: 32})
+		objs[i] = o
+		r.insert(o)
+	}
+	if r.Rebalances == 0 {
+		t.Fatal("clustered inserts should have triggered rebalancing")
+	}
+	// Every object still resolves after rebalancing.
+	for i, o := range objs {
+		if got := r.lookup(o.Base + 16); got != o {
+			t.Fatalf("object %d lost after rebalance", i)
+		}
+	}
+}
+
+// Property: for random non-overlapping objects, lookup resolves every
+// interior address to its object and gaps to nil.
+func TestQuickRegistryResolution(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRegistry(8)
+		count := int(n%40) + 1
+		type placed struct {
+			o *Object
+		}
+		var objs []placed
+		base := uint64(4096)
+		for i := 0; i < count; i++ {
+			size := uint64(rng.Intn(4096) + 1)
+			gap := uint64(rng.Intn(8192) + 1)
+			o := r.newObject(Object{Base: base, Size: size, Segment: trace.SegHeap})
+			r.insert(o)
+			objs = append(objs, placed{o})
+			base += size + gap
+		}
+		for _, p := range objs {
+			inner := p.o.Base + uint64(rng.Intn(int(p.o.Size)))
+			if r.lookup(inner) != p.o {
+				return false
+			}
+			if r.lookup(p.o.Base+p.o.Size) == p.o {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removal makes exactly the removed object unresolvable.
+func TestQuickRegistryRemoval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRegistry(8)
+		var objs []*Object
+		base := uint64(1 << 16)
+		for i := 0; i < 20; i++ {
+			o := r.newObject(Object{Base: base, Size: 64})
+			r.insert(o)
+			objs = append(objs, o)
+			base += 128
+		}
+		victim := objs[rng.Intn(len(objs))]
+		r.remove(victim)
+		for _, o := range objs {
+			got := r.lookup(o.Base + 8)
+			if o == victim && got != nil {
+				return false
+			}
+			if o != victim && got != o {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

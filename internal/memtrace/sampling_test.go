@@ -1,0 +1,101 @@
+package memtrace
+
+import (
+	"testing"
+
+	"nvscavenger/internal/trace"
+)
+
+// rareObjectWorkload touches one hot object constantly and many cold
+// objects a handful of times each — the population for which §III-D argues
+// sampling is unusable.
+func rareObjectWorkload(tr *Tracer) (hot F64, cold []F64) {
+	hot, _ = tr.GlobalF64("hot", 64)
+	for i := 0; i < 50; i++ {
+		c, _ := tr.GlobalF64("cold", 8)
+		cold = append(cold, c)
+	}
+	tr.BeginIteration()
+	for k := 0; k < 10000; k++ {
+		hot.Store(k%64, float64(k))
+	}
+	for _, c := range cold {
+		c.Store(0, 1)
+		_ = c.Load(0)
+		c.Store(1, 2)
+	}
+	return hot, cold
+}
+
+func TestSamplingOffObservesEverything(t *testing.T) {
+	tr := New(Config{})
+	rareObjectWorkload(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Sampled == 0 {
+		t.Fatal("Sampled counter must track all references when sampling is off")
+	}
+	missing := 0
+	for _, o := range tr.Objects() {
+		if o.Segment == trace.SegGlobal && o.Total().Refs() == 0 && o.Name == "cold" {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("full instrumentation missed %d cold objects", missing)
+	}
+}
+
+func TestSamplingLosesRareObjects(t *testing.T) {
+	tr := New(Config{SamplePeriod: 64})
+	_, cold := rareObjectWorkload(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The hot object is still seen...
+	var hotRefs uint64
+	missing := 0
+	for _, o := range tr.Objects() {
+		if o.Name == "hot" {
+			hotRefs = o.Total().Refs()
+		}
+		if o.Name == "cold" && o.Total().Refs() == 0 {
+			missing++
+		}
+	}
+	if hotRefs == 0 {
+		t.Fatal("sampling must still observe the hot object")
+	}
+	// ...but a large share of the cold objects vanish from the analysis:
+	// exactly the access-information loss §III-D warns causes improper
+	// data placement.
+	if missing < len(cold)/4 {
+		t.Fatalf("only %d of %d cold objects lost under 1/64 sampling; expected substantial loss",
+			missing, len(cold))
+	}
+}
+
+func TestSamplingReducesObservedCount(t *testing.T) {
+	full := New(Config{})
+	rareObjectWorkload(full)
+	sampled := New(Config{SamplePeriod: 16})
+	rareObjectWorkload(sampled)
+	if sampled.Sampled*8 > full.Sampled {
+		t.Fatalf("1/16 sampling observed %d of %d references", sampled.Sampled, full.Sampled)
+	}
+	// Instructions retire identically: sampling gates observation only.
+	if full.Instructions() != sampled.Instructions() {
+		t.Fatalf("instruction counts diverged: %d vs %d", full.Instructions(), sampled.Instructions())
+	}
+}
+
+func TestSamplingPeriodOneIsFull(t *testing.T) {
+	a := New(Config{SamplePeriod: 1})
+	rareObjectWorkload(a)
+	b := New(Config{})
+	rareObjectWorkload(b)
+	if a.Sampled != b.Sampled {
+		t.Fatal("period 1 must observe everything")
+	}
+}

@@ -1,0 +1,168 @@
+package memtrace
+
+import (
+	"fmt"
+
+	"nvscavenger/internal/trace"
+)
+
+// StackMode selects how stack references are attributed (paper §III-A).
+type StackMode uint8
+
+const (
+	// FastStack records reads/writes against the program stack as a whole:
+	// a reference is a stack reference when its address lies between the
+	// current stack pointer and the maximum stack pointer observed.  This is
+	// the light-weight mode used for Table V.
+	FastStack StackMode = iota
+	// SlowStack additionally maintains a shadow call stack and attributes
+	// every stack reference to the routine whose frame contains it, walking
+	// the call stack from the top; references below a routine's own frame
+	// are attributed to the frame underneath (the routine that actually
+	// allocated the data).  This mode produces Figure 2.
+	SlowStack
+)
+
+// String names the mode.
+func (m StackMode) String() string {
+	if m == SlowStack {
+		return "slow"
+	}
+	return "fast"
+}
+
+// stackBase is the simulated address of the bottom (highest address) of the
+// program stack; the stack grows downward from here.
+const stackBase uint64 = 0x7fff_ffff_0000
+
+// stackAlign is the frame alignment in bytes.
+const stackAlign = 16
+
+// frame is one shadow-stack entry.
+type frame struct {
+	name string  // routine name (heap-signature component in both modes)
+	obj  *Object // the routine's aggregated stack-frame object (slow mode)
+	base uint64  // address of the frame's high end (sp at routine entry)
+	lo   uint64  // current low end; decreases as locals are allocated
+}
+
+// Frame is a handle on the current routine's stack frame.  Locals carved
+// from it are addressed within the simulated stack so that every reference
+// to them is classified and attributed as stack data.
+type Frame struct {
+	t     *Tracer
+	depth int // index into t.frames; guards against use after Leave
+}
+
+// Enter pushes a shadow-stack frame for the named routine and returns a
+// handle used to allocate routine-local data.  Pair with Leave.
+func (t *Tracer) Enter(name string) Frame {
+	var obj *Object
+	if t.cfg.StackMode == SlowStack {
+		obj = t.routines[name]
+		if obj == nil {
+			obj = t.reg.newObject(Object{
+				Name:      name,
+				Segment:   trace.SegStack,
+				AllocIter: t.iter,
+			})
+			t.routines[name] = obj
+			t.routineOrder = append(t.routineOrder, obj)
+		}
+	}
+	t.frames = append(t.frames, frame{name: name, obj: obj, base: t.sp, lo: t.sp})
+	return Frame{t: t, depth: len(t.frames) - 1}
+}
+
+// Leave pops the most recent shadow-stack frame, releasing its locals.
+func (t *Tracer) Leave() {
+	if len(t.frames) == 0 {
+		panic("memtrace: Leave without matching Enter")
+	}
+	f := t.frames[len(t.frames)-1]
+	if f.obj != nil {
+		// Track the largest frame this routine ever had; that is the
+		// object's reported size (its stack data footprint).
+		if sz := f.base - f.lo; sz > f.obj.Size {
+			f.obj.Size = sz
+		}
+	}
+	t.sp = f.base
+	t.frames = t.frames[:len(t.frames)-1]
+}
+
+// Depth returns the current shadow-stack depth.
+func (t *Tracer) Depth() int { return len(t.frames) }
+
+// alloc carves n bytes from the current frame and returns the base address.
+func (f Frame) alloc(n uint64) uint64 {
+	t := f.t
+	if f.depth != len(t.frames)-1 {
+		panic("memtrace: Local on a frame that is not the top of the stack")
+	}
+	n = (n + stackAlign - 1) &^ uint64(stackAlign-1)
+	fr := &t.frames[f.depth]
+	fr.lo -= n
+	t.sp = fr.lo
+	if t.sp < t.minSP {
+		t.minSP = t.sp
+	}
+	if t.sp <= t.stackLimit {
+		panic(fmt.Sprintf("memtrace: simulated stack overflow (sp=%#x)", t.sp))
+	}
+	return fr.lo
+}
+
+// LocalF64 allocates an n-element float64 array in the current frame.
+func (f Frame) LocalF64(n int) F64 {
+	base := f.alloc(uint64(n) * 8)
+	return F64{t: f.t, base: base, data: make([]float64, n)}
+}
+
+// LocalI64 allocates an n-element int64 array in the current frame.
+func (f Frame) LocalI64(n int) I64 {
+	base := f.alloc(uint64(n) * 8)
+	return I64{t: f.t, base: base, data: make([]int64, n)}
+}
+
+// attributeStack resolves a stack address to an object.
+//
+// Fast mode returns the whole-stack object.  Slow mode walks the shadow call
+// stack from the top and returns the routine object of the first frame whose
+// range contains the address; an address below the top frame's low mark (an
+// argument-build or red-zone access) is attributed to the top frame.
+func (t *Tracer) attributeStack(addr uint64) *Object {
+	if t.cfg.StackMode == FastStack {
+		return t.stackObj
+	}
+	n := len(t.frames)
+	if n == 0 {
+		return nil
+	}
+	top := &t.frames[n-1]
+	if addr < top.lo {
+		return top.obj
+	}
+	for i := n - 1; i >= 0; i-- {
+		f := &t.frames[i]
+		if addr >= f.lo && addr < f.base {
+			return f.obj
+		}
+	}
+	// Between the last frame's base and stackBase: attribute to the
+	// outermost routine (its caller context).
+	return t.frames[0].obj
+}
+
+// redZone is how far below the stack pointer an access may land and still be
+// classified as a stack reference (the x86-64 ABI red zone: leaf code may use
+// 128 bytes below SP without moving it).
+const redZone = 128
+
+// isStackAddr implements the fast-mode classification test: the address lies
+// between the current stack pointer (minus the red zone) and the maximum
+// stack pointer value the program has had (the stack grows downward, so the
+// maximum SP is the base).
+func (t *Tracer) isStackAddr(addr uint64) bool {
+	return addr >= t.sp-redZone && addr < t.maxSP
+}

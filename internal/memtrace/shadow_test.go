@@ -1,0 +1,228 @@
+package memtrace
+
+import (
+	"testing"
+
+	"nvscavenger/internal/trace"
+)
+
+func TestStackModeString(t *testing.T) {
+	if FastStack.String() != "fast" || SlowStack.String() != "slow" {
+		t.Fatal("StackMode strings wrong")
+	}
+}
+
+func TestSlowModePerRoutineAttribution(t *testing.T) {
+	tr := newSlow(t)
+	tr.BeginIteration()
+
+	fa := tr.Enter("alpha")
+	a := fa.LocalF64(4)
+	a.Store(0, 1)
+	_ = a.Load(0)
+
+	fb := tr.Enter("beta")
+	b := fb.LocalF64(4)
+	b.Store(0, 2)
+	// beta also reads alpha's frame: attributed to alpha, the routine that
+	// allocated the data (paper: "attributed to the underneath frame").
+	_ = a.Load(0)
+	tr.Leave()
+	tr.Leave()
+
+	objs := tr.StackObjects()
+	if len(objs) != 2 {
+		t.Fatalf("want 2 routine objects, got %d", len(objs))
+	}
+	var alpha, beta *Object
+	for _, o := range objs {
+		switch o.Name {
+		case "alpha":
+			alpha = o
+		case "beta":
+			beta = o
+		}
+	}
+	if alpha == nil || beta == nil {
+		t.Fatal("missing routine objects")
+	}
+	as := alpha.Iter(1)
+	if as.Reads != 2 || as.Writes != 1 {
+		t.Fatalf("alpha stats = %d/%d, want 2/1", as.Reads, as.Writes)
+	}
+	bs := beta.Iter(1)
+	if bs.Reads != 0 || bs.Writes != 1 {
+		t.Fatalf("beta stats = %d/%d, want 0/1", bs.Reads, bs.Writes)
+	}
+}
+
+func TestSlowModeRoutineObjectReused(t *testing.T) {
+	tr := newSlow(t)
+	for i := 0; i < 3; i++ {
+		f := tr.Enter("kern")
+		l := f.LocalF64(2)
+		l.Store(0, float64(i))
+		tr.Leave()
+	}
+	objs := tr.StackObjects()
+	if len(objs) != 1 {
+		t.Fatalf("repeated calls should share one routine object, got %d", len(objs))
+	}
+	if objs[0].Total().Writes != 3 {
+		t.Fatalf("writes = %d, want 3", objs[0].Total().Writes)
+	}
+}
+
+func TestRoutineFrameSizeIsMaxObserved(t *testing.T) {
+	tr := newSlow(t)
+	f := tr.Enter("var")
+	f.LocalF64(10) // 80 bytes
+	tr.Leave()
+	f = tr.Enter("var")
+	f.LocalF64(100) // 800 bytes
+	tr.Leave()
+	f = tr.Enter("var")
+	f.LocalF64(5)
+	tr.Leave()
+	o := tr.StackObjects()[0]
+	if o.Size != 800 {
+		t.Fatalf("routine frame size = %d, want max observed 800", o.Size)
+	}
+}
+
+func TestNestedFramesRestoreSP(t *testing.T) {
+	tr := newSlow(t)
+	sp0 := tr.sp
+	fa := tr.Enter("a")
+	fa.LocalF64(16)
+	spA := tr.sp
+	fb := tr.Enter("b")
+	fb.LocalF64(16)
+	if tr.sp >= spA {
+		t.Fatal("stack should grow downward")
+	}
+	tr.Leave()
+	if tr.sp != spA {
+		t.Fatalf("sp after inner leave = %#x, want %#x", tr.sp, spA)
+	}
+	tr.Leave()
+	if tr.sp != sp0 {
+		t.Fatalf("sp after outer leave = %#x, want %#x", tr.sp, sp0)
+	}
+	if tr.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0", tr.Depth())
+	}
+}
+
+func TestLeaveWithoutEnterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newFast(t).Leave()
+}
+
+func TestLocalOnStaleFramePanics(t *testing.T) {
+	tr := newSlow(t)
+	fa := tr.Enter("a")
+	tr.Enter("b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("allocating locals on a non-top frame must panic")
+		}
+	}()
+	fa.LocalF64(1)
+}
+
+func TestStackOverflowPanics(t *testing.T) {
+	tr := New(Config{StackReserve: 1024})
+	f := tr.Enter("deep")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected simulated stack overflow")
+		}
+	}()
+	f.LocalF64(1000) // 8000 bytes > 1024 reserve
+}
+
+func TestFastModeStackClassification(t *testing.T) {
+	tr := newFast(t)
+	f := tr.Enter("r")
+	l := f.LocalF64(64) // 512 bytes, deeper than the red zone
+	addr := l.Base()
+	if !tr.isStackAddr(addr) {
+		t.Fatal("local address should classify as stack while frame is live")
+	}
+	tr.Leave()
+	// After leaving, sp is restored above the old local: the address lies
+	// below sp and beyond the red zone, so it is no longer stack data.
+	if tr.isStackAddr(addr) {
+		t.Fatal("address below current sp should not classify as stack")
+	}
+	// An address just below sp stays classified as stack (red zone).
+	if !tr.isStackAddr(tr.sp - 8) {
+		t.Fatal("red-zone address should classify as stack")
+	}
+}
+
+func TestSlowModeArgBuildAttributedToTopFrame(t *testing.T) {
+	tr := newSlow(t)
+	tr.BeginIteration()
+	f := tr.Enter("caller")
+	_ = f
+	// An access below the top frame's low mark (simulating outgoing
+	// argument construction) goes to the top frame's routine.
+	tr.access(tr.sp-32, 8, trace.Write)
+	tr.Leave()
+	o := tr.StackObjects()[0]
+	if o.Total().Writes != 1 {
+		t.Fatalf("arg-build write not attributed to top frame: %+v", o.Total())
+	}
+}
+
+func TestSlowModeWalkThroughDeepNesting(t *testing.T) {
+	// Three frames deep, the innermost routine reads data allocated two
+	// frames up; the walk from the top must skip the two inner frames and
+	// attribute the access to the allocating routine.
+	tr := newSlow(t)
+	tr.BeginIteration()
+	fa := tr.Enter("grandparent")
+	data := fa.LocalF64(8)
+	fb := tr.Enter("parent")
+	fb.LocalF64(8)
+	fc := tr.Enter("child")
+	fc.LocalF64(8)
+	_ = data.Load(3)
+	tr.Leave()
+	tr.Leave()
+	tr.Leave()
+	for _, o := range tr.StackObjects() {
+		want := uint64(0)
+		if o.Name == "grandparent" {
+			want = 1
+		}
+		if got := o.Total().Reads; got != want {
+			t.Fatalf("%s frame reads = %d, want %d", o.Name, got, want)
+		}
+	}
+}
+
+func TestLocalI64(t *testing.T) {
+	tr := newSlow(t)
+	tr.BeginIteration()
+	f := tr.Enter("ints")
+	xs := f.LocalI64(3)
+	xs.Store(0, 7)
+	xs.Add(0, 1)
+	if got := xs.Load(0); got != 8 {
+		t.Fatalf("I64 local = %d, want 8", got)
+	}
+	if xs.Len() != 3 {
+		t.Fatalf("len = %d", xs.Len())
+	}
+	if xs.Raw()[0] != 8 {
+		t.Fatal("raw view inconsistent")
+	}
+	tr.Leave()
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Terminal chart helpers used by the report tooling to render the paper's
+// figures as text: horizontal bars for distributions and cumulative
+// curves, and compact sparklines for per-iteration series.
+
+// barRunes grade a fractional cell from empty to full.
+var barRunes = []rune{' ', '▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'}
+
+// HBar renders value/max as a fixed-width horizontal bar.  Values outside
+// [0, max] are clamped; a non-positive max yields an empty bar.
+func HBar(value, max float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if max <= 0 || value < 0 {
+		value = 0
+		max = 1
+	}
+	if value > max {
+		value = max
+	}
+	cells := value / max * float64(width)
+	full := int(cells)
+	var b strings.Builder
+	for i := 0; i < full && i < width; i++ {
+		b.WriteRune('█')
+	}
+	if full < width {
+		frac := cells - float64(full)
+		idx := int(math.Round(frac * 8))
+		b.WriteRune(barRunes[idx])
+		for i := full + 1; i < width; i++ {
+			b.WriteRune(' ')
+		}
+	}
+	return b.String()
+}
+
+// BarRow renders "label |bar| value" lines for a labelled series, scaling
+// every bar to the series maximum.
+func BarRow(labels []string, values []float64, width int) string {
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "%-*s |%s| %.3g\n", labelW, label, HBar(v, max, width), v)
+	}
+	return b.String()
+}
+
+// sparkRunes are the eight sparkline levels.
+var sparkRunes = []rune{'▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+// Sparkline renders a series as one line of block characters, scaled to
+// the series range.  NaNs render as spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * 7.999)
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > 7 {
+			idx = 7
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}

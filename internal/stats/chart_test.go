@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestHBarWidths(t *testing.T) {
+	if got := HBar(5, 10, 10); utf8.RuneCountInString(got) != 10 {
+		t.Fatalf("bar width = %d runes, want 10", utf8.RuneCountInString(got))
+	}
+	if got := HBar(10, 10, 8); got != strings.Repeat("█", 8) {
+		t.Fatalf("full bar = %q", got)
+	}
+	if got := HBar(0, 10, 4); strings.ContainsRune(got, '█') {
+		t.Fatalf("empty bar contains full cells: %q", got)
+	}
+	if HBar(1, 1, 0) != "" {
+		t.Fatal("zero width should render empty")
+	}
+}
+
+func TestHBarClamping(t *testing.T) {
+	if got := HBar(100, 10, 4); got != "████" {
+		t.Fatalf("over-max should clamp to full: %q", got)
+	}
+	if got := HBar(-5, 10, 4); strings.ContainsRune(got, '█') {
+		t.Fatalf("negative value should clamp to empty: %q", got)
+	}
+	if got := HBar(5, 0, 4); strings.ContainsRune(got, '█') {
+		t.Fatalf("non-positive max should clamp to empty: %q", got)
+	}
+}
+
+func TestBarRow(t *testing.T) {
+	out := BarRow([]string{"aa", "b"}, []float64{2, 4}, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "aa ") || !strings.HasPrefix(lines[1], "b  ") {
+		t.Fatalf("labels misaligned:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "████████") {
+		t.Fatalf("max row should be a full bar:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	got := Sparkline([]float64{0, 1, 2, 3})
+	if utf8.RuneCountInString(got) != 4 {
+		t.Fatalf("length = %d", utf8.RuneCountInString(got))
+	}
+	if []rune(got)[0] != '▁' || []rune(got)[3] != '█' {
+		t.Fatalf("extremes wrong: %q", got)
+	}
+	if got := Sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Fatalf("flat series = %q", got)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	if got := Sparkline([]float64{math.NaN(), 1}); []rune(got)[0] != ' ' {
+		t.Fatalf("NaN should render as space: %q", got)
+	}
+	if got := Sparkline([]float64{math.NaN(), math.NaN()}); got != "  " {
+		t.Fatalf("all-NaN = %q", got)
+	}
+}
+
+// Property: HBar output always has exactly `width` runes and is monotone in
+// filled cells.
+func TestQuickHBar(t *testing.T) {
+	f := func(v, m float64, w uint8) bool {
+		width := int(w%40) + 1
+		v, m = math.Abs(v), math.Abs(m)
+		if math.IsNaN(v) || math.IsNaN(m) || math.IsInf(v, 0) || math.IsInf(m, 0) {
+			return true
+		}
+		bar := HBar(v, m, width)
+		return utf8.RuneCountInString(bar) == width
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

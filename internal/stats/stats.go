@@ -1,0 +1,235 @@
+// Package stats provides the small statistical machinery the analysis layer
+// uses to present results the way the paper's figures do: cumulative
+// distributions of memory usage across timesteps (Figure 7), distributions
+// of normalized per-iteration metrics (Figures 8-11), and threshold-bucketed
+// shares (Figure 2's "x% of objects have read/write ratio larger than R").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics.  It returns NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// CDFPoint is one step of an empirical cumulative distribution.
+type CDFPoint struct {
+	X float64 // value
+	Y float64 // cumulative mass at or below X
+}
+
+// CDF computes the empirical cumulative distribution of weighted values:
+// point (x, y) means "values totalling y weight are <= x".  Inputs need not
+// be sorted.  Weights must be non-negative.
+func CDF(values, weights []float64) ([]CDFPoint, error) {
+	if len(values) != len(weights) {
+		return nil, fmt.Errorf("stats: %d values but %d weights", len(values), len(weights))
+	}
+	type pair struct{ v, w float64 }
+	ps := make([]pair, 0, len(values))
+	for i := range values {
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("stats: negative weight %v", weights[i])
+		}
+		ps = append(ps, pair{values[i], weights[i]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].v < ps[j].v })
+	out := make([]CDFPoint, 0, len(ps))
+	cum := 0.0
+	for i := 0; i < len(ps); {
+		j := i
+		for j < len(ps) && ps[j].v == ps[i].v {
+			cum += ps[j].w
+			j++
+		}
+		out = append(out, CDFPoint{X: ps[i].v, Y: cum})
+		i = j
+	}
+	return out, nil
+}
+
+// ShareAbove returns, for weighted observations, the fraction of the
+// observation count and the fraction of the total weight whose value
+// exceeds the threshold.  This is Figure 2's presentation: "43.3% of stack
+// objects have read/write ratios larger than 10; accesses to them account
+// for 68.9% of references".
+func ShareAbove(values, weights []float64, threshold float64) (countFrac, weightFrac float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	var n, w, totalW float64
+	for i, v := range values {
+		wt := 1.0
+		if i < len(weights) {
+			wt = weights[i]
+		}
+		totalW += wt
+		if v > threshold {
+			n++
+			w += wt
+		}
+	}
+	countFrac = n / float64(len(values))
+	if totalW > 0 {
+		weightFrac = w / totalW
+	}
+	return countFrac, weightFrac
+}
+
+// Histogram buckets observations into fixed bins for the variance figures.
+type Histogram struct {
+	// Edges has len(Counts)+1 entries; bin i covers [Edges[i], Edges[i+1]).
+	Edges  []float64
+	Counts []uint64
+	// Below and Above count observations outside the edge range.
+	Below, Above uint64
+}
+
+// NewHistogram builds an empty histogram over the given bin edges, which
+// must be strictly increasing and at least two.
+func NewHistogram(edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: need at least 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("stats: edges not strictly increasing at %d", i)
+		}
+	}
+	return &Histogram{Edges: append([]float64(nil), edges...), Counts: make([]uint64, len(edges)-1)}, nil
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(x float64) {
+	if x < h.Edges[0] {
+		h.Below++
+		return
+	}
+	if x >= h.Edges[len(h.Edges)-1] {
+		h.Above++
+		return
+	}
+	i := sort.SearchFloat64s(h.Edges, x)
+	// SearchFloat64s returns the first edge >= x; the bin index is one less,
+	// except when x equals an edge exactly.
+	if i < len(h.Edges) && h.Edges[i] == x {
+		h.Counts[i]++
+		return
+	}
+	h.Counts[i-1]++
+}
+
+// Total returns all observations including out-of-range ones.
+func (h *Histogram) Total() uint64 {
+	t := h.Below + h.Above
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns the share of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(t)
+}
+
+// FractionBelowOrAbove returns the out-of-range shares.
+func (h *Histogram) FractionBelowOrAbove() (below, above float64) {
+	t := h.Total()
+	if t == 0 {
+		return 0, 0
+	}
+	return float64(h.Below) / float64(t), float64(h.Above) / float64(t)
+}
+
+// VarianceBins are the normalized-metric bins used by Figures 8-11: each
+// object's per-iteration metric is divided by its iteration-1 value and the
+// distribution of these ratios is shown per iteration.  The paper's headline
+// is the share in [1, 2).
+var VarianceBins = []float64{0, 0.5, 1, 2, 4, 8, math.Inf(1)}
+
+// NormalizedDistribution maps per-iteration metric values (indexed by
+// iteration, 1-based values[iter]) to the share of objects whose normalized
+// metric falls into each VarianceBins bin for that iteration.
+//
+// perObject[o][i] is object o's metric at main-loop iteration i (i>=1,
+// index 0 unused).  Objects whose iteration-1 metric is zero are normalized
+// against the first nonzero iteration, mirroring the paper's handling of
+// late-appearing objects; objects that never have a nonzero metric are
+// skipped.
+func NormalizedDistribution(perObject [][]float64, iterations int) [][]float64 {
+	out := make([][]float64, iterations+1)
+	for iter := 1; iter <= iterations; iter++ {
+		counts := make([]float64, len(VarianceBins)-1)
+		total := 0.0
+		for _, series := range perObject {
+			if iter >= len(series) {
+				continue
+			}
+			base := 0.0
+			for i := 1; i < len(series); i++ {
+				if series[i] != 0 {
+					base = series[i]
+					break
+				}
+			}
+			if base == 0 {
+				continue
+			}
+			ratio := series[iter] / base
+			total++
+			for b := 0; b < len(VarianceBins)-1; b++ {
+				if ratio >= VarianceBins[b] && ratio < VarianceBins[b+1] {
+					counts[b]++
+					break
+				}
+			}
+		}
+		if total > 0 {
+			for b := range counts {
+				counts[b] /= total
+			}
+		}
+		out[iter] = counts
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); !almost(got, 2.5) {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Fatalf("mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts, err := CDF([]float64{2, 1, 2, 5}, []float64{10, 5, 20, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CDFPoint{{1, 5}, {2, 35}, {5, 36}}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("pts[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCDFErrors(t *testing.T) {
+	if _, err := CDF([]float64{1}, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := CDF([]float64{1}, []float64{-2}); err == nil {
+		t.Fatal("negative weight must error")
+	}
+}
+
+func TestShareAbove(t *testing.T) {
+	values := []float64{5, 15, 60, 100}
+	weights := []float64{10, 10, 40, 40}
+	cf, wf := ShareAbove(values, weights, 10)
+	if !almost(cf, 0.75) {
+		t.Fatalf("count fraction = %v, want 0.75", cf)
+	}
+	if !almost(wf, 0.9) {
+		t.Fatalf("weight fraction = %v, want 0.9", wf)
+	}
+	cf, wf = ShareAbove(nil, nil, 10)
+	if cf != 0 || wf != 0 {
+		t.Fatal("empty input should give zeros")
+	}
+	// Missing weights default to 1.
+	cf, wf = ShareAbove([]float64{1, 20}, nil, 10)
+	if !almost(cf, 0.5) || !almost(wf, 0.5) {
+		t.Fatalf("unweighted = %v/%v", cf, wf)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 0.5, 1, 1.5, 3.9, 4, 100} {
+		h.Observe(x)
+	}
+	if h.Below != 1 || h.Above != 2 {
+		t.Fatalf("out of range: below=%d above=%d", h.Below, h.Above)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[2] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if !almost(h.Fraction(0), 0.25) {
+		t.Fatalf("fraction = %v", h.Fraction(0))
+	}
+	below, above := h.FractionBelowOrAbove()
+	if !almost(below, 0.125) || !almost(above, 0.25) {
+		t.Fatalf("oor fractions = %v/%v", below, above)
+	}
+}
+
+func TestHistogramEdgeExactlyOnBoundary(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 10, 20})
+	h.Observe(10)
+	if h.Counts[1] != 1 || h.Counts[0] != 0 {
+		t.Fatalf("boundary value in wrong bin: %v", h.Counts)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}); err == nil {
+		t.Fatal("single edge must error")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Fatal("non-increasing edges must error")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 1})
+	if h.Fraction(0) != 0 {
+		t.Fatal("empty histogram fraction should be 0")
+	}
+	b, a := h.FractionBelowOrAbove()
+	if b != 0 || a != 0 {
+		t.Fatal("empty histogram out-of-range fractions should be 0")
+	}
+}
+
+func TestNormalizedDistributionStableMetrics(t *testing.T) {
+	// Three objects with perfectly stable metrics: every iteration's ratio
+	// is exactly 1, landing in the [1,2) bin — the paper's ">60% in [1,2)".
+	perObject := [][]float64{
+		{0, 5, 5, 5},
+		{0, 2, 2, 2},
+		{0, 9, 9, 9},
+	}
+	dist := NormalizedDistribution(perObject, 3)
+	for iter := 1; iter <= 3; iter++ {
+		// bin index 2 is [1,2)
+		if !almost(dist[iter][2], 1.0) {
+			t.Fatalf("iteration %d: [1,2) share = %v, want 1", iter, dist[iter][2])
+		}
+	}
+}
+
+func TestNormalizedDistributionLateObject(t *testing.T) {
+	// An object silent in iteration 1 normalizes against its first nonzero
+	// iteration.
+	perObject := [][]float64{
+		{0, 0, 4, 8},
+	}
+	dist := NormalizedDistribution(perObject, 3)
+	if !almost(dist[2][2], 1.0) { // 4/4 = 1 -> [1,2)
+		t.Fatalf("iter2 = %v", dist[2])
+	}
+	if !almost(dist[3][3], 1.0) { // 8/4 = 2 -> [2,4)
+		t.Fatalf("iter3 = %v", dist[3])
+	}
+}
+
+func TestNormalizedDistributionSkipsAllZero(t *testing.T) {
+	perObject := [][]float64{
+		{0, 0, 0},
+		{0, 1, 1},
+	}
+	dist := NormalizedDistribution(perObject, 2)
+	if !almost(dist[1][2], 1.0) {
+		t.Fatalf("all-zero object should be skipped: %v", dist[1])
+	}
+}
+
+// Property: quantile of any slice lies within [min, max].
+func TestQuickQuantileBounds(t *testing.T) {
+	f := func(xs []float64, q float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		q = math.Abs(q)
+		q -= math.Floor(q)
+		v := Quantile(clean, q)
+		s := append([]float64(nil), clean...)
+		sort.Float64s(s)
+		return v >= s[0]-1e-9 && v <= s[len(s)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF is monotone and ends at the total weight.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		values := make([]float64, count)
+		weights := make([]float64, count)
+		total := 0.0
+		for i := range values {
+			values[i] = rng.NormFloat64()
+			weights[i] = rng.Float64()
+			total += weights[i]
+		}
+		pts, err := CDF(values, weights)
+		if err != nil {
+			return false
+		}
+		prevX := math.Inf(-1)
+		prevY := 0.0
+		for _, p := range pts {
+			if p.X <= prevX || p.Y < prevY {
+				return false
+			}
+			prevX, prevY = p.X, p.Y
+		}
+		return math.Abs(pts[len(pts)-1].Y-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram total equals observation count.
+func TestQuickHistogramTotal(t *testing.T) {
+	f := func(xs []float64) bool {
+		h, err := NewHistogram([]float64{-10, -1, 0, 1, 10})
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Observe(x)
+			n++
+		}
+		return h.Total() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NormalizedDistribution rows sum to ~1 (or 0 when nothing
+// qualifies).
+func TestQuickNormalizedDistributionSums(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		objects := rng.Intn(20) + 1
+		iters := rng.Intn(6) + 1
+		perObject := make([][]float64, objects)
+		for o := range perObject {
+			series := make([]float64, iters+1)
+			for i := 1; i <= iters; i++ {
+				if rng.Float64() < 0.8 {
+					series[i] = rng.Float64() * 10
+				}
+			}
+			perObject[o] = series
+		}
+		dist := NormalizedDistribution(perObject, iters)
+		for iter := 1; iter <= iters; iter++ {
+			sum := 0.0
+			for _, frac := range dist[iter] {
+				sum += frac
+			}
+			if sum != 0 && math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

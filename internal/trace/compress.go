@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+)
+
+// Compressed trace support.  §III-D notes that even compressed trace files
+// are slow to post-process — the design argument for on-the-fly analysis —
+// but compressed traces remain the right interchange format for the power
+// simulator's replay mode, so both writer and reader support gzip.  The
+// reader detects compression automatically from the stream magic.
+
+// NewCompressedAccessWriter returns a Writer producing a gzip-compressed
+// KindAccess stream.  Close flushes and finishes the gzip stream (the
+// underlying writer is not closed).
+func NewCompressedAccessWriter(w io.Writer) *Writer {
+	gz := gzip.NewWriter(w)
+	cw := NewAccessWriter(gz)
+	cw.closer = gz
+	return cw
+}
+
+// NewCompressedTransactionWriter returns a Writer producing a
+// gzip-compressed KindTransaction stream.
+func NewCompressedTransactionWriter(w io.Writer) *Writer {
+	gz := gzip.NewWriter(w)
+	cw := NewTransactionWriter(gz)
+	cw.closer = gz
+	return cw
+}
+
+// gzipMagic is the two-byte gzip stream signature.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// maybeDecompress peeks at the stream and interposes a gzip reader when the
+// content is compressed.
+func maybeDecompress(br *bufio.Reader) (*bufio.Reader, error) {
+	head, err := br.Peek(2)
+	if err != nil {
+		// Too short even for a magic: let the header parser report it.
+		return br, nil
+	}
+	if head[0] != gzipMagic[0] || head[1] != gzipMagic[1] {
+		return br, nil
+	}
+	gz, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, err
+	}
+	return bufio.NewReaderSize(gz, 1<<16), nil
+}

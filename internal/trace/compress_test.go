@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressedTransactionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompressedTransactionWriter(&buf)
+	in := []Transaction{
+		{Addr: 0x1000, Write: false, Cycle: 1},
+		{Addr: 0x2040, Write: true, Cycle: 2},
+		{Addr: 0xffff_0000, Write: false, Cycle: 3},
+	}
+	for _, tx := range in {
+		if err := w.WriteTransaction(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream must actually be gzip.
+	raw := buf.Bytes()
+	if raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("stream is not gzip-compressed")
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != KindTransaction {
+		t.Fatalf("kind = %d", r.Kind())
+	}
+	for i, want := range in {
+		got, err := r.ReadTransaction()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.ReadTransaction(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestCompressedAccessRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompressedAccessWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		if err := w.WriteAccess(Access{Addr: uint64(i) * 8, Size: 8, Op: Op(i % 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := r.ReadAccess()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 1000 {
+		t.Fatalf("read %d records, want 1000", n)
+	}
+}
+
+func TestCompressionActuallyShrinksRegularTraces(t *testing.T) {
+	var plain, compressed bytes.Buffer
+	pw := NewTransactionWriter(&plain)
+	cw := NewCompressedTransactionWriter(&compressed)
+	for i := 0; i < 20000; i++ {
+		tx := Transaction{Addr: uint64(i%256) * 64, Write: i%4 == 0, Cycle: uint64(i)}
+		if err := pw.WriteTransaction(tx); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.WriteTransaction(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Len()*2 > plain.Len() {
+		t.Fatalf("compression ineffective: %d vs %d bytes", compressed.Len(), plain.Len())
+	}
+}
+
+func TestUncompressedStillReadable(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTransactionWriter(&buf)
+	if err := w.WriteTransaction(Transaction{Addr: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadTransaction(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortStreamStillErrorsCleanly(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{0x1f})); err == nil {
+		t.Fatal("1-byte stream must error")
+	}
+	// A stream that has the gzip magic but is not valid gzip.
+	if _, err := NewReader(bytes.NewReader([]byte{0x1f, 0x8b, 0x00, 0x00})); err == nil {
+		t.Fatal("corrupt gzip must error")
+	}
+}
+
+// Property: compressed and plain round trips agree for arbitrary records.
+func TestQuickCompressedEqualsPlain(t *testing.T) {
+	f := func(addrs []uint64, writes []bool) bool {
+		n := len(addrs)
+		if len(writes) < n {
+			n = len(writes)
+		}
+		var pb, cb bytes.Buffer
+		pw := NewTransactionWriter(&pb)
+		cw := NewCompressedTransactionWriter(&cb)
+		for i := 0; i < n; i++ {
+			tx := Transaction{Addr: addrs[i], Write: writes[i], Cycle: uint64(i)}
+			if pw.WriteTransaction(tx) != nil || cw.WriteTransaction(tx) != nil {
+				return false
+			}
+		}
+		if pw.Close() != nil || cw.Close() != nil {
+			return false
+		}
+		pr, err1 := NewReader(&pb)
+		cr, err2 := NewReader(&cb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for {
+			a, ea := pr.ReadTransaction()
+			b, eb := cr.ReadTransaction()
+			if ea != eb && !(ea == io.EOF && eb == io.EOF) {
+				return false
+			}
+			if ea == io.EOF {
+				return true
+			}
+			if ea != nil || a != b {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

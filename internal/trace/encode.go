@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format.
+//
+// The original tool considered writing raw traces to disk for offline
+// processing and rejected it for the main pipeline because post-processing
+// tens of gigabytes is slower than on-the-fly analysis (§III-D).  We keep the
+// on-the-fly design but still provide a compact binary format so that the
+// power simulator (cmd/nvpower) can be fed from a file, mirroring how
+// DRAMSim2 consumes trace files.
+//
+// Layout:
+//
+//	header:  magic "NVSC" | version u8 | kind u8 | reserved u16
+//	access record:      addr u64 | size u8 | op u8        (10 bytes)
+//	transaction record: addr u64 | cycle u64 | write u8   (17 bytes)
+
+const (
+	traceMagic   = "NVSC"
+	traceVersion = 1
+
+	// KindAccess marks a raw access trace.
+	KindAccess = 1
+	// KindTransaction marks a post-cache main-memory trace.
+	KindTransaction = 2
+)
+
+// ErrBadTrace reports a malformed trace header or record.
+var ErrBadTrace = errors.New("trace: malformed trace stream")
+
+func writeHeader(w io.Writer, kind uint8) error {
+	var h [8]byte
+	copy(h[:4], traceMagic)
+	h[4] = traceVersion
+	h[5] = kind
+	_, err := w.Write(h[:])
+	return err
+}
+
+func readHeader(r io.Reader) (kind uint8, err error) {
+	var h [8]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, err
+	}
+	if string(h[:4]) != traceMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrBadTrace, h[:4])
+	}
+	if h[4] != traceVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, h[4])
+	}
+	return h[5], nil
+}
+
+// Writer encodes accesses to an io.Writer.  It implements Sink, so it can be
+// plugged directly under a Buffer.
+type Writer struct {
+	bw      *bufio.Writer
+	started bool
+	kind    uint8
+	n       uint64
+	// closer, when set, finishes a compression layer on Close.
+	closer io.Closer
+}
+
+// NewAccessWriter returns a Writer producing a KindAccess stream.
+func NewAccessWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), kind: KindAccess}
+}
+
+// NewTransactionWriter returns a Writer producing a KindTransaction stream.
+func NewTransactionWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), kind: KindTransaction}
+}
+
+func (w *Writer) start() error {
+	if w.started {
+		return nil
+	}
+	w.started = true
+	return writeHeader(w.bw, w.kind)
+}
+
+// WriteAccess appends one access record.
+func (w *Writer) WriteAccess(a Access) error {
+	if w.kind != KindAccess {
+		return fmt.Errorf("trace: WriteAccess on %d-kind writer", w.kind)
+	}
+	if err := w.start(); err != nil {
+		return err
+	}
+	var rec [10]byte
+	binary.LittleEndian.PutUint64(rec[0:8], a.Addr)
+	rec[8] = a.Size
+	rec[9] = uint8(a.Op)
+	w.n++
+	_, err := w.bw.Write(rec[:])
+	return err
+}
+
+// WriteTransaction appends one main-memory transaction record.
+func (w *Writer) WriteTransaction(t Transaction) error {
+	if w.kind != KindTransaction {
+		return fmt.Errorf("trace: WriteTransaction on %d-kind writer", w.kind)
+	}
+	if err := w.start(); err != nil {
+		return err
+	}
+	var rec [17]byte
+	binary.LittleEndian.PutUint64(rec[0:8], t.Addr)
+	binary.LittleEndian.PutUint64(rec[8:16], t.Cycle)
+	if t.Write {
+		rec[16] = 1
+	}
+	w.n++
+	_, err := w.bw.Write(rec[:])
+	return err
+}
+
+// Flush implements Sink for access streams.
+func (w *Writer) Flush(batch []Access) error {
+	for _, a := range batch {
+		if err := w.WriteAccess(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Close flushes buffered output and finishes any compression layer.  It
+// does not close the application's underlying writer.
+func (w *Writer) Close() error {
+	if err := w.start(); err != nil { // an empty trace still gets a header
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.closer != nil {
+		return w.closer.Close()
+	}
+	return nil
+}
+
+// Reader decodes a binary trace stream.
+type Reader struct {
+	br   *bufio.Reader
+	kind uint8
+}
+
+// NewReader wraps r and validates the stream header.  Gzip-compressed
+// traces (written by the NewCompressed*Writer constructors) are detected
+// and decompressed transparently.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, err := maybeDecompress(bufio.NewReaderSize(r, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	kind, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindAccess && kind != KindTransaction {
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadTrace, kind)
+	}
+	return &Reader{br: br, kind: kind}, nil
+}
+
+// Kind reports the stream kind (KindAccess or KindTransaction).
+func (r *Reader) Kind() uint8 { return r.kind }
+
+// ReadAccess returns the next access record, or io.EOF at end of stream.
+func (r *Reader) ReadAccess() (Access, error) {
+	if r.kind != KindAccess {
+		return Access{}, fmt.Errorf("trace: ReadAccess on %d-kind reader", r.kind)
+	}
+	var rec [10]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Access{}, fmt.Errorf("%w: truncated record", ErrBadTrace)
+		}
+		return Access{}, err
+	}
+	op := Op(rec[9])
+	if op != Read && op != Write {
+		return Access{}, fmt.Errorf("%w: bad op %d", ErrBadTrace, rec[9])
+	}
+	return Access{
+		Addr: binary.LittleEndian.Uint64(rec[0:8]),
+		Size: rec[8],
+		Op:   op,
+	}, nil
+}
+
+// ReadTransaction returns the next transaction record, or io.EOF.
+func (r *Reader) ReadTransaction() (Transaction, error) {
+	if r.kind != KindTransaction {
+		return Transaction{}, fmt.Errorf("trace: ReadTransaction on %d-kind reader", r.kind)
+	}
+	var rec [17]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Transaction{}, fmt.Errorf("%w: truncated record", ErrBadTrace)
+		}
+		return Transaction{}, err
+	}
+	return Transaction{
+		Addr:  binary.LittleEndian.Uint64(rec[0:8]),
+		Cycle: binary.LittleEndian.Uint64(rec[8:16]),
+		Write: rec[16] != 0,
+	}, nil
+}

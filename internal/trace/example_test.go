@@ -1,0 +1,47 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"nvscavenger/internal/trace"
+)
+
+// Example writes a compressed transaction trace and reads it back; the
+// reader detects the compression automatically.
+func Example() {
+	var buf bytes.Buffer
+	w := trace.NewCompressedTransactionWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.WriteTransaction(trace.Transaction{Addr: uint64(i) * 64, Write: i == 1}); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		panic(err)
+	}
+	for {
+		t, err := r.ReadTransaction()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			panic(err)
+		}
+		op := "read "
+		if t.Write {
+			op = "write"
+		}
+		fmt.Printf("%s %#08x\n", op, t.Addr)
+	}
+	// Output:
+	// read  0x00000000
+	// write 0x00000040
+	// read  0x00000080
+}

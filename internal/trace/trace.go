@@ -1,0 +1,208 @@
+// Package trace defines the memory-event model shared by the NV-SCAVENGER
+// instrumentation substrate, the cache hierarchy simulator, and the memory
+// power simulator.
+//
+// The central type is Access, a single dynamic memory reference (address,
+// size, operation).  Accesses are produced by the instrumented mini-apps,
+// filtered by the cache simulator into main-memory Transactions, and replayed
+// through the DRAMSim-like power model.
+//
+// The package also implements the buffered trace pipeline described in
+// §III-D of the paper: references are staged into a fixed-size memory buffer
+// and handed to the consumer in batches, which amortizes per-access overhead
+// and reduces interference with the traced program's own data cache.
+package trace
+
+import "fmt"
+
+// Op is the kind of a memory operation.
+type Op uint8
+
+const (
+	// Read is a load from memory.
+	Read Op = iota
+	// Write is a store to memory.
+	Write
+)
+
+// String returns "R" for Read and "W" for Write.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Segment identifies which region of the simulated address space an address
+// belongs to.  The instrumentation tool analyzes stack, heap and global data
+// separately (paper §III).
+type Segment uint8
+
+const (
+	// SegUnknown marks addresses outside all registered regions.
+	SegUnknown Segment = iota
+	// SegGlobal is the static data segment.
+	SegGlobal
+	// SegHeap is the dynamic allocation arena.
+	SegHeap
+	// SegStack is the downward-growing program stack.
+	SegStack
+)
+
+// String names the segment the way the paper's tables do.
+func (s Segment) String() string {
+	switch s {
+	case SegGlobal:
+		return "global"
+	case SegHeap:
+		return "heap"
+	case SegStack:
+		return "stack"
+	}
+	return "unknown"
+}
+
+// Access is one dynamic memory reference.
+type Access struct {
+	// Addr is the simulated virtual address of the first byte touched.
+	Addr uint64
+	// Size is the number of bytes touched (1..255).
+	Size uint8
+	// Op says whether the reference is a load or a store.
+	Op Op
+}
+
+// IsWrite reports whether the access is a store.
+func (a Access) IsWrite() bool { return a.Op == Write }
+
+// End returns the address one past the last byte touched.
+func (a Access) End() uint64 { return a.Addr + uint64(a.Size) }
+
+// Transaction is a main-memory request that survived the cache hierarchy:
+// a last-level-cache miss (read) or a dirty eviction / writeback (write).
+// Transactions are always one cache line long.
+type Transaction struct {
+	// Addr is the line-aligned physical address.
+	Addr uint64
+	// Write is true for writebacks, false for fill reads.
+	Write bool
+	// Cycle is the (approximate) CPU cycle at which the request was issued.
+	// A zero cycle means "no timing information"; the power simulator then
+	// processes requests at full speed and reports average power, exactly as
+	// §IV describes for trace-driven runs.
+	Cycle uint64
+}
+
+// Sink consumes batches of accesses.  Flush is called with a full (or final,
+// possibly short) buffer; the callee must not retain the slice.
+type Sink interface {
+	Flush(batch []Access) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(batch []Access) error
+
+// Flush calls f(batch).
+func (f SinkFunc) Flush(batch []Access) error { return f(batch) }
+
+// DefaultBufferSize is the number of accesses staged before the buffer is
+// handed to the sink.  Large enough to amortize the call, small enough to
+// stay cache-resident.
+const DefaultBufferSize = 1 << 14
+
+// Buffer stages accesses and flushes them to a Sink in batches (§III-D).
+type Buffer struct {
+	sink Sink
+	buf  []Access
+	n    int
+	err  error
+	// Flushes counts how many times the staging buffer was drained; used by
+	// the instrumentation-overhead benchmarks.
+	Flushes uint64
+}
+
+// NewBuffer returns a Buffer of the given capacity flushing into sink.
+// A non-positive size selects DefaultBufferSize.
+func NewBuffer(sink Sink, size int) *Buffer {
+	if size <= 0 {
+		size = DefaultBufferSize
+	}
+	return &Buffer{sink: sink, buf: make([]Access, size)}
+}
+
+// Add stages one access, flushing if the buffer fills.  Errors from the sink
+// are sticky and reported by Close.
+func (b *Buffer) Add(a Access) {
+	b.buf[b.n] = a
+	b.n++
+	if b.n == len(b.buf) {
+		b.flush()
+	}
+}
+
+// Err returns the first error reported by the sink, if any.
+func (b *Buffer) Err() error { return b.err }
+
+func (b *Buffer) flush() {
+	if b.n == 0 {
+		return
+	}
+	b.Flushes++
+	if err := b.sink.Flush(b.buf[:b.n]); err != nil && b.err == nil {
+		b.err = err
+	}
+	b.n = 0
+}
+
+// Close drains any staged accesses and returns the first sink error.
+func (b *Buffer) Close() error {
+	b.flush()
+	return b.err
+}
+
+// Stats accumulates aggregate counts over an access stream.  It doubles as a
+// Sink so it can terminate a pipeline.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	BytesRead  uint64
+	BytesWrite uint64
+}
+
+// Observe adds one access to the totals.
+func (s *Stats) Observe(a Access) {
+	if a.Op == Write {
+		s.Writes++
+		s.BytesWrite += uint64(a.Size)
+	} else {
+		s.Reads++
+		s.BytesRead += uint64(a.Size)
+	}
+}
+
+// Flush implements Sink.
+func (s *Stats) Flush(batch []Access) error {
+	for _, a := range batch {
+		s.Observe(a)
+	}
+	return nil
+}
+
+// Total returns the total number of references.
+func (s *Stats) Total() uint64 { return s.Reads + s.Writes }
+
+// ReadWriteRatio returns reads/writes; if there are no writes it returns
+// +Inf-like sentinel: the read count itself (callers treat a ratio above any
+// threshold as "read-only" when Writes==0).
+func (s *Stats) ReadWriteRatio() float64 {
+	if s.Writes == 0 {
+		if s.Reads == 0 {
+			return 0
+		}
+		return float64(s.Reads)
+	}
+	return float64(s.Reads) / float64(s.Writes)
+}

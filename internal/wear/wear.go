@@ -1,0 +1,217 @@
+// Package wear models write endurance inside an NVRAM region at cache-line
+// granularity, quantifying the §II concern that limited write endurance
+// (PCRAM: 1e8-1e9.7 cycles against DRAM's 1e16) must be managed before data
+// can live in NVRAM.
+//
+// Two line-placement schemes are modelled:
+//
+//   - Static: a line's physical location never changes, so a hot line
+//     concentrates all of its writes on the same cells and dies first.
+//   - Start-Gap (Qureshi et al., MICRO 2009): one spare line plus a gap
+//     pointer that rotates through the region, remapping every logical
+//     line across all physical lines over time with near-zero metadata.
+//
+// The Tracker consumes write addresses (e.g. the writeback side of the
+// cache-filtered transaction stream) and reports per-line write statistics
+// and lifetime estimates under a device profile.
+package wear
+
+import (
+	"fmt"
+
+	"nvscavenger/internal/dramsim"
+)
+
+// Scheme selects the wear-leveling policy.
+type Scheme uint8
+
+const (
+	// Static keeps the logical-to-physical line mapping fixed.
+	Static Scheme = iota
+	// StartGap rotates the mapping by one line every GapMovePeriod writes.
+	StartGap
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if s == StartGap {
+		return "start-gap"
+	}
+	return "static"
+}
+
+// Config describes the tracked region.
+type Config struct {
+	// BaseAddr and Lines delimit the region (line size 64 B).
+	BaseAddr uint64
+	Lines    int
+	// Scheme selects wear leveling.
+	Scheme Scheme
+	// GapMovePeriod is the number of region writes between gap moves
+	// (Start-Gap's psi parameter; default 100, as in the original paper).
+	GapMovePeriod int
+}
+
+func (c Config) withDefaults() Config {
+	if c.GapMovePeriod == 0 {
+		c.GapMovePeriod = 100
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Lines <= 0 {
+		return fmt.Errorf("wear: non-positive line count")
+	}
+	if c.GapMovePeriod < 1 {
+		return fmt.Errorf("wear: gap move period below 1")
+	}
+	return nil
+}
+
+// Tracker accumulates per-physical-line write counts for one region.
+type Tracker struct {
+	cfg    Config
+	writes []uint64 // per physical line
+	total  uint64
+	// Start-Gap state, following Qureshi et al.: with N logical lines and
+	// N+1 physical lines, logical line l maps to p = (l + start) mod N,
+	// shifted one further when p >= gap.  The gap walks from N down to 0;
+	// on reaching 0 it resets to N and start advances, completing one full
+	// rotation of the region.
+	gap        int
+	start      int
+	sinceMove  int
+	gapMoves   uint64
+	outOfRange uint64
+}
+
+// NewTracker builds a Tracker.
+func NewTracker(cfg Config) (*Tracker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &Tracker{cfg: cfg}
+	if cfg.Scheme == StartGap {
+		// One spare line; the gap starts past the last line.
+		t.writes = make([]uint64, cfg.Lines+1)
+		t.gap = cfg.Lines
+	} else {
+		t.writes = make([]uint64, cfg.Lines)
+	}
+	return t, nil
+}
+
+// MustNewTracker is NewTracker for known-good configurations.
+func MustNewTracker(cfg Config) *Tracker {
+	t, err := NewTracker(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// physical maps a logical line to its physical line under the scheme.
+func (t *Tracker) physical(logical int) int {
+	if t.cfg.Scheme != StartGap {
+		return logical
+	}
+	p := (logical + t.start) % t.cfg.Lines
+	// Lines at or past the gap are shifted one further (the gap is empty).
+	if p >= t.gap {
+		p++
+	}
+	return p
+}
+
+// Write records one line write at addr.  Addresses outside the region are
+// counted and ignored.
+func (t *Tracker) Write(addr uint64) {
+	if addr < t.cfg.BaseAddr {
+		t.outOfRange++
+		return
+	}
+	logical := int((addr - t.cfg.BaseAddr) / 64)
+	if logical >= t.cfg.Lines {
+		t.outOfRange++
+		return
+	}
+	t.writes[t.physical(logical)]++
+	t.total++
+
+	if t.cfg.Scheme == StartGap {
+		t.sinceMove++
+		if t.sinceMove >= t.cfg.GapMovePeriod {
+			t.sinceMove = 0
+			t.moveGap()
+		}
+	}
+}
+
+// moveGap advances the wear-leveling state by one step: the line just
+// before the gap is copied into the gap (one write to the gap cell) and
+// the gap takes its place; when the gap reaches location 0 it resets to
+// the spare position and start advances — the region has rotated by one.
+func (t *Tracker) moveGap() {
+	if t.gap == 0 {
+		t.gap = t.cfg.Lines
+		t.start = (t.start + 1) % t.cfg.Lines
+		return
+	}
+	// Copying the displaced line is a write to the current gap cell.
+	t.writes[t.gap]++
+	t.gapMoves++
+	t.gap--
+}
+
+// Report summarizes wear for the region.
+type Report struct {
+	Scheme     Scheme
+	Lines      int
+	TotalLine  uint64 // total line writes recorded (incl. gap copies)
+	MaxLine    uint64 // writes on the most-worn physical line
+	MeanLine   float64
+	GapMoves   uint64
+	OutOfRange uint64
+	// Imbalance is MaxLine/MeanLine: 1.0 is perfect leveling.
+	Imbalance float64
+}
+
+// Report computes the current summary.
+func (t *Tracker) Report() Report {
+	r := Report{
+		Scheme:     t.cfg.Scheme,
+		Lines:      t.cfg.Lines,
+		GapMoves:   t.gapMoves,
+		OutOfRange: t.outOfRange,
+	}
+	var sum uint64
+	for _, w := range t.writes {
+		sum += w
+		if w > r.MaxLine {
+			r.MaxLine = w
+		}
+	}
+	r.TotalLine = sum
+	r.MeanLine = float64(sum) / float64(len(t.writes))
+	if r.MeanLine > 0 {
+		r.Imbalance = float64(r.MaxLine) / r.MeanLine
+	}
+	return r
+}
+
+// LifetimeWrites estimates how many more region writes (at the observed
+// distribution) the region survives before its most-worn line exhausts the
+// device's per-cell endurance.  Returns the endurance itself when nothing
+// has been written.
+func (t *Tracker) LifetimeWrites(prof dramsim.DeviceProfile) float64 {
+	r := t.Report()
+	if r.MaxLine == 0 || r.TotalLine == 0 {
+		return prof.WriteEndurance
+	}
+	// The hottest line receives MaxLine/TotalLine of region writes; it
+	// dies after WriteEndurance writes.
+	hotShare := float64(r.MaxLine) / float64(r.TotalLine)
+	return prof.WriteEndurance / hotShare
+}

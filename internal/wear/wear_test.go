@@ -1,0 +1,162 @@
+package wear
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvscavenger/internal/dramsim"
+)
+
+func TestSchemeString(t *testing.T) {
+	if Static.String() != "static" || StartGap.String() != "start-gap" {
+		t.Fatal("scheme strings wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewTracker(Config{Lines: 0}); err == nil {
+		t.Fatal("zero lines must error")
+	}
+	if _, err := NewTracker(Config{Lines: 4, GapMovePeriod: -1}); err == nil {
+		t.Fatal("negative period must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewTracker must panic on bad config")
+		}
+	}()
+	MustNewTracker(Config{})
+}
+
+func TestStaticConcentratesWear(t *testing.T) {
+	tr := MustNewTracker(Config{Lines: 64, Scheme: Static})
+	// Hammer line 0.
+	for i := 0; i < 10000; i++ {
+		tr.Write(0)
+	}
+	r := tr.Report()
+	if r.MaxLine != 10000 {
+		t.Fatalf("max line writes = %d, want 10000", r.MaxLine)
+	}
+	if r.Imbalance < 60 {
+		t.Fatalf("static imbalance = %v, want ~64 (all wear on one of 64 lines)", r.Imbalance)
+	}
+}
+
+func TestStartGapSpreadsWear(t *testing.T) {
+	tr := MustNewTracker(Config{Lines: 64, Scheme: StartGap, GapMovePeriod: 10})
+	for i := 0; i < 200000; i++ {
+		tr.Write(0) // same logical line forever
+	}
+	r := tr.Report()
+	if r.GapMoves == 0 {
+		t.Fatal("gap never moved")
+	}
+	// With rotation, the hot logical line's writes spread across physical
+	// lines: imbalance far below static's 65.
+	if r.Imbalance > 10 {
+		t.Fatalf("start-gap imbalance = %v, want < 10", r.Imbalance)
+	}
+}
+
+func TestStartGapExtendsLifetime(t *testing.T) {
+	hammer := func(scheme Scheme) float64 {
+		tr := MustNewTracker(Config{Lines: 128, Scheme: scheme, GapMovePeriod: 10})
+		for i := 0; i < 300000; i++ {
+			tr.Write(64 * uint64(i%4)) // 4 hot lines of 128
+		}
+		return tr.LifetimeWrites(dramsim.PCRAM())
+	}
+	static, sg := hammer(Static), hammer(StartGap)
+	if sg < static*5 {
+		t.Fatalf("start-gap lifetime %v should be >= 5x static %v", sg, static)
+	}
+}
+
+func TestOutOfRangeCounted(t *testing.T) {
+	tr := MustNewTracker(Config{BaseAddr: 4096, Lines: 4})
+	tr.Write(0)               // below base
+	tr.Write(4096 + 4*64)     // past the last line
+	tr.Write(4096 + 2*64 + 8) // inside (unaligned ok)
+	r := tr.Report()
+	if r.OutOfRange != 2 {
+		t.Fatalf("out of range = %d, want 2", r.OutOfRange)
+	}
+	if r.TotalLine != 1 {
+		t.Fatalf("total = %d, want 1", r.TotalLine)
+	}
+}
+
+func TestLifetimeUnwritten(t *testing.T) {
+	tr := MustNewTracker(Config{Lines: 8})
+	if got := tr.LifetimeWrites(dramsim.PCRAM()); got != dramsim.PCRAM().WriteEndurance {
+		t.Fatalf("unwritten lifetime = %v", got)
+	}
+}
+
+// Property: total recorded line writes equal in-range writes plus gap-copy
+// writes.
+func TestQuickWriteConservation(t *testing.T) {
+	f := func(seed int64, n uint16, scheme bool) bool {
+		sc := Static
+		if scheme {
+			sc = StartGap
+		}
+		tr := MustNewTracker(Config{Lines: 32, Scheme: sc, GapMovePeriod: 7})
+		rng := rand.New(rand.NewSource(seed))
+		count := uint64(n%4000) + 1
+		for i := uint64(0); i < count; i++ {
+			tr.Write(uint64(rng.Intn(32)) * 64)
+		}
+		r := tr.Report()
+		return r.TotalLine == count+r.GapMoves && r.OutOfRange == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: start-gap never increases the worst-case wear versus static
+// under a uniformly random workload (both are near-balanced; gap copies
+// add only GapMoves/Lines extra per line on average).
+func TestQuickStartGapImbalanceBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := MustNewTracker(Config{Lines: 16, Scheme: StartGap, GapMovePeriod: 5})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5000; i++ {
+			tr.Write(uint64(rng.Intn(16)) * 64)
+		}
+		r := tr.Report()
+		return r.Imbalance < 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the logical->physical map is a bijection at every point in a
+// start-gap run (no two logical lines share a physical line).
+func TestQuickStartGapMappingBijective(t *testing.T) {
+	f := func(moves uint8) bool {
+		tr := MustNewTracker(Config{Lines: 12, Scheme: StartGap, GapMovePeriod: 1})
+		for i := 0; i < int(moves); i++ {
+			tr.Write(uint64(i%12) * 64)
+		}
+		seen := map[int]bool{}
+		for l := 0; l < 12; l++ {
+			p := tr.physical(l)
+			if p == tr.gap {
+				return false // nothing maps onto the gap
+			}
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
