@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: ci vet build test race report
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+report:
+	$(GO) run ./cmd/nvreport

@@ -11,14 +11,13 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 	"strings"
 
 	"nvscavenger/internal/apps"
+	"nvscavenger/internal/cli"
 	"nvscavenger/internal/cpusim"
 	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/trace"
@@ -30,12 +29,7 @@ import (
 	_ "nvscavenger/internal/apps/s3dmini"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "nvperf:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("nvperf", run) }
 
 type perfSink struct {
 	core *cpusim.Core
@@ -44,17 +38,16 @@ type perfSink struct {
 func (p perfSink) Event(gap uint64, a trace.Access) { p.core.Event(gap, a) }
 
 func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("nvperf", flag.ContinueOnError)
-	appName := fs.String("app", "", "application to simulate: "+strings.Join(apps.Names(), ", "))
+	fs := cli.NewFlagSet("nvperf")
+	appName := fs.String("app", "", "application to simulate: "+cli.AppList())
 	scale := fs.Float64("scale", 1.0, "problem scale")
 	iters := fs.Int("iterations", 1, "main-loop iterations to simulate (the paper uses 1)")
 	latList := fs.String("latencies", "10,12,20,100", "memory latencies in ns (comma separated; first is the baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *appName == "" {
-		fs.Usage()
-		return fmt.Errorf("missing -app")
+	if err := cli.RequireApp(fs, *appName); err != nil {
+		return err
 	}
 	var lats []float64
 	for _, s := range strings.Split(*latList, ",") {

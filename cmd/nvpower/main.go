@@ -13,7 +13,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -21,6 +20,7 @@ import (
 
 	"nvscavenger/internal/apps"
 	"nvscavenger/internal/cachesim"
+	"nvscavenger/internal/cli"
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/trace"
@@ -32,12 +32,7 @@ import (
 	_ "nvscavenger/internal/apps/s3dmini"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "nvpower:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("nvpower", run) }
 
 type txCollect struct{ txs []trace.Transaction }
 
@@ -47,8 +42,8 @@ func (c *txCollect) Transaction(t trace.Transaction) error {
 }
 
 func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("nvpower", flag.ContinueOnError)
-	appName := fs.String("app", "", "application to trace (alternative to -trace)")
+	fs := cli.NewFlagSet("nvpower")
+	appName := fs.String("app", "", "application to trace (alternative to -trace): "+cli.AppList())
 	traceFile := fs.String("trace", "", "binary transaction trace to replay (alternative to -app)")
 	dump := fs.String("dump", "", "write the filtered transaction trace to this file")
 	scale := fs.Float64("scale", 1.0, "problem scale")
@@ -72,6 +67,9 @@ func run(args []string, out io.Writer) error {
 	case *appName != "" && *traceFile != "":
 		return fmt.Errorf("-app and -trace are mutually exclusive")
 	case *appName != "":
+		if err := cli.ValidateApp(*appName); err != nil {
+			return err
+		}
 		app, err := apps.New(*appName, *scale)
 		if err != nil {
 			return err

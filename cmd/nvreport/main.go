@@ -1,34 +1,35 @@
 // Command nvreport regenerates every table and figure of the paper's
-// evaluation section in one run.
+// evaluation section in one run.  The instrumented app runs behind the
+// exhibits fan out across a bounded worker pool (internal/runner); -jobs
+// bounds the pool and -progress streams per-run wall time and reference
+// throughput to stderr.  Parallel output is byte-identical to -jobs 1.
 //
 // Usage:
 //
 //	nvreport                     # everything, calibrated scale
 //	nvreport -scale 0.25         # faster, reduced problem sizes
 //	nvreport -only table5,fig12  # a subset
+//	nvreport -jobs 8             # bound the worker pool explicitly
 //
 // Exhibits: table1, table5, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, table6, fig12, placement.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
+	"nvscavenger/internal/cli"
 	"nvscavenger/internal/experiments"
+	"nvscavenger/internal/runner"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "nvreport:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("nvreport", run) }
 
 // exhibit maps a selector name to its generator.
 type exhibit struct {
@@ -198,12 +199,41 @@ func exhibits() []exhibit {
 	return out
 }
 
+// progressPrinter returns a runner progress callback writing one line per
+// run start/completion; it is invoked from worker goroutines, so the
+// writer is serialized with a mutex.
+func progressPrinter(w io.Writer) func(runner.Event) {
+	var mu sync.Mutex
+	start := time.Now()
+	return func(ev runner.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		elapsed := time.Since(start).Seconds()
+		switch ev.Kind {
+		case runner.EventStart:
+			fmt.Fprintf(w, "[%7.2fs] %-28s started\n", elapsed, ev.Key)
+		case runner.EventDone:
+			mrefs := 0.0
+			if ev.Wall > 0 {
+				mrefs = float64(ev.Refs) / 1e6 / ev.Wall.Seconds()
+			}
+			fmt.Fprintf(w, "[%7.2fs] %-28s done in %.2fs (%.1fM refs/s)\n",
+				elapsed, ev.Key, ev.Wall.Seconds(), mrefs)
+		case runner.EventError:
+			fmt.Fprintf(w, "[%7.2fs] %-28s failed after %.2fs: %v\n",
+				elapsed, ev.Key, ev.Wall.Seconds(), ev.Err)
+		}
+	}
+}
+
 func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("nvreport", flag.ContinueOnError)
+	fs := cli.NewFlagSet("nvreport")
 	scale := fs.Float64("scale", 1.0, "problem scale for every experiment")
 	iters := fs.Int("iterations", 10, "main-loop iterations")
 	only := fs.String("only", "", "comma-separated exhibit subset (e.g. table5,fig12)")
-	parallel := fs.Bool("parallel", true, "run the instrumented app executions concurrently (§III-D)")
+	jobs := fs.Int("jobs", 0, "maximum concurrent instrumented runs (0 = GOMAXPROCS)")
+	parallel := fs.Bool("parallel", true, "deprecated: -parallel=false is shorthand for -jobs 1")
+	progress := fs.Bool("progress", true, "stream per-run progress lines to stderr")
 	outdir := fs.String("outdir", "", "also write each exhibit to <outdir>/<name>.txt")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -221,7 +251,20 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	sess := experiments.NewSession(experiments.Options{Scale: *scale, Iterations: *iters})
+	j := *jobs
+	if !*parallel {
+		j = 1
+	}
+	sessOpts := []experiments.Option{
+		experiments.WithScale(*scale),
+		experiments.WithIterations(*iters),
+		experiments.WithJobs(j),
+	}
+	if *progress {
+		sessOpts = append(sessOpts, experiments.WithProgress(progressPrinter(os.Stderr)))
+	}
+	sess := experiments.NewSession(sessOpts...)
+	start := time.Now()
 	fmt.Fprintf(out, "NV-SCAVENGER evaluation reproduction (scale %.2f, %d iterations)\n",
 		sess.Options().Scale, sess.Options().Iterations)
 	fmt.Fprintf(out, "generated %s\n\n", time.Now().Format(time.RFC3339))
@@ -236,8 +279,9 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	if *parallel && len(want) == 0 {
-		// All exhibits requested: warm every instrumented run concurrently.
+	if len(want) == 0 {
+		// All exhibits requested: warm every instrumented run across the
+		// worker pool before the (ordered) report generation starts.
 		if err := sess.Warm(); err != nil {
 			return err
 		}
@@ -265,6 +309,20 @@ func run(args []string, out io.Writer) error {
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", ex.name, err)
+		}
+	}
+
+	if *progress {
+		m := sess.Metrics()
+		if sum := m.WallSummary(); sum.Count() > 0 {
+			elapsed := time.Since(start).Seconds()
+			agg := 0.0
+			if elapsed > 0 {
+				agg = float64(m.TotalRefs()) / 1e6 / elapsed
+			}
+			fmt.Fprintf(os.Stderr,
+				"nvreport: %d runs on %d workers in %.2fs (%d cache hits), run wall mean %.2fs max %.2fs, aggregate %.1fM refs/s\n",
+				sum.Count(), sess.Jobs(), elapsed, m.Hits, sum.Mean(), sum.Max(), agg)
 		}
 	}
 	return nil

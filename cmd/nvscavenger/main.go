@@ -4,24 +4,28 @@
 // reference rate), stack/heap/global breakdowns, hybrid-placement advice
 // and device-endurance estimates.
 //
+// The instrumented run is scheduled on the shared experiment engine
+// (internal/runner), which reports the run's wall time and reference
+// throughput and honors -timeout via context cancellation.
+//
 // Usage:
 //
 //	nvscavenger -app nek5000 [-scale 1.0] [-iterations 10] [-mode fast]
-//	            [-placement] [-endurance] [-category 2]
+//	            [-placement] [-endurance] [-category 2] [-timeout 5m]
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"io"
-	"os"
 	"sort"
-	"strings"
 
 	"nvscavenger/internal/apps"
+	"nvscavenger/internal/cli"
 	"nvscavenger/internal/core"
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/runner"
 	"nvscavenger/internal/trace"
 
 	_ "nvscavenger/internal/apps/cammini"
@@ -31,16 +35,17 @@ import (
 	_ "nvscavenger/internal/apps/s3dmini"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "nvscavenger:", err)
-		os.Exit(1)
-	}
+func main() { cli.Main("nvscavenger", run) }
+
+// instrumented is the engine-cached product of one run.
+type instrumented struct {
+	app apps.App
+	tr  *memtrace.Tracer
 }
 
 func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("nvscavenger", flag.ContinueOnError)
-	appName := fs.String("app", "", "application to instrument: "+strings.Join(apps.Names(), ", "))
+	fs := cli.NewFlagSet("nvscavenger")
+	appName := fs.String("app", "", "application to instrument: "+cli.AppList())
 	scale := fs.Float64("scale", 1.0, "problem scale (1.0 = calibrated default)")
 	iters := fs.Int("iterations", 10, "main-loop iterations to instrument")
 	mode := fs.String("mode", "fast", "stack attribution mode: fast (whole stack) or slow (per frame)")
@@ -49,12 +54,12 @@ func run(args []string, out io.Writer) error {
 	category := fs.Int("category", 2, "NVRAM category for the placement policy (1 or 2)")
 	topN := fs.Int("top", 25, "number of objects to print per section")
 	jsonOut := fs.String("json", "", "write the full analysis snapshot as JSON to this file")
+	timeout := fs.Duration("timeout", 0, "abort the instrumented run after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *appName == "" {
-		fs.Usage()
-		return fmt.Errorf("missing -app (one of %s)", strings.Join(apps.Names(), ", "))
+	if err := cli.RequireApp(fs, *appName); err != nil {
+		return err
 	}
 
 	stackMode := memtrace.FastStack
@@ -66,17 +71,40 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -mode %q (fast or slow)", *mode)
 	}
 
-	app, err := apps.New(*appName, *scale)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	eng := runner.New(runner.Config{Jobs: 1})
+	v, err := eng.Do(ctx,
+		runner.Key{App: *appName, Mode: *mode, Scale: *scale, Iterations: *iters},
+		func(ctx context.Context) (any, uint64, error) {
+			app, err := apps.New(*appName, *scale)
+			if err != nil {
+				return nil, 0, err
+			}
+			tr := memtrace.New(memtrace.Config{StackMode: stackMode})
+			if err := apps.RunContext(ctx, app, tr, *iters); err != nil {
+				return nil, 0, err
+			}
+			return instrumented{app: app, tr: tr}, tr.Sampled, nil
+		})
 	if err != nil {
 		return err
 	}
-	tr := memtrace.New(memtrace.Config{StackMode: stackMode})
-	if err := apps.Run(app, tr, *iters); err != nil {
-		return err
-	}
+	ins := v.(instrumented)
+	app, tr := ins.app, ins.tr
 
 	fmt.Fprintf(out, "== %s: %s ==\n", app.Name(), app.Description())
-	fmt.Fprintf(out, "scale %.2f, %d iterations, %s stack mode\n\n", *scale, *iters, stackMode)
+	fmt.Fprintf(out, "scale %.2f, %d iterations, %s stack mode\n", *scale, *iters, stackMode)
+	if m := eng.Metrics(); len(m.Runs) == 1 {
+		r := m.Runs[0]
+		fmt.Fprintf(out, "run wall time %.2fs (%.1fM references/s)\n", r.Wall.Seconds(), r.RefsPerSec()/1e6)
+	}
+	fmt.Fprintln(out)
 	fmt.Fprintf(out, "memory footprint: %.1f MB (stack high water %.1f KB)\n",
 		float64(tr.Footprint())/(1<<20), float64(tr.StackHighWater())/1024)
 	fmt.Fprintf(out, "instructions retired: %d\n\n", tr.Instructions())
@@ -95,13 +123,17 @@ func run(args []string, out io.Writer) error {
 	recs := core.ObjectRecords(tr)
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Refs > recs[j].Refs })
 	fmt.Fprintf(out, "\nglobal+heap objects by main-loop references (top %d of %d):\n", *topN, len(recs))
-	fmt.Fprintf(out, "%-20s %-7s %12s %14s %12s %6s\n", "object", "segment", "r/w ratio", "refs/Minstr", "size (KB)", "iters")
+	tbl := cli.NewTable(out)
+	tbl.Row("object", "segment", "r/w ratio", "refs/Minstr", "size (KB)", "iters")
 	for i, r := range recs {
 		if i >= *topN {
 			break
 		}
-		fmt.Fprintf(out, "%-20s %-7s %12.2f %14.1f %12.1f %6d\n",
+		tbl.Rowf("%s\t%s\t%.2f\t%.1f\t%.1f\t%d",
 			r.Name, r.Segment, r.RWRatio, r.RefRate, float64(r.SizeBytes)/1024, r.TouchedIters)
+	}
+	if err := tbl.Flush(); err != nil {
+		return err
 	}
 
 	if stackMode == memtrace.SlowStack {
@@ -109,12 +141,16 @@ func run(args []string, out io.Writer) error {
 		fig := core.SummarizeFrames(frames)
 		sort.Slice(frames, func(i, j int) bool { return frames[i].Refs > frames[j].Refs })
 		fmt.Fprintf(out, "\nstack frames by references (top %d of %d):\n", *topN, len(frames))
-		fmt.Fprintf(out, "%-22s %12s %14s %12s\n", "routine", "r/w ratio", "refs/Minstr", "frame (KB)")
+		ftbl := cli.NewTable(out)
+		ftbl.Row("routine", "r/w ratio", "refs/Minstr", "frame (KB)")
 		for i, r := range frames {
 			if i >= *topN {
 				break
 			}
-			fmt.Fprintf(out, "%-22s %12.2f %14.1f %12.1f\n", r.Name, r.RWRatio, r.RefRate, float64(r.SizeBytes)/1024)
+			ftbl.Rowf("%s\t%.2f\t%.1f\t%.1f", r.Name, r.RWRatio, r.RefRate, float64(r.SizeBytes)/1024)
+		}
+		if err := ftbl.Flush(); err != nil {
+			return err
 		}
 		fmt.Fprintf(out, "frames with r/w > 10: %.1f%% of objects, %.1f%% of references\n",
 			fig.CountOver10*100, fig.RefsOver10*100)
@@ -132,11 +168,15 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "NVRAM %.1f MB, migratable %.1f MB, DRAM %.1f MB -> %.1f%% of the working set suits NVRAM\n",
 			float64(plan.NVRAMBytes)/(1<<20), float64(plan.MigratableBytes)/(1<<20),
 			float64(plan.DRAMBytes)/(1<<20), plan.NVRAMShare*100)
+		ptbl := cli.NewTable(out)
 		for i, adv := range plan.Advices {
 			if i >= *topN {
 				break
 			}
-			fmt.Fprintf(out, "  %-20s %-11s %s\n", adv.Object.Name, adv.Target, adv.Reason)
+			ptbl.Rowf("  %s\t%s\t%s", adv.Object.Name, adv.Target, adv.Reason)
+		}
+		if err := ptbl.Flush(); err != nil {
+			return err
 		}
 
 		if *endurance {
@@ -160,15 +200,7 @@ func run(args []string, out io.Writer) error {
 			policyPtr = &p
 		}
 		snap := core.BuildSnapshot(app.Name(), tr, policyPtr)
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			return err
-		}
-		if err := snap.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := cli.WriteJSONFile(*jsonOut, snap.WriteJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "\nwrote analysis snapshot to %s\n", *jsonOut)

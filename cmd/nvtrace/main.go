@@ -9,24 +9,19 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"nvscavenger/internal/cli"
 	"nvscavenger/internal/trace"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "nvtrace:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("nvtrace", run) }
 
 func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("nvtrace", flag.ContinueOnError)
+	fs := cli.NewFlagSet("nvtrace")
 	stat := fs.Bool("stat", false, "print a summary of the trace")
 	head := fs.Int("head", 0, "print the first N records")
 	convert := fs.Bool("convert", false, "convert between plain and gzip (two file args; .gz suffix selects compression)")

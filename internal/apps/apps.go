@@ -16,6 +16,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -44,13 +45,27 @@ type App interface {
 // Run drives an app through the paper's phase protocol for the given number
 // of main-loop iterations and closes the tracer.
 func Run(app App, tr *memtrace.Tracer, iterations int) error {
+	return RunContext(context.Background(), app, tr, iterations)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// before the pre-computing phase and between main-loop iterations, so a
+// cancelled sweep stops at the next timestep boundary instead of running
+// the app to completion.
+func RunContext(ctx context.Context, app App, tr *memtrace.Tracer, iterations int) error {
 	if iterations < 1 {
 		return fmt.Errorf("apps: need at least 1 iteration, got %d", iterations)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := app.Setup(tr); err != nil {
 		return fmt.Errorf("apps: %s setup: %w", app.Name(), err)
 	}
 	for i := 1; i <= iterations; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tr.BeginIteration()
 		if err := app.Step(tr, i); err != nil {
 			return fmt.Errorf("apps: %s step %d: %w", app.Name(), i, err)

@@ -3,13 +3,20 @@
 // NV-SCAVENGER substrate, the cache hierarchy, the memory power simulator
 // and the CPU timing model, and returns the data each exhibit plots.
 //
-// A Session memoizes app runs so that the many exhibits sharing one
-// instrumented run (Tables I/V, Figures 3-11) do not re-execute it.
+// A Session schedules its instrumented runs on a concurrent experiment
+// engine (internal/runner): independent app runs fan out across a bounded
+// worker pool, identical runs are deduplicated by a keyed single-flight
+// cache, and every run reports wall time and references/sec.  Exhibits
+// sharing one instrumented run (Tables I/V, Figures 3-11) therefore still
+// execute it once, exactly as the old memoizing Session did — but the
+// many independent runs behind Table I/V/VI and Figures 7/12 now run in
+// parallel (§III-D: "We run the three tools in parallel to collect memory
+// access patterns").
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"nvscavenger/internal/apps"
 	"nvscavenger/internal/cachesim"
@@ -17,6 +24,7 @@ import (
 	"nvscavenger/internal/cpusim"
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/runner"
 	"nvscavenger/internal/trace"
 
 	// Register the four mini-applications.
@@ -32,6 +40,10 @@ var AppNames = []string{"nek5000", "cam", "gtc", "s3d"}
 // Options scales the experiment suite.  The zero value is replaced by the
 // calibrated defaults (scale 1.0, 10 iterations — the paper collects data
 // for the first 10 iterations of each main loop, §VII).
+//
+// Deprecated: Options survives as a constructor shim — it implements
+// Option, so NewSession(Options{...}) still compiles.  New code should use
+// the functional options (WithScale, WithIterations, ...).
 type Options struct {
 	Scale      float64
 	Iterations int
@@ -56,23 +68,80 @@ type Run struct {
 	Transactions []trace.Transaction
 }
 
-// Session memoizes runs across exhibits.  A Session is not safe for
-// concurrent exhibit calls; use Warm to populate the caches in parallel
-// up front (the paper's tools run in parallel the same way, §III-D).
+// Session schedules the exhibits' instrumented runs on a shared engine.
+// Unlike its pre-runner ancestor, a Session is safe for concurrent exhibit
+// calls: runs are deduplicated with single-flight semantics, so concurrent
+// requests for the same run share one execution.
 type Session struct {
-	opts Options
-	mu   sync.Mutex
-	fast map[string]*Run
-	slow map[string]*Run
+	cfg  config
+	opts Options // effective scale/iterations, the legacy view
+	eng  *runner.Engine
 }
 
-// NewSession returns a Session with the given options.
-func NewSession(opts Options) *Session {
-	return &Session{opts: opts.withDefaults(), fast: map[string]*Run{}, slow: map[string]*Run{}}
+// NewSession returns a Session configured by the given options (see
+// Option).  With no options it uses the calibrated defaults: scale 1.0,
+// 10 iterations, all four apps, GOMAXPROCS workers.
+func NewSession(opts ...Option) *Session {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if o != nil {
+			o.apply(&cfg)
+		}
+	}
+	return &Session{
+		cfg:  cfg,
+		opts: Options{Scale: cfg.scale, Iterations: cfg.iterations},
+		eng:  runner.New(runner.Config{Jobs: cfg.jobs, Progress: cfg.progress}),
+	}
 }
 
 // Options returns the session's effective options.
 func (s *Session) Options() Options { return s.opts }
+
+// Metrics returns the run-level observability snapshot: cache hit/miss
+// counters and per-run wall time and reference throughput.
+func (s *Session) Metrics() runner.Metrics { return s.eng.Metrics() }
+
+// Jobs returns the session's worker-pool bound.
+func (s *Session) Jobs() int { return s.eng.Jobs() }
+
+func (s *Session) ctx() context.Context { return s.cfg.ctx }
+
+// appNames returns the configured application set.
+func (s *Session) appNames() []string { return s.cfg.apps }
+
+// subset intersects an exhibit's fixed app list with the configured set,
+// preserving the fixed order.
+func (s *Session) subset(fixed []string) []string {
+	have := map[string]bool{}
+	for _, n := range s.cfg.apps {
+		have[n] = true
+	}
+	out := make([]string, 0, len(fixed))
+	for _, n := range fixed {
+		if have[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (s *Session) key(app, mode, profile string) runner.Key {
+	return runner.Key{
+		App:        app,
+		Mode:       mode,
+		Scale:      s.opts.Scale,
+		Iterations: s.opts.Iterations,
+		Profile:    profile,
+	}
+}
+
+// collectApps fans per-app work out across the engine's worker pool and
+// returns the results in input order, so any report built from them is
+// byte-identical to a sequential run.
+func collectApps[T any](s *Session, names []string, f func(ctx context.Context, name string) (T, error)) ([]T, error) {
+	return runner.Collect(s.ctx(), names, f)
+}
 
 type txCapture struct{ txs []trace.Transaction }
 
@@ -82,25 +151,25 @@ func (c *txCapture) Transaction(t trace.Transaction) error {
 }
 
 // Fast returns the memoized fast-stack-mode run of an app, with the cache
-// hierarchy attached and the filtered memory trace captured.
-func (s *Session) Fast(name string) (*Run, error) {
-	s.mu.Lock()
-	r, ok := s.fast[name]
-	s.mu.Unlock()
-	if ok {
-		return r, nil
-	}
-	run, err := s.runFast(name)
+// hierarchy attached and the filtered memory trace captured.  Concurrent
+// calls for the same app share one execution.
+func (s *Session) Fast(name string) (*Run, error) { return s.fast(s.ctx(), name) }
+
+func (s *Session) fast(ctx context.Context, name string) (*Run, error) {
+	v, err := s.eng.Do(ctx, s.key(name, "fast", ""), func(ctx context.Context) (any, uint64, error) {
+		run, err := s.runFast(ctx, name)
+		if err != nil {
+			return nil, 0, err
+		}
+		return run, run.Tracer.Sampled, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.fast[name] = run
-	s.mu.Unlock()
-	return run, nil
+	return v.(*Run), nil
 }
 
-func (s *Session) runFast(name string) (*Run, error) {
+func (s *Session) runFast(ctx context.Context, name string) (*Run, error) {
 	app, err := apps.New(name, s.opts.Scale)
 	if err != nil {
 		return nil, err
@@ -108,7 +177,7 @@ func (s *Session) runFast(name string) (*Run, error) {
 	cap := &txCapture{}
 	hier := cachesim.MustNew(cachesim.PaperConfig(), cap)
 	tr := memtrace.New(memtrace.Config{StackMode: memtrace.FastStack, Sink: hier})
-	if err := apps.Run(app, tr, s.opts.Iterations); err != nil {
+	if err := apps.RunContext(ctx, app, tr, s.opts.Iterations); err != nil {
 		return nil, err
 	}
 	hier.Drain()
@@ -119,62 +188,60 @@ func (s *Session) runFast(name string) (*Run, error) {
 }
 
 // Slow returns the memoized slow-stack-mode run (per-frame attribution).
-func (s *Session) Slow(name string) (*Run, error) {
-	s.mu.Lock()
-	r, ok := s.slow[name]
-	s.mu.Unlock()
-	if ok {
-		return r, nil
-	}
-	run, err := s.runSlow(name)
+func (s *Session) Slow(name string) (*Run, error) { return s.slow(s.ctx(), name) }
+
+func (s *Session) slow(ctx context.Context, name string) (*Run, error) {
+	v, err := s.eng.Do(ctx, s.key(name, "slow", ""), func(ctx context.Context) (any, uint64, error) {
+		run, err := s.runSlow(ctx, name)
+		if err != nil {
+			return nil, 0, err
+		}
+		return run, run.Tracer.Sampled, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.slow[name] = run
-	s.mu.Unlock()
-	return run, nil
+	return v.(*Run), nil
 }
 
-func (s *Session) runSlow(name string) (*Run, error) {
+func (s *Session) runSlow(ctx context.Context, name string) (*Run, error) {
 	app, err := apps.New(name, s.opts.Scale)
 	if err != nil {
 		return nil, err
 	}
 	tr := memtrace.New(memtrace.Config{StackMode: memtrace.SlowStack})
-	if err := apps.Run(app, tr, s.opts.Iterations); err != nil {
+	if err := apps.RunContext(ctx, app, tr, s.opts.Iterations); err != nil {
 		return nil, err
 	}
 	return &Run{App: app, Tracer: tr}, nil
 }
 
-// Warm populates every memoized run the exhibits need, executing the
-// instrumented runs concurrently — the same trick the original tool uses
-// to amortize instrumentation time (§III-D: "We run the three tools in
-// parallel to collect memory access patterns").  It returns the first
-// error encountered.
+// Warm populates every memoized run the exhibits need, fanning the
+// instrumented executions out across the worker pool — the same trick the
+// original tool uses to amortize instrumentation time (§III-D).  It
+// returns the first error encountered.
 func (s *Session) Warm() error {
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(AppNames)+1)
-	for _, name := range AppNames {
-		wg.Add(1)
-		go func(name string) {
-			defer wg.Done()
-			if _, err := s.Fast(name); err != nil {
-				errCh <- fmt.Errorf("fast %s: %w", name, err)
-			}
-		}(name)
+	type job struct{ mode, name string }
+	jobs := make([]job, 0, len(s.appNames())+1)
+	for _, name := range s.appNames() {
+		jobs = append(jobs, job{"fast", name})
 	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if _, err := s.Slow("cam"); err != nil {
-			errCh <- fmt.Errorf("slow cam: %w", err)
+	if len(s.subset([]string{"cam"})) > 0 {
+		jobs = append(jobs, job{"slow", "cam"})
+	}
+	_, err := runner.Collect(s.ctx(), jobs, func(ctx context.Context, j job) (struct{}, error) {
+		var err error
+		if j.mode == "fast" {
+			_, err = s.fast(ctx, j.name)
+		} else {
+			_, err = s.slow(ctx, j.name)
 		}
-	}()
-	wg.Wait()
-	close(errCh)
-	return <-errCh
+		if err != nil {
+			return struct{}{}, fmt.Errorf("%s %s: %w", j.mode, j.name, err)
+		}
+		return struct{}{}, nil
+	})
+	return err
 }
 
 // Table1Row is one application characteristics row (Table I).
@@ -185,22 +252,20 @@ type Table1Row struct {
 	FootprintMB float64
 }
 
-// Table1 reproduces Table I.
+// Table1 reproduces Table I.  The app runs fan out in parallel.
 func (s *Session) Table1() ([]Table1Row, error) {
-	out := make([]Table1Row, 0, len(AppNames))
-	for _, name := range AppNames {
-		run, err := s.Fast(name)
+	return collectApps(s, s.appNames(), func(ctx context.Context, name string) (Table1Row, error) {
+		run, err := s.fast(ctx, name)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
-		out = append(out, Table1Row{
+		return Table1Row{
 			App:         name,
 			Input:       apps.InputOf(run.App),
 			Description: run.App.Description(),
 			FootprintMB: float64(run.Tracer.Footprint()) / (1 << 20),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Table5Row is one stack-analysis row (Table V).
@@ -211,15 +276,13 @@ type Table5Row struct {
 
 // Table5 reproduces Table V with the fast version of the tool.
 func (s *Session) Table5() ([]Table5Row, error) {
-	out := make([]Table5Row, 0, len(AppNames))
-	for _, name := range AppNames {
-		run, err := s.Fast(name)
+	return collectApps(s, s.appNames(), func(ctx context.Context, name string) (Table5Row, error) {
+		run, err := s.fast(ctx, name)
 		if err != nil {
-			return nil, err
+			return Table5Row{}, err
 		}
-		out = append(out, Table5Row{App: name, StackRow: core.StackAnalysis(run.Tracer)})
-	}
-	return out, nil
+		return Table5Row{App: name, StackRow: core.StackAnalysis(run.Tracer)}, nil
+	})
 }
 
 // Figure2 reproduces the CAM per-frame stack analysis with the slow tool.
@@ -246,13 +309,24 @@ func (s *Session) ObjectFigure(name string) ([]core.ObjectRecord, error) {
 // plots Nek5000, CAM and S3D; GTC is omitted because its objects are evenly
 // touched.
 func (s *Session) Figure7() (map[string][]core.UsagePoint, error) {
-	out := map[string][]core.UsagePoint{}
-	for _, name := range []string{"nek5000", "cam", "s3d"} {
-		run, err := s.Fast(name)
+	names := s.subset([]string{"nek5000", "cam", "s3d"})
+	type named struct {
+		name string
+		pts  []core.UsagePoint
+	}
+	res, err := collectApps(s, names, func(ctx context.Context, name string) (named, error) {
+		run, err := s.fast(ctx, name)
 		if err != nil {
-			return nil, err
+			return named{}, err
 		}
-		out[name] = core.UsageCDF(run.Tracer)
+		return named{name: name, pts: core.UsageCDF(run.Tracer)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]core.UsagePoint{}
+	for _, r := range res {
+		out[r.name] = r.pts
 	}
 	return out, nil
 }
@@ -277,24 +351,30 @@ type Table6Row struct {
 
 // Table6 reproduces Table VI: the filtered memory trace of each app is
 // replayed through the power simulator for each device profile and the
-// average power is normalized to DDR3.
+// average power is normalized to DDR3.  The per-app replays fan out in
+// parallel and are cached under their own run key.
 func (s *Session) Table6() ([]Table6Row, error) {
-	out := make([]Table6Row, 0, len(AppNames))
-	for _, name := range AppNames {
-		run, err := s.Fast(name)
+	return collectApps(s, s.appNames(), func(ctx context.Context, name string) (Table6Row, error) {
+		run, err := s.fast(ctx, name)
 		if err != nil {
-			return nil, err
+			return Table6Row{}, err
 		}
-		if len(run.Transactions) == 0 {
-			return nil, fmt.Errorf("experiments: %s produced no memory transactions", name)
-		}
-		reps, err := dramsim.Compare(dramsim.PaperGeometry(), dramsim.OpenPage, dramsim.Profiles(), run.Transactions)
+		v, err := s.eng.Do(ctx, s.key(name, "power", "table4-profiles"), func(ctx context.Context) (any, uint64, error) {
+			if len(run.Transactions) == 0 {
+				return nil, 0, fmt.Errorf("experiments: %s produced no memory transactions", name)
+			}
+			reps, err := dramsim.Compare(dramsim.PaperGeometry(), dramsim.OpenPage, dramsim.Profiles(), run.Transactions)
+			if err != nil {
+				return nil, 0, err
+			}
+			row := Table6Row{App: name, Reports: reps, Normalized: dramsim.Normalize(reps)}
+			return row, uint64(len(run.Transactions)) * uint64(len(reps)), nil
+		})
 		if err != nil {
-			return nil, err
+			return Table6Row{}, err
 		}
-		out = append(out, Table6Row{App: name, Reports: reps, Normalized: dramsim.Normalize(reps)})
-	}
-	return out, nil
+		return v.(Table6Row), nil
+	})
 }
 
 // Figure12Latencies are the Table IV performance-simulation points.
@@ -311,68 +391,93 @@ type Figure12Row struct {
 
 // Figure12 reproduces the performance-sensitivity study.  As in §VII-E,
 // only one iteration of the main loop is simulated, and only for two
-// applications (Nek5000 and CAM).  The app is re-executed for each memory
-// latency with the timing model attached; runs are deterministic, so every
-// sweep point sees the identical reference stream.
+// applications (Nek5000 and CAM); the two sweeps run in parallel.  The app
+// is re-executed for each memory latency with the timing model attached;
+// runs are deterministic, so every sweep point sees the identical
+// reference stream.
 func (s *Session) Figure12() ([]Figure12Row, error) {
-	out := []Figure12Row{}
-	for _, name := range []string{"nek5000", "cam"} {
-		res, err := s.latencySweep(name)
+	return collectApps(s, s.subset([]string{"nek5000", "cam"}), func(ctx context.Context, name string) (Figure12Row, error) {
+		res, err := s.latencySweep(ctx, name)
 		if err != nil {
-			return nil, err
+			return Figure12Row{}, err
 		}
-		out = append(out, Figure12Row{App: name, Results: res})
-	}
-	return out, nil
+		return Figure12Row{App: name, Results: res}, nil
+	})
 }
 
+// perfAdapter forwards performance events and counts the references the
+// sweep observed (the runner's throughput metric).
 type perfAdapter struct {
 	sink interface {
 		Event(uint64, trace.Access)
 	}
+	refs *uint64
 }
 
-func (p perfAdapter) Event(gap uint64, a trace.Access) { p.sink.Event(gap, a) }
+func (p perfAdapter) Event(gap uint64, a trace.Access) {
+	*p.refs++
+	p.sink.Event(gap, a)
+}
 
-func (s *Session) latencySweep(name string) ([]cpusim.SweepResult, error) {
-	var runErr error
-	replay := func(sink interface {
-		Event(uint64, trace.Access)
-	}) {
-		app, err := apps.New(name, s.opts.Scale)
+func (s *Session) latencySweep(ctx context.Context, name string) ([]cpusim.SweepResult, error) {
+	v, err := s.eng.Do(ctx, s.key(name, "perf-sweep", "table4-latencies"), func(ctx context.Context) (any, uint64, error) {
+		var refs uint64
+		var runErr error
+		replay := func(sink interface {
+			Event(uint64, trace.Access)
+		}) {
+			if runErr != nil {
+				return
+			}
+			app, err := apps.New(name, s.opts.Scale)
+			if err != nil {
+				runErr = err
+				return
+			}
+			tr := memtrace.New(memtrace.Config{
+				StackMode: memtrace.FastStack,
+				Perf:      perfAdapter{sink: sink, refs: &refs},
+			})
+			if err := apps.RunContext(ctx, app, tr, 1); err != nil {
+				runErr = err
+			}
+		}
+		res, err := cpusim.Sweep(Figure12Devices, Figure12Latencies, replay)
 		if err != nil {
-			runErr = err
-			return
+			return nil, 0, err
 		}
-		tr := memtrace.New(memtrace.Config{
-			StackMode: memtrace.FastStack,
-			Perf:      perfAdapter{sink: sink},
-		})
-		if err := apps.Run(app, tr, 1); err != nil {
-			runErr = err
+		if runErr != nil {
+			return nil, 0, runErr
 		}
-	}
-	res, err := cpusim.Sweep(Figure12Devices, Figure12Latencies, replay)
+		return res, refs, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if runErr != nil {
-		return nil, runErr
-	}
-	return res, nil
+	return v.([]cpusim.SweepResult), nil
 }
 
 // Placement runs the §II placement analysis: the NVRAM-suitable share of
 // each app's working set under the category-2 policy (the abstract's "31%
 // and 27%" headline for Nek5000 and CAM).
 func (s *Session) Placement() (map[string]core.PlacementSummary, error) {
-	out := map[string]core.PlacementSummary{}
-	for _, name := range AppNames {
-		run, err := s.Fast(name)
+	type named struct {
+		name string
+		plan core.PlacementSummary
+	}
+	res, err := collectApps(s, s.appNames(), func(ctx context.Context, name string) (named, error) {
+		run, err := s.fast(ctx, name)
 		if err != nil {
-			return nil, err
+			return named{}, err
 		}
-		out[name] = core.Plan(run.Tracer, core.DefaultPolicy(core.Category2))
+		return named{name: name, plan: core.Plan(run.Tracer, core.DefaultPolicy(core.Category2))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]core.PlacementSummary{}
+	for _, r := range res {
+		out[r.name] = r.plan
 	}
 	return out, nil
 }

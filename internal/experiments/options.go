@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+
+	"nvscavenger/internal/runner"
+)
+
+// Option configures a Session.  NewSession applies options in order, so a
+// later option overrides an earlier one:
+//
+//	experiments.NewSession(
+//		experiments.WithScale(0.25),
+//		experiments.WithIterations(10),
+//		experiments.WithJobs(4),
+//		experiments.WithContext(ctx),
+//	)
+//
+// The legacy Options struct also implements Option, so pre-redesign call
+// sites — NewSession(Options{Scale: 0.25, Iterations: 10}) — keep
+// compiling unchanged.
+type Option interface {
+	apply(*config)
+}
+
+// config is the resolved Session configuration.
+type config struct {
+	scale      float64
+	iterations int
+	apps       []string
+	jobs       int
+	ctx        context.Context
+	progress   func(runner.Event)
+}
+
+func defaultConfig() config {
+	return config{
+		scale:      1.0,
+		iterations: 10,
+		apps:       AppNames,
+		ctx:        context.Background(),
+	}
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithScale sets the problem scale for every experiment (1.0 is the
+// calibrated default; non-positive values are ignored).
+func WithScale(scale float64) Option {
+	return optionFunc(func(c *config) {
+		if scale > 0 {
+			c.scale = scale
+		}
+	})
+}
+
+// WithIterations sets the number of main-loop iterations to instrument
+// (default 10, the paper's collection window; non-positive values are
+// ignored).
+func WithIterations(n int) Option {
+	return optionFunc(func(c *config) {
+		if n > 0 {
+			c.iterations = n
+		}
+	})
+}
+
+// WithApps restricts the application set the multi-app exhibits cover.
+// The default is the paper's four (AppNames); exhibits with a fixed app
+// list (Figure 7, Figure 12) intersect it with this set.
+func WithApps(names ...string) Option {
+	return optionFunc(func(c *config) {
+		if len(names) > 0 {
+			c.apps = append([]string(nil), names...)
+		}
+	})
+}
+
+// WithContext installs the context threaded through every instrumented
+// run; cancelling it aborts queued runs immediately and executing runs at
+// the next main-loop iteration boundary.
+func WithContext(ctx context.Context) Option {
+	return optionFunc(func(c *config) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	})
+}
+
+// WithJobs bounds the number of concurrently executing instrumented runs.
+// The default (0) selects GOMAXPROCS; 1 reproduces the old strictly
+// sequential behaviour.
+func WithJobs(n int) Option {
+	return optionFunc(func(c *config) { c.jobs = n })
+}
+
+// WithProgress installs a streaming progress callback for run-level
+// events (start, done, cached, error).  The callback is invoked from
+// worker goroutines and must be safe for concurrent use.
+func WithProgress(fn func(runner.Event)) Option {
+	return optionFunc(func(c *config) { c.progress = fn })
+}
+
+// apply lets the legacy struct act as an Option.
+//
+// Deprecated: construct sessions with functional options instead, e.g.
+// NewSession(WithScale(0.25), WithIterations(10)).
+func (o Options) apply(c *config) {
+	o = o.withDefaults()
+	c.scale = o.Scale
+	c.iterations = o.Iterations
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,13 +31,13 @@ type PlacementComparison struct {
 	PageMigrations      uint64
 }
 
-// PlacementComparison runs the study for every app.
+// PlacementComparison runs the study for every app, fanning the per-app
+// runs and page-granularity replays out across the worker pool.
 func (s *Session) PlacementComparison() ([]PlacementComparison, error) {
-	out := make([]PlacementComparison, 0, len(AppNames))
-	for _, name := range AppNames {
-		run, err := s.Fast(name)
+	return collectApps(s, s.appNames(), func(ctx context.Context, name string) (PlacementComparison, error) {
+		run, err := s.fast(ctx, name)
 		if err != nil {
-			return nil, err
+			return PlacementComparison{}, err
 		}
 		plan := core.Plan(run.Tracer, core.DefaultPolicy(core.Category2))
 
@@ -61,11 +62,11 @@ func (s *Session) PlacementComparison() ([]PlacementComparison, error) {
 			EpochTransactions: epoch,
 		})
 		if err != nil {
-			return nil, err
+			return PlacementComparison{}, err
 		}
 		for _, tx := range run.Transactions {
 			if err := sys.Transaction(tx); err != nil {
-				return nil, err
+				return PlacementComparison{}, err
 			}
 		}
 		rep := sys.Report()
@@ -74,9 +75,8 @@ func (s *Session) PlacementComparison() ([]PlacementComparison, error) {
 		}
 		cmp.PageNVRAMWriteShare = rep.NVRAMWriteShare
 		cmp.PageMigrations = rep.Promotions + rep.Demotions
-		out = append(out, cmp)
-	}
-	return out, nil
+		return cmp, nil
+	})
 }
 
 // FormatPlacementComparison renders the study.

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"nvscavenger/internal/apps"
 	"nvscavenger/internal/core"
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/runner"
 )
 
 // SamplingRow measures what instruction sampling costs the analysis at one
@@ -30,56 +32,61 @@ type SamplingRow struct {
 }
 
 // SamplingStudy runs one app at several sampling periods and quantifies the
-// information loss against the full (period 1) instrumentation.
+// information loss against the full (period 1) instrumentation.  The
+// sampled runs are scheduled on the session's engine — keyed by period —
+// so they execute in parallel and re-requesting a period is free.
 func (s *Session) SamplingStudy(app string, periods []int) ([]SamplingRow, error) {
 	type runResult struct {
-		tr      *memtrace.Tracer
 		refs    uint64
 		active  map[string]bool
 		targets map[string]core.Target
 		ratio   float64
 	}
 
-	runAt := func(period int) (runResult, error) {
-		a, err := apps.New(app, s.opts.Scale)
+	runAt := func(ctx context.Context, period int) (runResult, error) {
+		v, err := s.eng.Do(ctx, s.key(app, "sampling", fmt.Sprintf("period-%d", period)),
+			func(ctx context.Context) (any, uint64, error) {
+				a, err := apps.New(app, s.opts.Scale)
+				if err != nil {
+					return nil, 0, err
+				}
+				tr := memtrace.New(memtrace.Config{StackMode: memtrace.FastStack, SamplePeriod: period})
+				if err := apps.RunContext(ctx, a, tr, s.opts.Iterations); err != nil {
+					return nil, 0, err
+				}
+				res := runResult{
+					refs:    tr.Sampled,
+					active:  map[string]bool{},
+					targets: map[string]core.Target{},
+					ratio:   core.StackAnalysis(tr).OverallRatio,
+				}
+				plan := core.Plan(tr, core.DefaultPolicy(core.Category2))
+				for _, adv := range plan.Advices {
+					if adv.Object.LoopStats().Refs() > 0 {
+						res.active[adv.Object.Name] = true
+					}
+					res.targets[adv.Object.Name] = adv.Target
+				}
+				return res, tr.Sampled, nil
+			})
 		if err != nil {
 			return runResult{}, err
 		}
-		tr := memtrace.New(memtrace.Config{StackMode: memtrace.FastStack, SamplePeriod: period})
-		if err := apps.Run(a, tr, s.opts.Iterations); err != nil {
-			return runResult{}, err
-		}
-		res := runResult{
-			tr:      tr,
-			refs:    tr.Sampled,
-			active:  map[string]bool{},
-			targets: map[string]core.Target{},
-			ratio:   core.StackAnalysis(tr).OverallRatio,
-		}
-		plan := core.Plan(tr, core.DefaultPolicy(core.Category2))
-		for _, adv := range plan.Advices {
-			if adv.Object.LoopStats().Refs() > 0 {
-				res.active[adv.Object.Name] = true
-			}
-			res.targets[adv.Object.Name] = adv.Target
-		}
-		return res, nil
+		return v.(runResult), nil
 	}
 
-	full, err := runAt(1)
+	full, err := runAt(s.ctx(), 1)
 	if err != nil {
 		return nil, err
 	}
 
-	out := make([]SamplingRow, 0, len(periods))
-	for _, period := range periods {
-		var res runResult
-		if period <= 1 {
-			res = full
-		} else {
-			res, err = runAt(period)
+	return runner.Collect(s.ctx(), periods, func(ctx context.Context, period int) (SamplingRow, error) {
+		res := full
+		if period > 1 {
+			var err error
+			res, err = runAt(ctx, period)
 			if err != nil {
-				return nil, err
+				return SamplingRow{}, err
 			}
 		}
 		row := SamplingRow{Period: period, ObservedRefs: res.refs, TotalObjects: len(full.active)}
@@ -100,9 +107,8 @@ func (s *Session) SamplingStudy(app string, periods []int) ([]SamplingRow, error
 			}
 			row.StackRatioError = rel
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // FormatSamplingStudy renders the study.

@@ -1,0 +1,302 @@
+// Package runner is the concurrent experiment engine underneath
+// internal/experiments: it schedules instrumentation runs across a bounded
+// worker pool, deduplicates identical runs through a keyed single-flight
+// cache, and emits run-level observability — per-run wall time,
+// references/sec, cache hit/miss counters and an optional streaming
+// progress callback.
+//
+// The paper's workflow is inherently a fan-out: every exhibit re-runs the
+// instrumented applications over app × stack-mode × device-profile
+// combinations, and §III-D runs the collection tools in parallel for
+// exactly this reason.  The engine makes that fan-out explicit and shared:
+// concurrent requests for the same run join one execution, different runs
+// spread across the pool, and a cancelled context aborts the runs still
+// queued.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"nvscavenger/internal/stats"
+)
+
+// Key identifies one memoizable run: the application, the tool mode
+// (fast/slow stack attribution, power replay, latency sweep, ...), the
+// problem scale and iteration count, and an optional device-profile or
+// parameter tag.  Two requests with equal keys share one execution.
+type Key struct {
+	App        string
+	Mode       string
+	Scale      float64
+	Iterations int
+	Profile    string
+}
+
+// String renders the key the way progress lines show it.
+func (k Key) String() string {
+	s := k.App + "/" + k.Mode
+	if k.Profile != "" {
+		s += "/" + k.Profile
+	}
+	return s
+}
+
+// Func produces the value for one run.  refs reports how many memory
+// references (or equivalent work units) the run observed; it feeds the
+// references/sec metric.
+type Func func(ctx context.Context) (value any, refs uint64, err error)
+
+// EventKind classifies progress events.
+type EventKind int
+
+const (
+	// EventStart fires when a run acquires a worker slot and begins.
+	EventStart EventKind = iota
+	// EventDone fires when a run completes successfully.
+	EventDone
+	// EventCached fires when a request is served from the cache or joins
+	// an execution already in flight.
+	EventCached
+	// EventError fires when a run fails (including cancellation).
+	EventError
+)
+
+// String names the kind for log lines.
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventDone:
+		return "done"
+	case EventCached:
+		return "cached"
+	case EventError:
+		return "error"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one progress notification.  The callback is invoked from worker
+// goroutines and must be safe for concurrent use.
+type Event struct {
+	Kind EventKind
+	Key  Key
+	// Wall is the run's execution time (EventDone and EventError).
+	Wall time.Duration
+	// Refs is the run's observed reference count (EventDone).
+	Refs uint64
+	// Err is the failure (EventError).
+	Err error
+}
+
+// RunMetrics records one executed (non-cached) run.
+type RunMetrics struct {
+	Key  Key
+	Wall time.Duration
+	Refs uint64
+}
+
+// RefsPerSec is the run's observed reference throughput.
+func (r RunMetrics) RefsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Refs) / r.Wall.Seconds()
+}
+
+// Metrics is a snapshot of the engine's counters.
+type Metrics struct {
+	// Hits counts requests served from the cache or joined in flight;
+	// Misses counts requests that triggered an execution; Errors counts
+	// executions that failed (failures are not cached, so a later request
+	// retries).
+	Hits, Misses, Errors uint64
+	// Runs holds the per-run records in completion order.
+	Runs []RunMetrics
+}
+
+// TotalRefs sums the observed references across all completed runs.
+func (m Metrics) TotalRefs() uint64 {
+	var sum uint64
+	for _, r := range m.Runs {
+		sum += r.Refs
+	}
+	return sum
+}
+
+// WallSummary aggregates the per-run wall times (seconds).
+func (m Metrics) WallSummary() stats.Summary {
+	var s stats.Summary
+	for _, r := range m.Runs {
+		s.Add(r.Wall.Seconds())
+	}
+	return s
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Jobs bounds concurrently executing runs; <= 0 selects GOMAXPROCS.
+	Jobs int
+	// Progress optionally receives streaming events.  It is called from
+	// worker goroutines and must be safe for concurrent use.
+	Progress func(Event)
+}
+
+// Engine executes keyed runs on a bounded worker pool with single-flight
+// memoization.  The zero value is not usable; construct with New.
+type Engine struct {
+	cfg Config
+	sem chan struct{}
+
+	mu     sync.Mutex
+	cache  map[Key]*entry
+	hits   uint64
+	misses uint64
+	errs   uint64
+	runs   []RunMetrics
+}
+
+type entry struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// New returns an Engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Jobs),
+		cache: map[Key]*entry{},
+	}
+}
+
+// Jobs returns the worker-pool bound.
+func (e *Engine) Jobs() int { return e.cfg.Jobs }
+
+// Do returns the value for key, executing fn on a worker slot if no
+// execution of the same key is cached or in flight; otherwise the call
+// joins the existing execution and returns its result.  A failed
+// execution (including cancellation) is not cached, so a later Do with
+// the same key retries.  Waiters honor their own context: a caller whose
+// ctx is cancelled unblocks immediately, while the execution it joined
+// continues for the remaining waiters.
+func (e *Engine) Do(ctx context.Context, key Key, fn Func) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if ent, ok := e.cache[key]; ok {
+		e.hits++
+		e.mu.Unlock()
+		e.emit(Event{Kind: EventCached, Key: key})
+		select {
+		case <-ent.done:
+			return ent.value, ent.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.cache[key] = ent
+	e.misses++
+	e.mu.Unlock()
+
+	ent.value, ent.err = e.execute(ctx, key, fn)
+	if ent.err != nil {
+		e.mu.Lock()
+		if e.cache[key] == ent {
+			delete(e.cache, key)
+		}
+		e.errs++
+		e.mu.Unlock()
+	}
+	close(ent.done)
+	return ent.value, ent.err
+}
+
+func (e *Engine) execute(ctx context.Context, key Key, fn Func) (any, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	e.emit(Event{Kind: EventStart, Key: key})
+	start := time.Now()
+	v, refs, err := fn(ctx)
+	wall := time.Since(start)
+	if err != nil {
+		e.emit(Event{Kind: EventError, Key: key, Wall: wall, Err: err})
+		return nil, fmt.Errorf("runner: %s: %w", key, err)
+	}
+	e.mu.Lock()
+	e.runs = append(e.runs, RunMetrics{Key: key, Wall: wall, Refs: refs})
+	e.mu.Unlock()
+	e.emit(Event{Kind: EventDone, Key: key, Wall: wall, Refs: refs})
+	return v, nil
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.cfg.Progress != nil {
+		e.cfg.Progress(ev)
+	}
+}
+
+// Metrics returns a snapshot of the engine's counters and per-run records.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Metrics{
+		Hits:   e.hits,
+		Misses: e.misses,
+		Errors: e.errs,
+		Runs:   append([]RunMetrics(nil), e.runs...),
+	}
+}
+
+// Collect applies f to every item concurrently and returns the results in
+// input order.  The first failure cancels the context handed to the
+// remaining calls and is returned after all of them finish.  Result order
+// — and therefore any report built from it — is independent of scheduling.
+func Collect[K, T any](ctx context.Context, items []K, f func(ctx context.Context, item K) (T, error)) ([]T, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]T, len(items))
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	for i, item := range items {
+		wg.Add(1)
+		go func(i int, item K) {
+			defer wg.Done()
+			v, err := f(ctx, item)
+			if err != nil {
+				once.Do(func() {
+					firstErr = err
+					cancel()
+				})
+				return
+			}
+			out[i] = v
+		}(i, item)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(app string) Key {
+	return Key{App: app, Mode: "fast", Scale: 1, Iterations: 10}
+}
+
+func TestDoMemoizes(t *testing.T) {
+	e := New(Config{Jobs: 2})
+	var execs atomic.Int64
+	fn := func(ctx context.Context) (any, uint64, error) {
+		execs.Add(1)
+		return 42, 7, nil
+	}
+	for i := 0; i < 3; i++ {
+		v, err := e.Do(context.Background(), key("gtc"), fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != 42 {
+			t.Fatalf("value = %v", v)
+		}
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+	m := e.Metrics()
+	if m.Misses != 1 || m.Hits != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", m.Hits, m.Misses)
+	}
+	if len(m.Runs) != 1 || m.Runs[0].Refs != 7 {
+		t.Fatalf("run records = %+v", m.Runs)
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	e := New(Config{Jobs: 8})
+	var execs atomic.Int64
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (any, uint64, error) {
+		execs.Add(1)
+		<-release
+		return "shared", 1, nil
+	}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]any, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.Do(context.Background(), key("cam"), fn)
+		}(i)
+	}
+	// Let every caller reach the cache before releasing the one execution.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1 (single-flight)", got)
+	}
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i].(string) != "shared" {
+			t.Fatalf("caller %d got %v", i, results[i])
+		}
+	}
+}
+
+func TestDoBoundsWorkers(t *testing.T) {
+	e := New(Config{Jobs: 2})
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := e.Do(context.Background(), key(fmt.Sprintf("app%d", i)),
+				func(ctx context.Context) (any, uint64, error) {
+					n := inFlight.Add(1)
+					for {
+						p := peak.Load()
+						if n <= p || peak.CompareAndSwap(p, n) {
+							break
+						}
+					}
+					time.Sleep(5 * time.Millisecond)
+					inFlight.Add(-1)
+					return i, 0, nil
+				})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency = %d, want <= 2", p)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	e := New(Config{Jobs: 1})
+	boom := errors.New("boom")
+	calls := 0
+	fn := func(ctx context.Context) (any, uint64, error) {
+		calls++
+		if calls == 1 {
+			return nil, 0, boom
+		}
+		return "ok", 1, nil
+	}
+	if _, err := e.Do(context.Background(), key("s3d"), fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := e.Do(context.Background(), key("s3d"), fn)
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if v.(string) != "ok" {
+		t.Fatalf("v = %v", v)
+	}
+	if m := e.Metrics(); m.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", m.Errors)
+	}
+}
+
+func TestDoContextCancelledBeforeStart(t *testing.T) {
+	e := New(Config{Jobs: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.Do(ctx, key("gtc"), func(ctx context.Context) (any, uint64, error) {
+		t.Error("fn must not run on a cancelled context")
+		return nil, 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDoContextCancelledWhileQueued(t *testing.T) {
+	e := New(Config{Jobs: 1})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go e.Do(context.Background(), key("hog"), func(ctx context.Context) (any, uint64, error) {
+		close(started)
+		<-block
+		return nil, 0, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Do(ctx, key("queued"), func(ctx context.Context) (any, uint64, error) {
+			return nil, 0, nil
+		})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued Do did not honor cancellation")
+	}
+	close(block)
+}
+
+func TestProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	kinds := map[EventKind]int{}
+	e := New(Config{Jobs: 1, Progress: func(ev Event) {
+		mu.Lock()
+		kinds[ev.Kind]++
+		mu.Unlock()
+	}})
+	fn := func(ctx context.Context) (any, uint64, error) { return 1, 2, nil }
+	if _, err := e.Do(context.Background(), key("gtc"), fn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Do(context.Background(), key("gtc"), fn); err != nil {
+		t.Fatal(err)
+	}
+	if kinds[EventStart] != 1 || kinds[EventDone] != 1 || kinds[EventCached] != 1 {
+		t.Fatalf("events = %v", kinds)
+	}
+}
+
+func TestCollectOrderAndError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	out, err := Collect(context.Background(), items, func(ctx context.Context, i int) (int, error) {
+		time.Sleep(time.Duration(7-i) * time.Millisecond) // finish out of order
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+
+	boom := errors.New("boom")
+	_, err = Collect(context.Background(), items, func(ctx context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(time.Second):
+			return i, nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the root cause", err)
+	}
+}
+
+func TestMetricsWallSummary(t *testing.T) {
+	e := New(Config{})
+	for i := 0; i < 3; i++ {
+		_, err := e.Do(context.Background(), key(fmt.Sprintf("a%d", i)),
+			func(ctx context.Context) (any, uint64, error) { return i, 10, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := e.Metrics()
+	if m.TotalRefs() != 30 {
+		t.Fatalf("total refs = %d", m.TotalRefs())
+	}
+	sum := m.WallSummary()
+	if sum.Count() != 3 || sum.Total() < 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import "math"
+
+// Summary is a single-pass running aggregate (Welford's algorithm): count,
+// mean, variance, min, max and total without storing the samples.  The
+// experiment runner uses it to summarize per-run wall times; it is equally
+// suited to any metric stream too long to buffer.  The zero value is an
+// empty Summary ready for use.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+	total    float64
+}
+
+// Add folds one sample into the aggregate.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.total += x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Count returns the number of samples.
+func (s Summary) Count() int { return s.n }
+
+// Total returns the sum of the samples.
+func (s Summary) Total() float64 { return s.total }
+
+// Mean returns the arithmetic mean (NaN for an empty Summary, matching
+// the package's Mean convention).
+func (s Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Min returns the smallest sample (NaN when empty).
+func (s Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest sample (NaN when empty).
+func (s Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Std returns the population standard deviation (NaN when empty).
+func (s Summary) Std() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(s.m2 / float64(s.n))
+}

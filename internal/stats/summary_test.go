@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Total() != 0 {
+		t.Fatalf("empty summary: count %d total %v", s.Count(), s.Total())
+	}
+	for name, v := range map[string]float64{
+		"mean": s.Mean(), "min": s.Min(), "max": s.Max(), "std": s.Std(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty %s = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestSummaryMatchesBatchStats(t *testing.T) {
+	xs := []float64{4, 2, 7, 1, 9, 3.5, 2, 8}
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.Count() != len(xs) {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if got, want := s.Mean(), Mean(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	var total, m2 float64
+	for _, x := range xs {
+		total += x
+	}
+	mean := total / float64(len(xs))
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	if math.Abs(s.Total()-total) > 1e-12 {
+		t.Errorf("total = %v, want %v", s.Total(), total)
+	}
+	if want := math.Sqrt(m2 / float64(len(xs))); math.Abs(s.Std()-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std(), want)
+	}
+}
+
+func TestSummarySingleSample(t *testing.T) {
+	var s Summary
+	s.Add(5)
+	if s.Mean() != 5 || s.Min() != 5 || s.Max() != 5 || s.Std() != 0 {
+		t.Fatalf("single-sample summary: mean %v min %v max %v std %v",
+			s.Mean(), s.Min(), s.Max(), s.Std())
+	}
+}
