@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race report
+.PHONY: ci vet build test race race-obs report
 
-ci: vet build race
+ci: vet build race-obs race
 
 vet:
 	$(GO) vet ./...
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The metrics registry and the run engine are the two packages whose hot
+# paths are exercised concurrently; run them race-enabled twice so the
+# schedule varies between runs.
+race-obs:
+	$(GO) test -race -count=2 ./internal/obs ./internal/runner
 
 report:
 	$(GO) run ./cmd/nvreport

@@ -20,6 +20,7 @@ import (
 	"nvscavenger/internal/cli"
 	"nvscavenger/internal/cpusim"
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/obs"
 	"nvscavenger/internal/trace"
 
 	_ "nvscavenger/internal/apps/cammini"
@@ -43,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	scale := fs.Float64("scale", 1.0, "problem scale")
 	iters := fs.Int("iterations", 1, "main-loop iterations to simulate (the paper uses 1)")
 	latList := fs.String("latencies", "10,12,20,100", "memory latencies in ns (comma separated; first is the baseline)")
+	metricsOut := fs.String("metrics", "", "write the sweep's observability snapshot to this file (.json for JSON, text otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "%s latency sweep (%d iteration(s), scale %.2f)\n", *appName, *iters, *scale)
 	fmt.Fprintf(out, "%12s %14s %10s %8s %14s %14s\n",
 		"latency (ns)", "cycles", "normalized", "IPC", "mem accesses", "prefetch hits")
+	reg := obs.NewRegistry()
 	var base float64
 	for _, lat := range lats {
 		app, err := apps.New(*appName, *scale)
@@ -79,8 +82,21 @@ func run(args []string, out io.Writer) error {
 		if base == 0 {
 			base = st.Cycles
 		}
+		ls := []obs.Label{obs.L("app", *appName), obs.L("latency_ns", strconv.FormatFloat(lat, 'g', -1, 64))}
+		reg.Gauge("cpusim_cycles", ls...).Set(st.Cycles)
+		reg.Gauge("cpusim_normalized_runtime", ls...).Set(st.Cycles / base)
+		reg.Gauge("cpusim_ipc", ls...).Set(st.IPC)
+		reg.Gauge("cpusim_mem_accesses", ls...).Set(float64(st.MemAccesses))
+		reg.Gauge("cpusim_prefetch_hits", ls...).Set(float64(st.PrefetchHits))
+		tr.ExportMetrics(reg, ls...)
 		fmt.Fprintf(out, "%12.0f %14.0f %10.3f %8.2f %14d %14d\n",
 			lat, st.Cycles, st.Cycles/base, st.IPC, st.MemAccesses, st.PrefetchHits)
+	}
+	if *metricsOut != "" {
+		if err := cli.WriteMetricsFile(*metricsOut, reg.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics snapshot to %s\n", *metricsOut)
 	}
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"nvscavenger/internal/cli"
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/obs"
 	"nvscavenger/internal/trace"
 
 	_ "nvscavenger/internal/apps/cammini"
@@ -49,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	scale := fs.Float64("scale", 1.0, "problem scale")
 	iters := fs.Int("iterations", 10, "main-loop iterations")
 	policy := fs.String("policy", "open", "row policy: open or closed page")
+	metricsOut := fs.String("metrics", "", "write the run's observability snapshot to this file (.json for JSON, text otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -policy %q (open or closed)", *policy)
 	}
 
+	reg := obs.NewRegistry()
 	var txs []trace.Transaction
 	switch {
 	case *appName != "" && *traceFile != "":
@@ -85,6 +88,8 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		txs = collect.txs
+		hier.ExportMetrics(reg, obs.L("app", *appName))
+		tr.ExportMetrics(reg, obs.L("app", *appName))
 		fmt.Fprintf(out, "%s: %d references filtered to %d memory transactions (%.2f%%)\n",
 			*appName, hier.L1Stats().Accesses(), len(txs),
 			float64(len(txs))/float64(hier.L1Stats().Accesses())*100)
@@ -146,6 +151,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	for _, r := range reps {
+		r.ExportMetrics(reg)
+	}
 	norm := dramsim.Normalize(reps)
 	fmt.Fprintf(out, "\n%-8s %10s %10s %10s %10s %10s %12s %10s\n",
 		"device", "total mW", "burst", "act/pre", "bg", "refresh", "elapsed ms", "normalized")
@@ -156,5 +164,11 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nrow policy %s; row-buffer hit ratio (DDR3 run): %.1f%%\n",
 		rowPolicy, reps[0].RowHitRatio()*100)
+	if *metricsOut != "" {
+		if err := cli.WriteMetricsFile(*metricsOut, reg.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics snapshot to %s\n", *metricsOut)
+	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	nvreport -scale 0.25         # faster, reduced problem sizes
 //	nvreport -only table5,fig12  # a subset
 //	nvreport -jobs 8             # bound the worker pool explicitly
+//	nvreport -metrics m.json     # also dump the observability snapshot
 //
 // Exhibits: table1, table5, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, table6, fig12, placement.
@@ -235,6 +236,7 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Bool("parallel", true, "deprecated: -parallel=false is shorthand for -jobs 1")
 	progress := fs.Bool("progress", true, "stream per-run progress lines to stderr")
 	outdir := fs.String("outdir", "", "also write each exhibit to <outdir>/<name>.txt")
+	metricsOut := fs.String("metrics", "", "write the run's observability snapshot to this file (.json for JSON, text otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -310,6 +312,13 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", ex.name, err)
 		}
+	}
+
+	if *metricsOut != "" {
+		if err := cli.WriteMetricsFile(*metricsOut, sess.MetricsSnapshot()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "nvreport: wrote metrics snapshot to %s\n", *metricsOut)
 	}
 
 	if *progress {

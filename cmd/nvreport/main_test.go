@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nvscavenger/internal/obs"
 )
 
 func TestRunSubset(t *testing.T) {
@@ -50,6 +53,59 @@ func TestExhibitNamesUnique(t *testing.T) {
 	}
 	if len(seen) != 21 {
 		t.Errorf("exhibit count = %d, want 21", len(seen))
+	}
+}
+
+// TestRunMetricsFile covers the acceptance path: `nvreport -metrics` must
+// emit a snapshot containing runner run/hit/miss/error counters, cachesim
+// L1/L2 hit ratios and dramsim command counts for at least one exhibit.
+func TestRunMetricsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-iterations", "3", "-progress=false",
+		"-only", "table5,table6", "-metrics", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"runner_runs_total",
+		"runner_hits_total",
+		"runner_misses_total",
+		"runner_errors_total",
+		`cachesim_hit_ratio{app=cam,level=L1D,mode=fast}`,
+		`cachesim_hit_ratio{app=cam,level=L2,mode=fast}`,
+		`dramsim_reads{app=cam,device=DDR3}`,
+		`dramsim_writes{app=cam,device=DDR3}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics file missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunMetricsJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-iterations", "3", "-progress=false",
+		"-only", "table5", "-metrics", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if _, ok := snap.Counter("runner_runs_total"); !ok {
+		t.Error("JSON snapshot missing runner_runs_total")
 	}
 }
 

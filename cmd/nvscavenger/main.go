@@ -12,6 +12,7 @@
 //
 //	nvscavenger -app nek5000 [-scale 1.0] [-iterations 10] [-mode fast]
 //	            [-placement] [-endurance] [-category 2] [-timeout 5m]
+//	            [-json snap.json] [-metrics m.txt]
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"nvscavenger/internal/core"
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/obs"
 	"nvscavenger/internal/runner"
 	"nvscavenger/internal/trace"
 
@@ -53,7 +55,8 @@ func run(args []string, out io.Writer) error {
 	endurance := fs.Bool("endurance", false, "print PCRAM endurance estimates for NVRAM-placed objects")
 	category := fs.Int("category", 2, "NVRAM category for the placement policy (1 or 2)")
 	topN := fs.Int("top", 25, "number of objects to print per section")
-	jsonOut := fs.String("json", "", "write the full analysis snapshot as JSON to this file")
+	jsonOut := fs.String("json", "", "write the full analysis snapshot as JSON to this file (embeds the metrics block)")
+	metricsOut := fs.String("metrics", "", "write the run's observability snapshot to this file (.json for JSON, text otherwise)")
 	timeout := fs.Duration("timeout", 0, "abort the instrumented run after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,7 +81,8 @@ func run(args []string, out io.Writer) error {
 		defer cancel()
 	}
 
-	eng := runner.New(runner.Config{Jobs: 1})
+	reg := obs.NewRegistry()
+	eng := runner.New(runner.Config{Jobs: 1, Metrics: reg})
 	v, err := eng.Do(ctx,
 		runner.Key{App: *appName, Mode: *mode, Scale: *scale, Iterations: *iters},
 		func(ctx context.Context) (any, uint64, error) {
@@ -97,6 +101,7 @@ func run(args []string, out io.Writer) error {
 	}
 	ins := v.(instrumented)
 	app, tr := ins.app, ins.tr
+	tr.ExportMetrics(reg, obs.L("app", *appName), obs.L("mode", *mode))
 
 	fmt.Fprintf(out, "== %s: %s ==\n", app.Name(), app.Description())
 	fmt.Fprintf(out, "scale %.2f, %d iterations, %s stack mode\n", *scale, *iters, stackMode)
@@ -200,10 +205,18 @@ func run(args []string, out io.Writer) error {
 			policyPtr = &p
 		}
 		snap := core.BuildSnapshot(app.Name(), tr, policyPtr)
+		metrics := reg.Snapshot()
+		snap.Metrics = &metrics
 		if err := cli.WriteJSONFile(*jsonOut, snap.WriteJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "\nwrote analysis snapshot to %s\n", *jsonOut)
+	}
+	if *metricsOut != "" {
+		if err := cli.WriteMetricsFile(*metricsOut, reg.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics snapshot to %s\n", *metricsOut)
 	}
 	return nil
 }

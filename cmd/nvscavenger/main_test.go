@@ -77,4 +77,39 @@ func TestRunJSONSnapshot(t *testing.T) {
 	if snap.App != "gtc" || len(snap.Objects) == 0 || snap.Placement == nil {
 		t.Fatalf("snapshot incomplete: %+v", snap)
 	}
+	if snap.Metrics == nil {
+		t.Fatal("-json snapshot must embed the metrics block")
+	}
+	if v, ok := snap.Metrics.Counter("runner_runs_total"); !ok || v != 1 {
+		t.Errorf("embedded metrics runner_runs_total = %d, %v; want 1, true", v, ok)
+	}
+}
+
+func TestRunMetricsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.txt")
+	var out bytes.Buffer
+	err := run([]string{"-app", "gtc", "-scale", "0.05", "-iterations", "2",
+		"-metrics", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"counter runner_runs_total 1",
+		"counter runner_misses_total 1",
+		"memtrace_object_cache_hit_ratio{app=gtc,mode=fast}",
+		"runner_run_wall_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics file missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(out.String(), "wrote metrics snapshot") {
+		t.Error("missing metrics confirmation line")
+	}
 }

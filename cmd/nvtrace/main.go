@@ -6,6 +6,7 @@
 //	nvtrace -stat mem.trc            # summary: kind, records, r/w mix, span
 //	nvtrace -head 10 mem.trc         # print the first N records
 //	nvtrace -convert mem.trc.gz mem.trc   # recompress / decompress by suffix
+//	nvtrace -stat -metrics m.txt mem.trc  # also dump the record counters
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"nvscavenger/internal/cli"
+	"nvscavenger/internal/obs"
 	"nvscavenger/internal/trace"
 )
 
@@ -25,26 +27,39 @@ func run(args []string, out io.Writer) error {
 	stat := fs.Bool("stat", false, "print a summary of the trace")
 	head := fs.Int("head", 0, "print the first N records")
 	convert := fs.Bool("convert", false, "convert between plain and gzip (two file args; .gz suffix selects compression)")
+	metricsOut := fs.String("metrics", "", "write the record counters to this file (.json for JSON, text otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	files := fs.Args()
 
+	reg := obs.NewRegistry()
+	var err error
 	switch {
 	case *convert:
 		if len(files) != 2 {
 			return fmt.Errorf("-convert needs input and output paths")
 		}
-		return convertTrace(files[0], files[1], out)
+		err = convertTrace(files[0], files[1], reg, out)
 	case *stat || *head > 0:
 		if len(files) != 1 {
 			return fmt.Errorf("need exactly one trace file")
 		}
-		return inspect(files[0], *stat, *head, out)
+		err = inspect(files[0], *stat, *head, reg, out)
 	default:
 		fs.Usage()
 		return fmt.Errorf("need -stat, -head or -convert")
 	}
+	if err != nil {
+		return err
+	}
+	if *metricsOut != "" {
+		if err := cli.WriteMetricsFile(*metricsOut, reg.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics snapshot to %s\n", *metricsOut)
+	}
+	return nil
 }
 
 func openTrace(path string) (*trace.Reader, *os.File, error) {
@@ -60,7 +75,7 @@ func openTrace(path string) (*trace.Reader, *os.File, error) {
 	return r, f, nil
 }
 
-func inspect(path string, stat bool, head int, out io.Writer) error {
+func inspect(path string, stat bool, head int, reg *obs.Registry, out io.Writer) error {
 	r, f, err := openTrace(path)
 	if err != nil {
 		return err
@@ -133,10 +148,17 @@ func inspect(path string, stat bool, head int, out io.Writer) error {
 				minAddr, maxAddr, float64(maxAddr-minAddr)/(1<<20))
 		}
 	}
+	ls := []obs.Label{obs.L("trace", path), obs.L("kind", kind)}
+	reg.Gauge("nvtrace_records", ls...).Set(float64(records))
+	reg.Gauge("nvtrace_reads", ls...).Set(float64(records - writes))
+	reg.Gauge("nvtrace_writes", ls...).Set(float64(writes))
+	if records > 0 {
+		reg.Gauge("nvtrace_address_span_bytes", ls...).Set(float64(maxAddr - minAddr))
+	}
 	return nil
 }
 
-func convertTrace(src, dst string, out io.Writer) error {
+func convertTrace(src, dst string, reg *obs.Registry, out io.Writer) error {
 	r, f, err := openTrace(src)
 	if err != nil {
 		return err
@@ -198,6 +220,7 @@ func convertTrace(src, dst string, out io.Writer) error {
 	if err := o.Close(); err != nil {
 		return err
 	}
+	reg.Gauge("nvtrace_converted_records", obs.L("src", src), obs.L("dst", dst)).Set(float64(n))
 	fmt.Fprintf(out, "converted %d records: %s -> %s\n", n, src, dst)
 	return nil
 }

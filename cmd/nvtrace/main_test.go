@@ -100,6 +100,28 @@ func TestConvertRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStatMetricsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mem.trc")
+	metrics := filepath.Join(dir, "m.txt")
+	writeSampleTrace(t, path, false)
+
+	var out bytes.Buffer
+	if err := run([]string{"-stat", "-metrics", metrics, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"nvtrace_records", " 100", "nvtrace_writes", " 25"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics file missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{}, &out); err == nil {

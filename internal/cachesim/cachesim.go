@@ -83,6 +83,24 @@ type Config struct {
 	L2 LevelConfig
 }
 
+// Validate checks both levels' geometry and the cross-level invariant the
+// hierarchy assumes: one line size shared by all levels.  A mismatched
+// configuration would silently compute wrong writeback line addresses
+// (L1 victims re-aligned with L2's mask), so it is an error, not a wish.
+func (c Config) Validate() error {
+	if err := c.L1.validate(); err != nil {
+		return err
+	}
+	if err := c.L2.validate(); err != nil {
+		return err
+	}
+	if c.L1.LineSize != c.L2.LineSize {
+		return fmt.Errorf("cachesim: mixed line sizes %d/%d (LineSize is shared by all levels)",
+			c.L1.LineSize, c.L2.LineSize)
+	}
+	return nil
+}
+
 // PaperConfig returns the Table II configuration: L1D 32 KB 4-way 64 B
 // no-write-allocate; L2 1 MB 16-way 64 B LRU write-allocate.
 func PaperConfig() Config {
@@ -109,6 +127,14 @@ func (s LevelStats) MissRatio() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(s.Accesses())
+}
+
+// HitRatio returns hits/accesses (0 for an idle level).
+func (s LevelStats) HitRatio() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses())
 }
 
 type line struct {
@@ -252,6 +278,9 @@ type Hierarchy struct {
 
 // New builds a Hierarchy; sink may be nil to only collect statistics.
 func New(cfg Config, sink TxSink) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	l1, err := newLevel(cfg.L1)
 	if err != nil {
 		return nil, err
@@ -259,9 +288,6 @@ func New(cfg Config, sink TxSink) (*Hierarchy, error) {
 	l2, err := newLevel(cfg.L2)
 	if err != nil {
 		return nil, err
-	}
-	if l1.cfg.LineSize != l2.cfg.LineSize {
-		return nil, fmt.Errorf("cachesim: mixed line sizes %d/%d", l1.cfg.LineSize, l2.cfg.LineSize)
 	}
 	return &Hierarchy{l1: l1, l2: l2, sink: sink}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"nvscavenger/internal/obs"
 	"nvscavenger/internal/trace"
 )
 
@@ -457,5 +458,56 @@ func TestLRUBeatsFIFOOnLoopingWorkload(t *testing.T) {
 	lru, fifo := run(LRU), run(FIFO)
 	if lru > fifo {
 		t.Fatalf("LRU miss ratio %v should not exceed FIFO %v here", lru, fifo)
+	}
+}
+
+// TestConfigValidateLineSizeMismatch locks in the cross-level invariant:
+// the hierarchy assumes one shared line size, so a mismatched config must
+// be rejected instead of silently producing wrong writeback addresses.
+func TestConfigValidateLineSizeMismatch(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.L2.LineSize = 128
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted mixed line sizes")
+	}
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("New accepted mixed line sizes")
+	}
+	// Per-level geometry errors still surface through Validate.
+	bad := PaperConfig()
+	bad.L1.LineSize = 48 // not a power of two
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted non-power-of-two line size")
+	}
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatalf("paper config must validate: %v", err)
+	}
+}
+
+// TestExportMetrics checks the hierarchy publishes its counters and hit
+// ratios under per-level labels.
+func TestExportMetrics(t *testing.T) {
+	h := MustNew(PaperConfig(), nil)
+	for i := 0; i < 256; i++ {
+		h.Access(trace.Access{Addr: uint64(i) * 64, Size: 8, Op: trace.Read})
+		h.Access(trace.Access{Addr: uint64(i) * 64, Size: 8, Op: trace.Read})
+	}
+	reg := obs.NewRegistry()
+	h.ExportMetrics(reg, obs.L("app", "test"))
+	s := reg.Snapshot()
+	l1 := []obs.Label{{Key: "app", Value: "test"}, {Key: "level", Value: "L1D"}}
+	hits, ok := s.Gauge("cachesim_hits", l1...)
+	if !ok || hits != float64(h.L1Stats().Hits) {
+		t.Fatalf("cachesim_hits{L1D} = %v (found %v), want %d", hits, ok, h.L1Stats().Hits)
+	}
+	ratio, ok := s.Gauge("cachesim_hit_ratio", l1...)
+	if !ok || ratio != h.L1Stats().HitRatio() {
+		t.Fatalf("cachesim_hit_ratio{L1D} = %v, want %v", ratio, h.L1Stats().HitRatio())
+	}
+	if _, ok := s.Gauge("cachesim_hit_ratio", obs.L("app", "test"), obs.L("level", "L2")); !ok {
+		t.Fatal("missing L2 hit ratio")
+	}
+	if v, ok := s.Gauge("cachesim_mem_reads", obs.L("app", "test")); !ok || v != float64(h.MemReads) {
+		t.Fatalf("cachesim_mem_reads = %v, want %d", v, h.MemReads)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"text/tabwriter"
 
 	"nvscavenger/internal/apps"
+	"nvscavenger/internal/obs"
 )
 
 // Main runs a tool's run function with the standard exit protocol: errors
@@ -64,6 +65,25 @@ func RequireApp(fs *flag.FlagSet, name string) error {
 // snapshot's WriteJSON), closing it on every path; used by the tools'
 // -json flags.
 func WriteJSONFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteMetricsFile writes an observability snapshot to path: the JSON
+// rendering when the path ends in .json, the one-line-per-series text
+// rendering otherwise.  All five tools' -metrics flags route through it.
+func WriteMetricsFile(path string, snap obs.Snapshot) error {
+	write := snap.WriteText
+	if strings.HasSuffix(path, ".json") {
+		write = snap.WriteJSON
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/obs"
 	"nvscavenger/internal/trace"
 )
 
@@ -26,6 +27,11 @@ type Snapshot struct {
 	Objects  []ObjectJSON   `json:"objects"`
 
 	Placement *PlacementJSON `json:"placement,omitempty"`
+
+	// Metrics optionally embeds the run's observability snapshot (runner
+	// counters, cache hit rates, attribution-path statistics), so the
+	// instrumentation health travels with the exhibit it produced.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // SegmentTotal is one segment's main-loop totals.

@@ -1,0 +1,21 @@
+package dramsim
+
+import "nvscavenger/internal/obs"
+
+// ExportMetrics publishes the report's command counts and power figures
+// into reg under the given labels plus a "device" label, so one registry
+// can hold a whole Table VI comparison (DDR3/PCRAM/STTRAM/MRAM side by
+// side).  Gauges are set idempotently; re-exporting the same report is a
+// no-op.
+func (r PowerReport) ExportMetrics(reg *obs.Registry, labels ...obs.Label) {
+	ls := append(append([]obs.Label(nil), labels...), obs.L("device", r.Device))
+	reg.Gauge("dramsim_reads", ls...).Set(float64(r.Reads))
+	reg.Gauge("dramsim_writes", ls...).Set(float64(r.Writes))
+	reg.Gauge("dramsim_activates", ls...).Set(float64(r.Activates))
+	reg.Gauge("dramsim_row_hits", ls...).Set(float64(r.RowHits))
+	reg.Gauge("dramsim_row_misses", ls...).Set(float64(r.RowMisses))
+	reg.Gauge("dramsim_row_hit_ratio", ls...).Set(r.RowHitRatio())
+	reg.Gauge("dramsim_total_mw", ls...).Set(r.TotalMW)
+	reg.Gauge("dramsim_bandwidth_gbs", ls...).Set(r.BandwidthGBs)
+	reg.Gauge("dramsim_bus_utilization", ls...).Set(r.BusUtilization)
+}

@@ -1,0 +1,34 @@
+package dramsim
+
+import (
+	"testing"
+
+	"nvscavenger/internal/obs"
+	"nvscavenger/internal/trace"
+)
+
+func TestPowerReportExportMetrics(t *testing.T) {
+	m := MustNew(PaperConfig(DDR3()))
+	for i := 0; i < 128; i++ {
+		if err := m.Transaction(trace.Transaction{Addr: uint64(i) * 64, Write: i%3 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := m.Report()
+	reg := obs.NewRegistry()
+	rep.ExportMetrics(reg, obs.L("app", "gtc"))
+	s := reg.Snapshot()
+	ls := []obs.Label{{Key: "app", Value: "gtc"}, {Key: "device", Value: rep.Device}}
+	if v, ok := s.Gauge("dramsim_reads", ls...); !ok || v != float64(rep.Reads) {
+		t.Fatalf("dramsim_reads = %v (%v), want %d", v, ok, rep.Reads)
+	}
+	if v, ok := s.Gauge("dramsim_writes", ls...); !ok || v != float64(rep.Writes) {
+		t.Fatalf("dramsim_writes = %v, want %d", v, rep.Writes)
+	}
+	if v, ok := s.Gauge("dramsim_row_hit_ratio", ls...); !ok || v != rep.RowHitRatio() {
+		t.Fatalf("dramsim_row_hit_ratio = %v, want %v", v, rep.RowHitRatio())
+	}
+	if v, ok := s.Gauge("dramsim_total_mw", ls...); !ok || v != rep.TotalMW {
+		t.Fatalf("dramsim_total_mw = %v, want %v", v, rep.TotalMW)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"nvscavenger/internal/cpusim"
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/obs"
 	"nvscavenger/internal/runner"
 	"nvscavenger/internal/trace"
 
@@ -88,10 +89,13 @@ func NewSession(opts ...Option) *Session {
 			o.apply(&cfg)
 		}
 	}
+	if cfg.metrics == nil {
+		cfg.metrics = obs.NewRegistry()
+	}
 	return &Session{
 		cfg:  cfg,
 		opts: Options{Scale: cfg.scale, Iterations: cfg.iterations},
-		eng:  runner.New(runner.Config{Jobs: cfg.jobs, Progress: cfg.progress}),
+		eng:  runner.New(runner.Config{Jobs: cfg.jobs, Progress: cfg.progress, Metrics: cfg.metrics}),
 	}
 }
 
@@ -101,6 +105,16 @@ func (s *Session) Options() Options { return s.opts }
 // Metrics returns the run-level observability snapshot: cache hit/miss
 // counters and per-run wall time and reference throughput.
 func (s *Session) Metrics() runner.Metrics { return s.eng.Metrics() }
+
+// MetricsRegistry returns the registry the session and its engine publish
+// into: runner run/hit/miss/error counters and per-run wall-time
+// histograms, plus the per-run cachesim/memtrace exports (labelled by app
+// and mode) and the dramsim command counters of the power replays.
+func (s *Session) MetricsRegistry() *obs.Registry { return s.cfg.metrics }
+
+// MetricsSnapshot renders the aggregated observability state: one
+// deterministic snapshot covering every run the exhibits executed so far.
+func (s *Session) MetricsSnapshot() obs.Snapshot { return s.cfg.metrics.Snapshot() }
 
 // Jobs returns the session's worker-pool bound.
 func (s *Session) Jobs() int { return s.eng.Jobs() }
@@ -184,6 +198,9 @@ func (s *Session) runFast(ctx context.Context, name string) (*Run, error) {
 	if err := hier.Err(); err != nil {
 		return nil, err
 	}
+	labels := []obs.Label{obs.L("app", name), obs.L("mode", "fast")}
+	hier.ExportMetrics(s.cfg.metrics, labels...)
+	tr.ExportMetrics(s.cfg.metrics, labels...)
 	return &Run{App: app, Tracer: tr, Hierarchy: hier, Transactions: cap.txs}, nil
 }
 
@@ -213,6 +230,7 @@ func (s *Session) runSlow(ctx context.Context, name string) (*Run, error) {
 	if err := apps.RunContext(ctx, app, tr, s.opts.Iterations); err != nil {
 		return nil, err
 	}
+	tr.ExportMetrics(s.cfg.metrics, obs.L("app", name), obs.L("mode", "slow"))
 	return &Run{App: app, Tracer: tr}, nil
 }
 
@@ -366,6 +384,9 @@ func (s *Session) Table6() ([]Table6Row, error) {
 			reps, err := dramsim.Compare(dramsim.PaperGeometry(), dramsim.OpenPage, dramsim.Profiles(), run.Transactions)
 			if err != nil {
 				return nil, 0, err
+			}
+			for _, rep := range reps {
+				rep.ExportMetrics(s.cfg.metrics, obs.L("app", name))
 			}
 			row := Table6Row{App: name, Reports: reps, Normalized: dramsim.Normalize(reps)}
 			return row, uint64(len(run.Transactions)) * uint64(len(reps)), nil

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"testing"
+
+	"nvscavenger/internal/obs"
+)
+
+// runExhibits drives a representative slice of the pipeline — fast runs,
+// the slow CAM run, and the Table VI power replays — against one session.
+func runExhibits(t *testing.T, jobs int) obs.Snapshot {
+	t.Helper()
+	s := NewSession(WithScale(0.05), WithIterations(3), WithJobs(jobs))
+	if _, err := s.Table5(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Figure2(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Table6(); err != nil {
+		t.Fatal(err)
+	}
+	return s.MetricsSnapshot()
+}
+
+// TestMetricsFieldsStableAcrossJobs: the -metrics snapshot must expose the
+// same series (names and labels) whether the runs execute sequentially or
+// across a worker pool, and the deterministic values — everything except
+// wall-clock timings — must agree exactly.
+func TestMetricsFieldsStableAcrossJobs(t *testing.T) {
+	seq := runExhibits(t, 1)
+	par := runExhibits(t, 4)
+
+	seqIDs, parIDs := seq.SeriesIDs(), par.SeriesIDs()
+	if len(seqIDs) != len(parIDs) {
+		t.Fatalf("series count differs: %d (jobs=1) vs %d (jobs=4)\nseq: %v\npar: %v",
+			len(seqIDs), len(parIDs), seqIDs, parIDs)
+	}
+	for i := range seqIDs {
+		if seqIDs[i] != parIDs[i] {
+			t.Fatalf("series %d differs: %q vs %q", i, seqIDs[i], parIDs[i])
+		}
+	}
+
+	// Counters are deterministic (hits/misses depend only on the request
+	// multiset, not on scheduling) — except refs ordering effects don't
+	// exist either; compare all counters exactly.
+	for i := range seq.Counters {
+		a, b := seq.Counters[i], par.Counters[i]
+		if a.Value != b.Value {
+			t.Errorf("counter %s: %d (jobs=1) vs %d (jobs=4)", a.Name, a.Value, b.Value)
+		}
+	}
+	// Gauges are per-run component stats of deterministic simulations.
+	for i := range seq.Gauges {
+		a, b := seq.Gauges[i], par.Gauges[i]
+		if a.Value != b.Value {
+			t.Errorf("gauge %s%v: %g vs %g", a.Name, a.Labels, a.Value, b.Value)
+		}
+	}
+	// Histogram counts (not sums — wall time is nondeterministic).
+	for i := range seq.Histograms {
+		a, b := seq.Histograms[i], par.Histograms[i]
+		if a.Count != b.Count {
+			t.Errorf("histogram %s%v count: %d vs %d", a.Name, a.Labels, a.Count, b.Count)
+		}
+	}
+}
+
+// TestSessionMetricsSnapshotContents checks the aggregated snapshot holds
+// all three layers: runner counters, cachesim hit ratios, and the dramsim
+// command counts of the power replays.
+func TestSessionMetricsSnapshotContents(t *testing.T) {
+	s := NewSession(WithScale(0.05), WithIterations(3), WithApps("gtc"))
+	if _, err := s.Table6(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.MetricsSnapshot()
+	if v, ok := snap.Counter("runner_runs_total"); !ok || v == 0 {
+		t.Errorf("runner_runs_total = %d (%v), want > 0", v, ok)
+	}
+	if _, ok := snap.Counter("runner_misses_total"); !ok {
+		t.Error("missing runner_misses_total")
+	}
+	if _, ok := snap.Gauge("cachesim_hit_ratio", obs.L("app", "gtc"), obs.L("mode", "fast"), obs.L("level", "L1D")); !ok {
+		t.Error("missing cachesim L1 hit ratio for the fast gtc run")
+	}
+	if _, ok := snap.Gauge("dramsim_reads", obs.L("app", "gtc"), obs.L("device", "DDR3")); !ok {
+		t.Error("missing dramsim command counts for the DDR3 replay")
+	}
+	if _, ok := snap.Gauge("memtrace_object_cache_hit_ratio", obs.L("app", "gtc"), obs.L("mode", "fast")); !ok {
+		t.Error("missing memtrace object-cache stats")
+	}
+}
+
+// TestWithMetricsSharedRegistry: a caller-provided registry receives the
+// session's series (the CLIs pass one registry to several components).
+func TestWithMetricsSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("external_total").Inc()
+	s := NewSession(WithScale(0.05), WithIterations(3), WithApps("gtc"), WithMetrics(reg))
+	if _, err := s.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if _, ok := snap.Counter("runner_runs_total"); !ok {
+		t.Error("session did not publish into the shared registry")
+	}
+	if v, _ := snap.Counter("external_total"); v != 1 {
+		t.Error("shared registry lost pre-existing series")
+	}
+	if s.MetricsRegistry() != reg {
+		t.Error("MetricsRegistry must return the installed registry")
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 
+	"nvscavenger/internal/obs"
 	"nvscavenger/internal/runner"
 )
 
@@ -31,6 +32,7 @@ type config struct {
 	jobs       int
 	ctx        context.Context
 	progress   func(runner.Event)
+	metrics    *obs.Registry
 }
 
 func defaultConfig() config {
@@ -101,6 +103,18 @@ func WithJobs(n int) Option {
 // worker goroutines and must be safe for concurrent use.
 func WithProgress(fn func(runner.Event)) Option {
 	return optionFunc(func(c *config) { c.progress = fn })
+}
+
+// WithMetrics installs the observability registry the session and its
+// engine publish into — runner counters and wall-time histograms plus the
+// per-run cachesim/dramsim/memtrace exports.  The default (nil) gives the
+// session a private registry, readable through MetricsSnapshot.
+func WithMetrics(reg *obs.Registry) Option {
+	return optionFunc(func(c *config) {
+		if reg != nil {
+			c.metrics = reg
+		}
+	})
 }
 
 // apply lets the legacy struct act as an Option.

@@ -1,0 +1,48 @@
+package memtrace
+
+import (
+	"testing"
+
+	"nvscavenger/internal/obs"
+)
+
+func TestTracerExportMetrics(t *testing.T) {
+	tr := newFast(t)
+	g, _ := tr.GlobalF64("coeff", 64)
+	tr.BeginIteration()
+	for i := 0; i < 64; i++ {
+		g.Store(i%8, float64(i))
+		_ = g.Load(i % 8)
+	}
+	tr.PostPhase()
+
+	reg := obs.NewRegistry()
+	tr.ExportMetrics(reg, obs.L("app", "unit"), obs.L("mode", "fast"))
+	s := reg.Snapshot()
+	ls := []obs.Label{{Key: "app", Value: "unit"}, {Key: "mode", Value: "fast"}}
+
+	lookups, cacheHits, _, _ := tr.RegistryStats()
+	if v, ok := s.Gauge("memtrace_lookups", ls...); !ok || v != float64(lookups) {
+		t.Fatalf("memtrace_lookups = %v (%v), want %d", v, ok, lookups)
+	}
+	if v, ok := s.Gauge("memtrace_object_cache_hits", ls...); !ok || v != float64(cacheHits) {
+		t.Fatalf("memtrace_object_cache_hits = %v, want %d", v, cacheHits)
+	}
+	ratio, ok := s.Gauge("memtrace_object_cache_hit_ratio", ls...)
+	if !ok || ratio <= 0 || ratio > 1 {
+		t.Fatalf("memtrace_object_cache_hit_ratio = %v (%v), want in (0,1]", ratio, ok)
+	}
+	if v, ok := s.Gauge("memtrace_sampled_refs", ls...); !ok || v != float64(tr.Sampled) {
+		t.Fatalf("memtrace_sampled_refs = %v, want %d", v, tr.Sampled)
+	}
+	if v, ok := s.Gauge("memtrace_footprint_bytes", ls...); !ok || v != float64(tr.Footprint()) {
+		t.Fatalf("memtrace_footprint_bytes = %v, want %d", v, tr.Footprint())
+	}
+
+	// Re-export after more traffic must overwrite, not double-count.
+	tr.ExportMetrics(reg, obs.L("app", "unit"), obs.L("mode", "fast"))
+	s2 := reg.Snapshot()
+	if v, _ := s2.Gauge("memtrace_lookups", ls...); v != float64(lookups) {
+		t.Fatalf("re-export changed memtrace_lookups to %v, want %d", v, lookups)
+	}
+}

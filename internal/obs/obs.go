@@ -1,0 +1,409 @@
+// Package obs is the pipeline's observability substrate: a small,
+// dependency-free metrics registry holding named, labelled counters, gauges
+// and fixed-bucket histograms.
+//
+// Every exhibit of the paper is only as trustworthy as the counters
+// underneath it — §III-D justifies on-the-fly analysis precisely because
+// counter fidelity beats trace post-processing — so the instrumentation
+// health of a run (cache hit rates, run throughput, queue occupancy) is
+// promoted to a first-class product that lands next to the exhibit it
+// produced.  The simulators (cachesim, dramsim), the instrumentation
+// substrate (memtrace), the experiment engine (runner) and the Session all
+// publish into one Registry, and Snapshot renders the whole set to text or
+// JSON deterministically (sorted by metric identity).
+//
+// Counters and histograms use atomic operations only, so hot paths and
+// concurrent runner workers can increment without locks; Snapshot is safe
+// to call concurrently with updates and observes each metric atomically.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value dimension attached to a metric.  Two metrics with
+// the same name but different label sets are distinct series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesID renders the canonical identity of a series: the metric name with
+// its labels sorted by key, e.g. `runner_hits_total{key=cam/fast}`.  The
+// canonical form both deduplicates registration (same name+labels always
+// return the same series) and fixes the snapshot order.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can move in both directions; Set overwrites, so
+// re-exporting a component's statistics is idempotent.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set overwrites the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into fixed buckets.  Bucket i counts
+// observations <= bounds[i] (and > bounds[i-1]); one overflow bucket counts
+// the rest.  Sum and Count track the full distribution.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; immutable after construction
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// SecondsBuckets is the default latency bucket layout for wall-time
+// histograms: 1 ms to 1 min, roughly logarithmic.
+var SecondsBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// Registry holds the metric series of one pipeline instance.  The zero
+// value is not usable; construct with NewRegistry.  Registration
+// (Counter/Gauge/Histogram) takes a lock; the returned series update
+// lock-free, so hot loops should register once and hold the pointer.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	meta       map[string]metricMeta
+}
+
+type metricMeta struct {
+	name   string
+	labels []Label
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		meta:       map[string]metricMeta{},
+	}
+}
+
+// Counter returns the counter series for name+labels, creating it on first
+// use.  The same identity always returns the same *Counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[id]
+	if !ok {
+		c = &Counter{}
+		r.counters[id] = c
+		r.meta[id] = metricMeta{name: name, labels: sortedLabels(labels)}
+	}
+	return c
+}
+
+// Gauge returns the gauge series for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[id]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[id] = g
+		r.meta[id] = metricMeta{name: name, labels: sortedLabels(labels)}
+	}
+	return g
+}
+
+// Histogram returns the histogram series for name+labels, creating it with
+// the given bucket upper bounds on first use (later calls ignore buckets,
+// so every caller observes into the same layout).  Unsorted bounds are
+// sorted; an empty bounds slice gets SecondsBuckets.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[id]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = SecondsBuckets
+		}
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+		r.histograms[id] = h
+		r.meta[id] = metricMeta{name: name, labels: sortedLabels(labels)}
+	}
+	return h
+}
+
+// CounterValue is one counter series in a snapshot.
+type CounterValue struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  uint64  `json:"value"`
+}
+
+// GaugeValue is one gauge series in a snapshot.
+type GaugeValue struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// BucketValue is one cumulative histogram bucket: Count observations were
+// <= UpperBound (+Inf is rendered as the JSON string "+Inf").
+type BucketValue struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// HistogramValue is one histogram series in a snapshot.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Labels  []Label       `json:"labels,omitempty"`
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// Mean returns Sum/Count (0 for an empty histogram).
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered deterministically
+// by series identity so that renderings are stable across runs and across
+// worker-pool sizes.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values.  It is safe to call
+// concurrently with metric updates: each series is read atomically, so the
+// snapshot never observes a torn value (cross-series consistency is only as
+// strong as the caller's own quiescence).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, id := range sortedKeys(r.counters) {
+		m := r.meta[id]
+		s.Counters = append(s.Counters, CounterValue{Name: m.name, Labels: m.labels, Value: r.counters[id].Value()})
+	}
+	for _, id := range sortedKeys(r.gauges) {
+		m := r.meta[id]
+		s.Gauges = append(s.Gauges, GaugeValue{Name: m.name, Labels: m.labels, Value: r.gauges[id].Value()})
+	}
+	for _, id := range sortedKeys(r.histograms) {
+		m := r.meta[id]
+		h := r.histograms[id]
+		hv := HistogramValue{Name: m.name, Labels: m.labels, Count: h.Count(), Sum: h.Sum()}
+		var cum uint64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			ub := math.Inf(1)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			hv.Buckets = append(hv.Buckets, BucketValue{UpperBound: ub, Count: cum})
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SeriesIDs returns every series identity in the snapshot, in snapshot
+// order — the "field list" a determinism check compares across runs.
+func (s Snapshot) SeriesIDs() []string {
+	ids := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for _, c := range s.Counters {
+		ids = append(ids, seriesID(c.Name, c.Labels))
+	}
+	for _, g := range s.Gauges {
+		ids = append(ids, seriesID(g.Name, g.Labels))
+	}
+	for _, h := range s.Histograms {
+		ids = append(ids, seriesID(h.Name, h.Labels))
+	}
+	return ids
+}
+
+// Counter returns the value of the named counter series (false if absent).
+func (s Snapshot) Counter(name string, labels ...Label) (uint64, bool) {
+	id := seriesID(name, labels)
+	for _, c := range s.Counters {
+		if seriesID(c.Name, c.Labels) == id {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the value of the named gauge series (false if absent).
+func (s Snapshot) Gauge(name string, labels ...Label) (float64, bool) {
+	id := seriesID(name, labels)
+	for _, g := range s.Gauges {
+		if seriesID(g.Name, g.Labels) == id {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WriteText renders the snapshot as one line per series:
+//
+//	counter runner_hits_total{key=cam/fast} 3
+//	gauge   cachesim_hit_ratio{app=gtc,level=L1} 0.9713
+//	hist    runner_run_wall_seconds{key=gtc/fast} count=1 sum=0.0421 mean=0.0421
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", seriesID(c.Name, c.Labels), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge   %s %g\n", seriesID(g.Name, g.Labels), g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "hist    %s count=%d sum=%g mean=%g\n",
+			seriesID(h.Name, h.Labels), h.Count, h.Sum, h.Mean()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSON renders +Inf bucket bounds as the string "+Inf" (bare JSON
+// numbers cannot express infinities).
+func (b BucketValue) MarshalJSON() ([]byte, error) {
+	le := any(b.UpperBound)
+	if math.IsInf(b.UpperBound, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(struct {
+		LE    any    `json:"le"`
+		Count uint64 `json:"count"`
+	}{le, b.Count})
+}
+
+// UnmarshalJSON accepts both numeric bounds and the "+Inf" string.
+func (b *BucketValue) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    any    `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	switch v := raw.LE.(type) {
+	case float64:
+		b.UpperBound = v
+	case string:
+		b.UpperBound = math.Inf(1)
+	default:
+		return fmt.Errorf("obs: bad bucket bound %v", raw.LE)
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot with stable indentation.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", L("app", "cam"), L("mode", "fast"))
+	// Label order must not matter: same identity, same series.
+	b := r.Counter("hits", L("mode", "fast"), L("app", "cam"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct series")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := a.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	// Different labels are a different series.
+	if r.Counter("hits", L("app", "gtc")) == a {
+		t.Fatal("different labels must be a distinct series")
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("ratio")
+	g.Set(0.5)
+	g.Add(0.25)
+	if got := g.Value(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("gauge = %g, want 0.75", got)
+	}
+	g.Set(2) // Set is idempotent re-export semantics: overwrites
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wall", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-556.5) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+	hv := snap.Histograms[0]
+	// Cumulative buckets: <=1: 2 (0.5, 1), <=10: 3, <=100: 4, +Inf: 5.
+	want := []uint64{2, 3, 4, 5}
+	if len(hv.Buckets) != len(want) {
+		t.Fatalf("bucket count = %d", len(hv.Buckets))
+	}
+	for i, w := range want {
+		if hv.Buckets[i].Count != w {
+			t.Fatalf("bucket %d = %d, want %d", i, hv.Buckets[i].Count, w)
+		}
+	}
+	if !math.IsInf(hv.Buckets[3].UpperBound, 1) {
+		t.Fatalf("last bound = %v, want +Inf", hv.Buckets[3].UpperBound)
+	}
+	if hv.Mean() != 556.5/5 {
+		t.Fatalf("mean = %g", hv.Mean())
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total").Inc()
+	r.Counter("a_total", L("k", "v")).Inc()
+	r.Gauge("m").Set(1)
+	ids := r.Snapshot().SeriesIDs()
+	want := []string{"a_total{k=v}", "z_total", "m"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestSnapshotLookupHelpers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", L("app", "cam")).Add(7)
+	r.Gauge("ratio", L("app", "cam")).Set(0.9)
+	s := r.Snapshot()
+	if v, ok := s.Counter("hits", L("app", "cam")); !ok || v != 7 {
+		t.Fatalf("counter lookup = %d, %v", v, ok)
+	}
+	if _, ok := s.Counter("hits", L("app", "gtc")); ok {
+		t.Fatal("absent series must not be found")
+	}
+	if v, ok := s.Gauge("ratio", L("app", "cam")); !ok || v != 0.9 {
+		t.Fatalf("gauge lookup = %g, %v", v, ok)
+	}
+}
+
+func TestWriteTextAndJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runner_hits_total", L("key", "cam/fast")).Add(3)
+	r.Gauge("cachesim_hit_ratio", L("level", "L1")).Set(0.97)
+	r.Histogram("wall_seconds", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+
+	var text bytes.Buffer
+	if err := s.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"counter runner_hits_total{key=cam/fast} 3",
+		"gauge   cachesim_hit_ratio{level=L1} 0.97",
+		"hist    wall_seconds count=1 sum=0.5 mean=0.5",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"+Inf"`) {
+		t.Errorf("JSON must render the overflow bound as \"+Inf\":\n%s", buf.String())
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Value != 3 {
+		t.Fatalf("counters after round trip = %+v", back.Counters)
+	}
+	hb := back.Histograms[0].Buckets
+	if !math.IsInf(hb[len(hb)-1].UpperBound, 1) {
+		t.Fatalf("+Inf bound lost in round trip: %+v", hb)
+	}
+}
+
+// TestConcurrentIncrementsLinearizable runs parallel increments against
+// concurrent Snapshot calls; under -race this doubles as the data-race
+// check for the runner workers sharing one registry.  Every intermediate
+// snapshot must see a value consistent with a linearization (monotonically
+// growing, never above the final total), and the final snapshot must see
+// every increment.
+func TestConcurrentIncrementsLinearizable(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 5000
+	c := r.Counter("parallel_total")
+	h := r.Histogram("parallel_wall", []float64{0.5})
+	g := r.Gauge("parallel_gauge")
+
+	stop := make(chan struct{})
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			v, ok := s.Counter("parallel_total")
+			if !ok {
+				snapErr = errMissing
+				return
+			}
+			if v < last || v > workers*perWorker {
+				snapErr = errNonMonotonic
+				return
+			}
+			last = v
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i%2) * 0.7)
+				g.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+
+	s := r.Snapshot()
+	if v, _ := s.Counter("parallel_total"); v != workers*perWorker {
+		t.Fatalf("final counter = %d, want %d", v, workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+	// Histogram buckets must account for every observation.
+	hv := s.Histograms[0]
+	if hv.Buckets[len(hv.Buckets)-1].Count != workers*perWorker {
+		t.Fatalf("cumulative +Inf bucket = %d", hv.Buckets[len(hv.Buckets)-1].Count)
+	}
+}
+
+var (
+	errMissing      = errString("snapshot lost a registered series")
+	errNonMonotonic = errString("snapshot counter not monotonic or overshot total")
+)
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

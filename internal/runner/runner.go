@@ -18,9 +18,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"nvscavenger/internal/obs"
 	"nvscavenger/internal/stats"
 )
 
@@ -36,9 +38,26 @@ type Key struct {
 	Profile    string
 }
 
-// String renders the key the way progress lines show it.
+// DefaultScale and DefaultIterations are the calibrated experiment
+// defaults (scale 1.0, the paper's 10-iteration collection window).
+// Key.String elides them so that default runs keep their short labels.
+const (
+	DefaultScale      = 1.0
+	DefaultIterations = 10
+)
+
+// String renders the key the way progress lines and metric labels show it.
+// Scale and Iterations are included when non-default, so sweeps that vary
+// only the problem scale or the iteration count stay distinguishable in
+// progress output and deduplicate correctly as registry labels.
 func (k Key) String() string {
 	s := k.App + "/" + k.Mode
+	if k.Scale != 0 && k.Scale != DefaultScale {
+		s += "@s" + strconv.FormatFloat(k.Scale, 'g', -1, 64)
+	}
+	if k.Iterations != 0 && k.Iterations != DefaultIterations {
+		s += "@i" + strconv.Itoa(k.Iterations)
+	}
 	if k.Profile != "" {
 		s += "/" + k.Profile
 	}
@@ -110,11 +129,15 @@ func (r RunMetrics) RefsPerSec() float64 {
 
 // Metrics is a snapshot of the engine's counters.
 type Metrics struct {
-	// Hits counts requests served from the cache or joined in flight;
-	// Misses counts requests that triggered an execution; Errors counts
-	// executions that failed (failures are not cached, so a later request
-	// retries).
+	// Hits counts requests served from the cache or that joined an
+	// in-flight execution which then succeeded; Misses counts requests
+	// that triggered an execution; Errors counts executions that failed
+	// (failures are not cached, so a later request retries).
 	Hits, Misses, Errors uint64
+	// JoinedFailures counts requests that joined an in-flight execution
+	// which then failed.  They are deliberately not Hits: the waiter
+	// received an error, not a cached value.
+	JoinedFailures uint64
 	// Runs holds the per-run records in completion order.
 	Runs []RunMetrics
 }
@@ -144,6 +167,10 @@ type Config struct {
 	// Progress optionally receives streaming events.  It is called from
 	// worker goroutines and must be safe for concurrent use.
 	Progress func(Event)
+	// Metrics is the registry the engine publishes its counters and
+	// per-run wall-time histograms into.  Nil gets a private registry;
+	// pass a shared one (the Session's) to aggregate across components.
+	Metrics *obs.Registry
 }
 
 // Engine executes keyed runs on a bounded worker pool with single-flight
@@ -151,13 +178,19 @@ type Config struct {
 type Engine struct {
 	cfg Config
 	sem chan struct{}
+	reg *obs.Registry
 
-	mu     sync.Mutex
-	cache  map[Key]*entry
-	hits   uint64
-	misses uint64
-	errs   uint64
-	runs   []RunMetrics
+	// Engine-level counters live in the registry so that worker
+	// goroutines update them lock-free and snapshots see them next to
+	// the simulators' counters.
+	hits     *obs.Counter
+	misses   *obs.Counter
+	errs     *obs.Counter
+	joinErrs *obs.Counter
+
+	mu    sync.Mutex
+	cache map[Key]*entry
+	runs  []RunMetrics
 }
 
 type entry struct {
@@ -171,12 +204,24 @@ func New(cfg Config) *Engine {
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = runtime.GOMAXPROCS(0)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Engine{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.Jobs),
-		cache: map[Key]*entry{},
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Jobs),
+		reg:      reg,
+		hits:     reg.Counter("runner_hits_total"),
+		misses:   reg.Counter("runner_misses_total"),
+		errs:     reg.Counter("runner_errors_total"),
+		joinErrs: reg.Counter("runner_joined_failures_total"),
+		cache:    map[Key]*entry{},
 	}
 }
+
+// Registry returns the registry the engine publishes into.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // Jobs returns the worker-pool bound.
 func (e *Engine) Jobs() int { return e.cfg.Jobs }
@@ -194,19 +239,26 @@ func (e *Engine) Do(ctx context.Context, key Key, fn Func) (any, error) {
 	}
 	e.mu.Lock()
 	if ent, ok := e.cache[key]; ok {
-		e.hits++
 		e.mu.Unlock()
-		e.emit(Event{Kind: EventCached, Key: key})
+		// A join is only a cache hit once the execution it joined
+		// resolves successfully; emitting EventCached on entry would
+		// report "cached" for runs that actually failed.
 		select {
 		case <-ent.done:
-			return ent.value, ent.err
+			if ent.err != nil {
+				e.joinErrs.Inc()
+				return nil, ent.err
+			}
+			e.hits.Inc()
+			e.emit(Event{Kind: EventCached, Key: key})
+			return ent.value, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
 	ent := &entry{done: make(chan struct{})}
 	e.cache[key] = ent
-	e.misses++
+	e.misses.Inc()
 	e.mu.Unlock()
 
 	ent.value, ent.err = e.execute(ctx, key, fn)
@@ -215,8 +267,8 @@ func (e *Engine) Do(ctx context.Context, key Key, fn Func) (any, error) {
 		if e.cache[key] == ent {
 			delete(e.cache, key)
 		}
-		e.errs++
 		e.mu.Unlock()
+		e.errs.Inc()
 	}
 	close(ent.done)
 	return ent.value, ent.err
@@ -244,6 +296,10 @@ func (e *Engine) execute(ctx context.Context, key Key, fn Func) (any, error) {
 	e.mu.Lock()
 	e.runs = append(e.runs, RunMetrics{Key: key, Wall: wall, Refs: refs})
 	e.mu.Unlock()
+	e.reg.Counter("runner_runs_total").Inc()
+	e.reg.Counter("runner_refs_total").Add(refs)
+	e.reg.Histogram("runner_run_wall_seconds", obs.SecondsBuckets,
+		obs.L("key", key.String())).Observe(wall.Seconds())
 	e.emit(Event{Kind: EventDone, Key: key, Wall: wall, Refs: refs})
 	return v, nil
 }
@@ -259,10 +315,11 @@ func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Metrics{
-		Hits:   e.hits,
-		Misses: e.misses,
-		Errors: e.errs,
-		Runs:   append([]RunMetrics(nil), e.runs...),
+		Hits:           e.hits.Value(),
+		Misses:         e.misses.Value(),
+		Errors:         e.errs.Value(),
+		JoinedFailures: e.joinErrs.Value(),
+		Runs:           append([]RunMetrics(nil), e.runs...),
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"nvscavenger/internal/obs"
 )
 
 func key(app string) Key {
@@ -251,5 +253,166 @@ func TestMetricsWallSummary(t *testing.T) {
 	sum := m.WallSummary()
 	if sum.Count() != 3 || sum.Total() < 0 {
 		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// TestJoinedFailureNotCached locks in the accounting fix: a waiter that
+// joins an in-flight execution which subsequently fails must receive the
+// error, must not be counted as a cache hit, and must not see an
+// EventCached — it is a joined failure, counted distinctly.
+func TestJoinedFailureNotCached(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	kinds := map[EventKind]int{}
+	e := New(Config{Jobs: 2, Progress: func(ev Event) {
+		mu.Lock()
+		kinds[ev.Kind]++
+		mu.Unlock()
+	}})
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := e.Do(context.Background(), key("cam"), func(ctx context.Context) (any, uint64, error) {
+			close(started)
+			<-release
+			return nil, 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("executor err = %v, want boom", err)
+		}
+	}()
+	<-started
+
+	// Join the in-flight execution, then let it fail.
+	joined := make(chan error, 1)
+	go func() {
+		_, err := e.Do(context.Background(), key("cam"), func(ctx context.Context) (any, uint64, error) {
+			t.Error("joiner must not execute")
+			return nil, 0, nil
+		})
+		joined <- err
+	}()
+	// Give the joiner time to reach the in-flight entry before releasing.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-joined; !errors.Is(err, boom) {
+		t.Fatalf("joined err = %v, want boom", err)
+	}
+	wg.Wait()
+
+	m := e.Metrics()
+	if m.Hits != 0 {
+		t.Errorf("hits = %d, want 0 (joined failure is not a hit)", m.Hits)
+	}
+	if m.JoinedFailures != 1 {
+		t.Errorf("joined failures = %d, want 1", m.JoinedFailures)
+	}
+	if m.Errors != 1 {
+		t.Errorf("errors = %d, want 1", m.Errors)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if kinds[EventCached] != 0 {
+		t.Errorf("EventCached emitted %d times for a failed run, want 0", kinds[EventCached])
+	}
+	if kinds[EventError] != 1 {
+		t.Errorf("EventError = %d, want 1", kinds[EventError])
+	}
+}
+
+// TestJoinedSuccessIsHit is the counterpart: joining an execution that
+// succeeds still counts as a hit and emits EventCached (after resolution).
+func TestJoinedSuccessIsHit(t *testing.T) {
+	e := New(Config{Jobs: 2})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go e.Do(context.Background(), key("gtc"), func(ctx context.Context) (any, uint64, error) {
+		close(started)
+		<-release
+		return "v", 1, nil
+	})
+	<-started
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := e.Do(context.Background(), key("gtc"), func(ctx context.Context) (any, uint64, error) {
+			t.Error("joiner must not execute")
+			return nil, 0, nil
+		})
+		if err != nil || v.(string) != "v" {
+			t.Errorf("joined = %v, %v", v, err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	<-done
+	if m := e.Metrics(); m.Hits != 1 || m.JoinedFailures != 0 {
+		t.Fatalf("hits/joinedFailures = %d/%d, want 1/0", m.Hits, m.JoinedFailures)
+	}
+}
+
+// TestKeyStringDistinguishesSweeps locks in the label fix: keys differing
+// only in Scale or Iterations must render differently, while the
+// calibrated defaults keep the short form.
+func TestKeyStringDistinguishesSweeps(t *testing.T) {
+	def := Key{App: "cam", Mode: "fast", Scale: 1.0, Iterations: 10}
+	if got := def.String(); got != "cam/fast" {
+		t.Errorf("default key = %q, want cam/fast", got)
+	}
+	cases := []Key{
+		{App: "cam", Mode: "fast", Scale: 0.25, Iterations: 10},
+		{App: "cam", Mode: "fast", Scale: 1.0, Iterations: 3},
+		{App: "cam", Mode: "fast", Scale: 0.25, Iterations: 3},
+		{App: "cam", Mode: "fast", Scale: 0.25, Iterations: 3, Profile: "p"},
+	}
+	seen := map[string]Key{def.String(): def}
+	for _, k := range cases {
+		s := k.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("keys %+v and %+v collide as %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+	if got := cases[0].String(); got != "cam/fast@s0.25" {
+		t.Errorf("scale sweep key = %q, want cam/fast@s0.25", got)
+	}
+	if got := cases[1].String(); got != "cam/fast@i3" {
+		t.Errorf("iteration sweep key = %q, want cam/fast@i3", got)
+	}
+}
+
+// TestEngineRegistryCounters checks the engine publishes its accounting
+// into the shared registry next to the per-run wall-time histogram.
+func TestEngineRegistryCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Config{Jobs: 2, Metrics: reg})
+	fn := func(ctx context.Context) (any, uint64, error) { return 1, 5, nil }
+	for i := 0; i < 3; i++ {
+		if _, err := e.Do(context.Background(), key("s3d"), fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := reg.Snapshot()
+	if v, _ := s.Counter("runner_misses_total"); v != 1 {
+		t.Errorf("misses = %d, want 1", v)
+	}
+	if v, _ := s.Counter("runner_hits_total"); v != 2 {
+		t.Errorf("hits = %d, want 2", v)
+	}
+	if v, _ := s.Counter("runner_refs_total"); v != 5 {
+		t.Errorf("refs = %d, want 5", v)
+	}
+	found := false
+	for _, h := range s.Histograms {
+		if h.Name == "runner_run_wall_seconds" && h.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing runner_run_wall_seconds histogram: %+v", s.Histograms)
 	}
 }

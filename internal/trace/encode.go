@@ -100,9 +100,14 @@ func (w *Writer) WriteAccess(a Access) error {
 	binary.LittleEndian.PutUint64(rec[0:8], a.Addr)
 	rec[8] = a.Size
 	rec[9] = uint8(a.Op)
+	// Count only records the sink accepted: incrementing before the write
+	// would make Count() overstate records on a failed write, showing
+	// phantom records to callers comparing against reader-side totals.
+	if _, err := w.bw.Write(rec[:]); err != nil {
+		return err
+	}
 	w.n++
-	_, err := w.bw.Write(rec[:])
-	return err
+	return nil
 }
 
 // WriteTransaction appends one main-memory transaction record.
@@ -119,9 +124,11 @@ func (w *Writer) WriteTransaction(t Transaction) error {
 	if t.Write {
 		rec[16] = 1
 	}
+	if _, err := w.bw.Write(rec[:]); err != nil {
+		return err
+	}
 	w.n++
-	_, err := w.bw.Write(rec[:])
-	return err
+	return nil
 }
 
 // Flush implements Sink for access streams.

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// failingSink fails every Write after the first failAt bytes.
+type failingSink struct {
+	written int
+	failAt  int
+}
+
+var errSinkFull = errors.New("sink full")
+
+func (s *failingSink) Write(p []byte) (int, error) {
+	if s.written+len(p) > s.failAt {
+		return 0, errSinkFull
+	}
+	s.written += len(p)
+	return len(p), nil
+}
+
+// TestWriterCountOnFailedAccessWrite locks in the accounting fix: Count()
+// must report only records the buffered writer accepted, so a caller
+// comparing Count() against reader-side totals never sees phantom records.
+// The Writer buffers 64 KiB, so the sink error surfaces once the buffer
+// spills; from then on every WriteAccess must fail without incrementing.
+func TestWriterCountOnFailedAccessWrite(t *testing.T) {
+	w := NewAccessWriter(&failingSink{failAt: 0})
+	a := Access{Addr: 0x1000, Size: 8, Op: Read}
+
+	var ok uint64
+	var sawErr bool
+	// 10-byte records over a 64 KiB buffer: the error appears within
+	// ~6554 writes; write enough to cross it several times over.
+	for i := 0; i < 20000; i++ {
+		err := w.WriteAccess(a)
+		if err == nil {
+			ok++
+			if sawErr {
+				t.Fatal("write succeeded after sink failure")
+			}
+			continue
+		}
+		sawErr = true
+		if !errors.Is(err, errSinkFull) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if got := w.Count(); got != ok {
+			t.Fatalf("Count() = %d after failed write, want %d (successful writes only)", got, ok)
+		}
+	}
+	if !sawErr {
+		t.Fatal("sink error never surfaced; test is not exercising the failure path")
+	}
+	if got := w.Count(); got != ok {
+		t.Fatalf("final Count() = %d, want %d", got, ok)
+	}
+}
+
+// TestWriterCountOnFailedTransactionWrite covers the transaction variant.
+func TestWriterCountOnFailedTransactionWrite(t *testing.T) {
+	w := NewTransactionWriter(&failingSink{failAt: 0})
+	tx := Transaction{Addr: 0x2000, Cycle: 7, Write: true}
+
+	var ok uint64
+	var sawErr bool
+	for i := 0; i < 12000; i++ {
+		if err := w.WriteTransaction(tx); err == nil {
+			ok++
+			if sawErr {
+				t.Fatal("write succeeded after sink failure")
+			}
+		} else {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("sink error never surfaced")
+	}
+	if got := w.Count(); got != ok {
+		t.Fatalf("Count() = %d, want %d", got, ok)
+	}
+}
+
+// TestWriterCountMatchesReader: on a healthy sink, Count() must equal what
+// a reader decodes back — the invariant the bugfix restores for the
+// failure path.
+func TestWriterCountMatchesReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewAccessWriter(&buf)
+	for i := 0; i < 100; i++ {
+		if err := w.WriteAccess(Access{Addr: uint64(i), Size: 4, Op: Read}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n uint64
+	for {
+		if _, err := r.ReadAccess(); err != nil {
+			break
+		}
+		n++
+	}
+	if w.Count() != n {
+		t.Fatalf("Count() = %d, reader saw %d", w.Count(), n)
+	}
+}
