@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-obs report
+.PHONY: ci vet build test race race-obs race-pipeline bench report
 
-ci: vet build race-obs race
+ci: vet build race-obs race-pipeline race bench
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,17 @@ race:
 # schedule varies between runs.
 race-obs:
 	$(GO) test -race -count=2 ./internal/obs ./internal/runner
+
+# The pipeline layer shares one stack across stages; run its tests
+# race-enabled so combinator and Close paths stay clean under the detector.
+race-pipeline:
+	$(GO) test -race -count=2 ./internal/pipeline
+
+# One pass over the pipeline-throughput and instrumentation-overhead
+# benchmarks: a smoke check that the batched dataflow and its Counted
+# wrappers keep working, not a timing run.
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkPipeline|BenchmarkAblation(ObjectCache|Buffer)' -benchtime=1x -count=1 ./internal/pipeline .
 
 report:
 	$(GO) run ./cmd/nvreport

@@ -16,6 +16,7 @@ import (
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/experiments"
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/pipeline"
 	"nvscavenger/internal/trace"
 
 	_ "nvscavenger/internal/apps/cammini"
@@ -198,9 +199,12 @@ func benchBufferSize(b *testing.B, size int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		hier := cachesim.MustNew(cachesim.PaperConfig(), nil)
-		tr := memtrace.New(memtrace.Config{Sink: hier, BufferSize: size})
-		if err := apps.Run(app, tr, 2); err != nil {
+		cacheCfg := cachesim.PaperConfig()
+		st := pipeline.MustBuild(pipeline.Config{Cache: &cacheCfg, BufferSize: size})
+		if err := apps.Run(app, st.Tracer, 2); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -270,12 +274,14 @@ func BenchmarkAblationFilteredPower(b *testing.B) {
 			b.Fatal(err)
 		}
 		m := dramsim.MustNew(dramsim.PaperConfig(dramsim.DDR3()))
-		hier := cachesim.MustNew(cachesim.PaperConfig(), m)
-		tr := memtrace.New(memtrace.Config{Sink: hier})
-		if err := apps.Run(app, tr, 2); err != nil {
+		cacheCfg := cachesim.PaperConfig()
+		st := pipeline.MustBuild(pipeline.Config{Cache: &cacheCfg, TxSinks: []trace.TxSink{m}})
+		if err := apps.Run(app, st.Tracer, 2); err != nil {
 			b.Fatal(err)
 		}
-		hier.Drain()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -290,17 +296,14 @@ func benchPrefetcher(b *testing.B, streams int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		tr := memtrace.New(memtrace.Config{Perf: coreSink{c}})
+		// The core consumes the tracer's batched performance-event stream.
+		tr := memtrace.New(memtrace.Config{Perf: c})
 		if err := apps.Run(app, tr, 1); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(c.Cycles(), "cycles")
 	}
 }
-
-type coreSink struct{ c *cpusim.Core }
-
-func (s coreSink) Event(gap uint64, a trace.Access) { s.c.Event(gap, a) }
 
 func BenchmarkAblationPrefetcherOn(b *testing.B)  { benchPrefetcher(b, 16) }
 func BenchmarkAblationPrefetcherOff(b *testing.B) { benchPrefetcher(b, 0) }
@@ -316,12 +319,14 @@ func benchReplacement(b *testing.B, r cachesim.Replacement) {
 		cfg := cachesim.PaperConfig()
 		cfg.L1.Replacement = r
 		cfg.L2.Replacement = r
-		hier := cachesim.MustNew(cfg, nil)
-		tr := memtrace.New(memtrace.Config{Sink: hier})
-		if err := apps.Run(app, tr, 2); err != nil {
+		st := pipeline.MustBuild(pipeline.Config{Cache: &cfg})
+		if err := apps.Run(app, st.Tracer, 2); err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(hier.L2Stats().MissRatio()*100, "L2miss%")
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(st.Hierarchy.L2Stats().MissRatio()*100, "L2miss%")
 	}
 }
 

@@ -19,9 +19,8 @@ import (
 	"nvscavenger/internal/apps"
 	"nvscavenger/internal/cli"
 	"nvscavenger/internal/cpusim"
-	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
-	"nvscavenger/internal/trace"
+	"nvscavenger/internal/pipeline"
 
 	_ "nvscavenger/internal/apps/cammini"
 	_ "nvscavenger/internal/apps/gtcmini"
@@ -31,12 +30,6 @@ import (
 )
 
 func main() { cli.Main("nvperf", run) }
-
-type perfSink struct {
-	core *cpusim.Core
-}
-
-func (p perfSink) Event(gap uint64, a trace.Access) { p.core.Event(gap, a) }
 
 func run(args []string, out io.Writer) error {
 	fs := cli.NewFlagSet("nvperf")
@@ -74,21 +67,29 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		c := cpusim.MustNew(cpusim.PaperConfig(lat))
-		tr := memtrace.New(memtrace.Config{Perf: perfSink{core: c}})
-		if err := apps.Run(app, tr, *iters); err != nil {
+		ls := []obs.Label{obs.L("app", *appName), obs.L("latency_ns", strconv.FormatFloat(lat, 'g', -1, 64))}
+		// The core is a batched trace.PerfSink: the tracer stages events and
+		// flushes references plus instruction gaps in one call per batch.
+		stack, err := pipeline.Build(pipeline.Config{Perf: c, Metrics: reg, Labels: ls})
+		if err != nil {
+			return err
+		}
+		if err := apps.Run(app, stack.Tracer, *iters); err != nil {
+			return err
+		}
+		if err := stack.Close(); err != nil {
 			return err
 		}
 		st := c.Stats()
 		if base == 0 {
 			base = st.Cycles
 		}
-		ls := []obs.Label{obs.L("app", *appName), obs.L("latency_ns", strconv.FormatFloat(lat, 'g', -1, 64))}
 		reg.Gauge("cpusim_cycles", ls...).Set(st.Cycles)
 		reg.Gauge("cpusim_normalized_runtime", ls...).Set(st.Cycles / base)
 		reg.Gauge("cpusim_ipc", ls...).Set(st.IPC)
 		reg.Gauge("cpusim_mem_accesses", ls...).Set(float64(st.MemAccesses))
 		reg.Gauge("cpusim_prefetch_hits", ls...).Set(float64(st.PrefetchHits))
-		tr.ExportMetrics(reg, ls...)
+		stack.Tracer.ExportMetrics(reg, ls...)
 		fmt.Fprintf(out, "%12.0f %14.0f %10.3f %8.2f %14d %14d\n",
 			lat, st.Cycles, st.Cycles/base, st.IPC, st.MemAccesses, st.PrefetchHits)
 	}

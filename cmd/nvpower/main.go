@@ -24,6 +24,7 @@ import (
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
+	"nvscavenger/internal/pipeline"
 	"nvscavenger/internal/trace"
 
 	_ "nvscavenger/internal/apps/cammini"
@@ -34,13 +35,6 @@ import (
 )
 
 func main() { cli.Main("nvpower", run) }
-
-type txCollect struct{ txs []trace.Transaction }
-
-func (c *txCollect) Transaction(t trace.Transaction) error {
-	c.txs = append(c.txs, t)
-	return nil
-}
 
 func run(args []string, out io.Writer) error {
 	fs := cli.NewFlagSet("nvpower")
@@ -77,22 +71,60 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		collect := &txCollect{}
-		hier := cachesim.MustNew(cachesim.PaperConfig(), collect)
-		tr := memtrace.New(memtrace.Config{Sink: hier})
-		if err := apps.Run(app, tr, *iters); err != nil {
+		// With -dump the trace writer rides the pipeline as a tee'd
+		// transaction sink, so the file fills in batches during the run
+		// instead of from a second pass over the captured slice.
+		var dumpWriter *trace.Writer
+		var dumpFile *os.File
+		var txSinks []trace.TxSink
+		if *dump != "" {
+			dumpFile, err = os.Create(*dump)
+			if err != nil {
+				return err
+			}
+			dumpWriter = trace.NewTransactionWriter(dumpFile)
+			if strings.HasSuffix(*dump, ".gz") {
+				dumpWriter = trace.NewCompressedTransactionWriter(dumpFile)
+			}
+			txSinks = append(txSinks, dumpWriter)
+		}
+		cacheCfg := cachesim.PaperConfig()
+		stack, err := pipeline.Build(pipeline.Config{
+			StackMode: memtrace.FastStack,
+			Cache:     &cacheCfg,
+			CaptureTx: true,
+			TxSinks:   txSinks,
+			Metrics:   reg,
+			Labels:    []obs.Label{obs.L("app", *appName)},
+		})
+		if err != nil {
 			return err
 		}
-		hier.Drain()
-		if err := hier.Err(); err != nil {
+		if err := apps.Run(app, stack.Tracer, *iters); err != nil {
 			return err
 		}
-		txs = collect.txs
+		if err := stack.Close(); err != nil {
+			return err
+		}
+		if dumpWriter != nil {
+			if err := dumpWriter.Close(); err != nil {
+				dumpFile.Close()
+				return err
+			}
+			if err := dumpFile.Close(); err != nil {
+				return err
+			}
+		}
+		txs = stack.Transactions()
+		hier := stack.Hierarchy
 		hier.ExportMetrics(reg, obs.L("app", *appName))
-		tr.ExportMetrics(reg, obs.L("app", *appName))
+		stack.Tracer.ExportMetrics(reg, obs.L("app", *appName))
 		fmt.Fprintf(out, "%s: %d references filtered to %d memory transactions (%.2f%%)\n",
 			*appName, hier.L1Stats().Accesses(), len(txs),
 			float64(len(txs))/float64(hier.L1Stats().Accesses())*100)
+		if dumpWriter != nil {
+			fmt.Fprintf(out, "wrote %d transactions to %s\n", dumpWriter.Count(), *dump)
+		}
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		if err != nil {
@@ -103,6 +135,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// Decode through a batched, counted capture stage so file replays
+		// surface the same pipeline metrics as live runs.
+		capture := &pipeline.Capture[trace.Transaction]{}
+		stage := pipeline.Counted[trace.Transaction](reg, "replay", capture, obs.L("trace", *traceFile))
+		batch := make([]trace.Transaction, 0, trace.DefaultTxBufferSize)
 		for {
 			t, err := r.ReadTransaction()
 			if err == io.EOF {
@@ -111,8 +148,20 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			txs = append(txs, t)
+			batch = append(batch, t)
+			if len(batch) == cap(batch) {
+				if err := stage.Flush(batch); err != nil {
+					return err
+				}
+				batch = batch[:0]
+			}
 		}
+		if len(batch) > 0 {
+			if err := stage.Flush(batch); err != nil {
+				return err
+			}
+		}
+		txs = capture.Items
 		fmt.Fprintf(out, "replaying %d transactions from %s\n", len(txs), *traceFile)
 	default:
 		fs.Usage()
@@ -122,7 +171,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no memory transactions to simulate")
 	}
 
-	if *dump != "" {
+	if *dump != "" && *traceFile != "" {
+		// Re-dumping a replayed trace: feed the decoded transactions through
+		// the same batched writer stage the live pipeline uses.
 		f, err := os.Create(*dump)
 		if err != nil {
 			return err
@@ -131,11 +182,10 @@ func run(args []string, out io.Writer) error {
 		if strings.HasSuffix(*dump, ".gz") {
 			w = trace.NewCompressedTransactionWriter(f)
 		}
-		for _, t := range txs {
-			if err := w.WriteTransaction(t); err != nil {
-				f.Close()
-				return err
-			}
+		stage := pipeline.Counted(reg, "dump", pipeline.TxStage(w), obs.L("trace", *traceFile))
+		if err := stage.Flush(txs); err != nil {
+			f.Close()
+			return err
 		}
 		if err := w.Close(); err != nil {
 			f.Close()

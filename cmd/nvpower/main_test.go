@@ -44,6 +44,38 @@ func TestRunDumpAndReplay(t *testing.T) {
 	}
 }
 
+// TestReplayReportByteIdentical is the dataflow acceptance check: pricing a
+// dumped trace must reproduce the direct run's power report byte for byte,
+// for both the raw and the gzip-compressed trace format.  The report is
+// everything from the device table on — the preamble legitimately differs
+// ("N references filtered" vs "replaying N transactions").
+func TestReplayReportByteIdentical(t *testing.T) {
+	report := func(text string) string {
+		i := strings.Index(text, "\ndevice")
+		if i < 0 {
+			t.Fatalf("no device table in output:\n%s", text)
+		}
+		return text[i:]
+	}
+	for _, name := range []string{"mem.trc", "mem.trc.gz"} {
+		trc := filepath.Join(t.TempDir(), name)
+		var direct bytes.Buffer
+		if err := run([]string{"-app", "gtc", "-scale", "0.05", "-iterations", "2", "-dump", trc}, &direct); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(direct.String(), "wrote") {
+			t.Fatalf("%s: dump not reported:\n%s", name, direct.String())
+		}
+		var replayed bytes.Buffer
+		if err := run([]string{"-trace", trc}, &replayed); err != nil {
+			t.Fatal(err)
+		}
+		if d, r := report(direct.String()), report(replayed.String()); d != r {
+			t.Errorf("%s: replayed power report differs from direct run:\n--- direct ---\n%s\n--- replayed ---\n%s", name, d, r)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{}, &out); err == nil {

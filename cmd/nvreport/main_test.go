@@ -36,6 +36,39 @@ func TestRunSingleFigure(t *testing.T) {
 	}
 }
 
+// TestReportMatchesGolden pins the full report byte-for-byte against the
+// checked-in output captured before the pipeline layer was introduced: the
+// refactor must not move a single exhibit byte.  Only the timestamp line is
+// stripped.  Regenerate with:
+//
+//	go run ./cmd/nvreport -scale 0.05 -iterations 3 -jobs 1 -progress=false
+func TestReportMatchesGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-iterations", "3", "-jobs", "1", "-progress=false"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	stripped := stripTimestamp(out.String())
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripped != string(golden) {
+		t.Fatalf("report diverged from testdata/golden_report.txt (%d vs %d bytes)", len(stripped), len(golden))
+	}
+}
+
+func stripTimestamp(text string) string {
+	lines := strings.Split(text, "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(l, "generated ") {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return strings.Join(kept, "\n")
+}
+
 func TestRunUnknownExhibit(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-only", "fig99"}, &out); err == nil {

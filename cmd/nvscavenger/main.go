@@ -27,6 +27,7 @@ import (
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
+	"nvscavenger/internal/pipeline"
 	"nvscavenger/internal/runner"
 	"nvscavenger/internal/trace"
 
@@ -90,11 +91,24 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return nil, 0, err
 			}
-			tr := memtrace.New(memtrace.Config{StackMode: stackMode})
-			if err := apps.RunContext(ctx, app, tr, *iters); err != nil {
+			// A stats tap terminates the access stream so the batch flow is
+			// visible in the pipeline stage counters of -metrics.
+			stack, err := pipeline.Build(pipeline.Config{
+				StackMode:  stackMode,
+				AccessTaps: []trace.Sink{&trace.Stats{}},
+				Metrics:    reg,
+				Labels:     []obs.Label{obs.L("app", *appName), obs.L("mode", *mode)},
+			})
+			if err != nil {
 				return nil, 0, err
 			}
-			return instrumented{app: app, tr: tr}, tr.Sampled, nil
+			if err := apps.RunContext(ctx, app, stack.Tracer, *iters); err != nil {
+				return nil, 0, err
+			}
+			if err := stack.Close(); err != nil {
+				return nil, 0, err
+			}
+			return instrumented{app: app, tr: stack.Tracer}, stack.Tracer.Sampled, nil
 		})
 	if err != nil {
 		return err

@@ -17,8 +17,59 @@ import (
 
 	"nvscavenger/internal/cli"
 	"nvscavenger/internal/obs"
+	"nvscavenger/internal/pipeline"
 	"nvscavenger/internal/trace"
 )
+
+// readBatched decodes a trace file in batches and flushes each batch into
+// the given stages, so file tooling moves records with the same batched
+// cadence (and pipeline stage metrics) as the live simulators.
+func readBatched(r *trace.Reader, accesses pipeline.Stage[trace.Access], txs pipeline.Stage[trace.Transaction]) error {
+	if r.Kind() == trace.KindAccess {
+		batch := make([]trace.Access, 0, trace.DefaultTxBufferSize)
+		for {
+			a, err := r.ReadAccess()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			batch = append(batch, a)
+			if len(batch) == cap(batch) {
+				if err := accesses.Flush(batch); err != nil {
+					return err
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			return accesses.Flush(batch)
+		}
+		return nil
+	}
+	batch := make([]trace.Transaction, 0, trace.DefaultTxBufferSize)
+	for {
+		t, err := r.ReadTransaction()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		batch = append(batch, t)
+		if len(batch) == cap(batch) {
+			if err := txs.Flush(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		return txs.Flush(batch)
+	}
+	return nil
+}
 
 func main() { cli.Main("nvtrace", run) }
 
@@ -91,7 +142,8 @@ func inspect(path string, stat bool, head int, reg *obs.Registry, out io.Writer)
 	var records, writes uint64
 	var minAddr, maxAddr uint64
 	minAddr = ^uint64(0)
-	printRec := func(i int, addr uint64, isWrite bool, extra string) {
+	i := 0
+	account := func(addr uint64, isWrite bool, extra string) {
 		if head > 0 && i < head {
 			op := "R"
 			if isWrite {
@@ -99,33 +151,7 @@ func inspect(path string, stat bool, head int, reg *obs.Registry, out io.Writer)
 			}
 			fmt.Fprintf(out, "%8d  %s %#014x%s\n", i, op, addr, extra)
 		}
-	}
-	for i := 0; ; i++ {
-		var addr uint64
-		var isWrite bool
-		var extra string
-		if r.Kind() == trace.KindAccess {
-			a, err := r.ReadAccess()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			addr, isWrite = a.Addr, a.IsWrite()
-			extra = fmt.Sprintf("  size %d", a.Size)
-		} else {
-			t, err := r.ReadTransaction()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			addr, isWrite = t.Addr, t.Write
-			extra = fmt.Sprintf("  cycle %d", t.Cycle)
-		}
-		printRec(i, addr, isWrite, extra)
+		i++
 		records++
 		if isWrite {
 			writes++
@@ -136,6 +162,23 @@ func inspect(path string, stat bool, head int, reg *obs.Registry, out io.Writer)
 		if addr > maxAddr {
 			maxAddr = addr
 		}
+	}
+	ls := []obs.Label{obs.L("trace", path), obs.L("kind", kind)}
+	err = readBatched(r,
+		pipeline.Counted[trace.Access](reg, "inspect", pipeline.StageFunc[trace.Access](func(batch []trace.Access) error {
+			for _, a := range batch {
+				account(a.Addr, a.IsWrite(), fmt.Sprintf("  size %d", a.Size))
+			}
+			return nil
+		}), ls...),
+		pipeline.Counted[trace.Transaction](reg, "inspect", pipeline.StageFunc[trace.Transaction](func(batch []trace.Transaction) error {
+			for _, t := range batch {
+				account(t.Addr, t.Write, fmt.Sprintf("  cycle %d", t.Cycle))
+			}
+			return nil
+		}), ls...))
+	if err != nil {
+		return err
 	}
 	if stat {
 		fmt.Fprintf(out, "records: %d (%d reads, %d writes", records, records-writes, writes)
@@ -148,7 +191,6 @@ func inspect(path string, stat bool, head int, reg *obs.Registry, out io.Writer)
 				minAddr, maxAddr, float64(maxAddr-minAddr)/(1<<20))
 		}
 	}
-	ls := []obs.Label{obs.L("trace", path), obs.L("kind", kind)}
 	reg.Gauge("nvtrace_records", ls...).Set(float64(records))
 	reg.Gauge("nvtrace_reads", ls...).Set(float64(records - writes))
 	reg.Gauge("nvtrace_writes", ls...).Set(float64(writes))
@@ -182,36 +224,15 @@ func convertTrace(src, dst string, reg *obs.Registry, out io.Writer) error {
 		w = trace.NewTransactionWriter(o)
 	}
 
-	n := 0
-	for {
-		if r.Kind() == trace.KindAccess {
-			a, err := r.ReadAccess()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				o.Close()
-				return err
-			}
-			if err := w.WriteAccess(a); err != nil {
-				o.Close()
-				return err
-			}
-		} else {
-			t, err := r.ReadTransaction()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				o.Close()
-				return err
-			}
-			if err := w.WriteTransaction(t); err != nil {
-				o.Close()
-				return err
-			}
-		}
-		n++
+	// The writer terminates both batched stage chains (trace.Writer is a
+	// Sink and a TxSink); only the stream's kind runs.
+	ls := []obs.Label{obs.L("src", src), obs.L("dst", dst)}
+	err = readBatched(r,
+		pipeline.Counted[trace.Access](reg, "convert", pipeline.Stage[trace.Access](w), ls...),
+		pipeline.Counted[trace.Transaction](reg, "convert", pipeline.TxStage(w), ls...))
+	if err != nil {
+		o.Close()
+		return err
 	}
 	if err := w.Close(); err != nil {
 		o.Close()
@@ -220,7 +241,8 @@ func convertTrace(src, dst string, reg *obs.Registry, out io.Writer) error {
 	if err := o.Close(); err != nil {
 		return err
 	}
-	reg.Gauge("nvtrace_converted_records", obs.L("src", src), obs.L("dst", dst)).Set(float64(n))
+	n := w.Count()
+	reg.Gauge("nvtrace_converted_records", ls...).Set(float64(n))
 	fmt.Fprintf(out, "converted %d records: %s -> %s\n", n, src, dst)
 	return nil
 }

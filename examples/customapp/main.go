@@ -16,7 +16,7 @@ import (
 	"nvscavenger/internal/core"
 	"nvscavenger/internal/cpusim"
 	"nvscavenger/internal/memtrace"
-	"nvscavenger/internal/trace"
+	"nvscavenger/internal/pipeline"
 )
 
 // cgApp solves A x = b with conjugate gradients, where A is the 1D Poisson
@@ -104,18 +104,18 @@ func (c *cgApp) Check() error {
 	return nil
 }
 
-type perfSink struct{ core *cpusim.Core }
-
-func (p perfSink) Event(gap uint64, a trace.Access) { p.core.Event(gap, a) }
-
 func main() {
 	const n = 200000
 	const iters = 10
 
 	// 1. Characterize with NV-SCAVENGER.
 	app := &cgApp{n: n}
-	tr := memtrace.New(memtrace.Config{StackMode: memtrace.FastStack})
+	stack := pipeline.MustBuild(pipeline.Config{StackMode: memtrace.FastStack})
+	tr := stack.Tracer
 	if err := apps.Run(app, tr, iters); err != nil {
+		log.Fatal(err)
+	}
+	if err := stack.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("CG on %d unknowns: residual %.3e after %d iterations\n\n", n, app.residual, iters)
@@ -132,10 +132,14 @@ func main() {
 	fmt.Println("\nmemory latency sensitivity:")
 	var base float64
 	for _, lat := range []float64{10, 12, 20, 100} {
+		// The core consumes the batched performance-event stream directly.
 		c := cpusim.MustNew(cpusim.PaperConfig(lat))
 		run := &cgApp{n: n}
-		tr := memtrace.New(memtrace.Config{Perf: perfSink{core: c}})
-		if err := apps.Run(run, tr, 2); err != nil {
+		perfStack := pipeline.MustBuild(pipeline.Config{Perf: c})
+		if err := apps.Run(run, perfStack.Tracer, 2); err != nil {
+			log.Fatal(err)
+		}
+		if err := perfStack.Close(); err != nil {
 			log.Fatal(err)
 		}
 		if base == 0 {

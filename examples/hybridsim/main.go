@@ -13,8 +13,7 @@ import (
 	"nvscavenger/internal/apps"
 	"nvscavenger/internal/cachesim"
 	"nvscavenger/internal/hybrid"
-	"nvscavenger/internal/memtrace"
-	"nvscavenger/internal/trace"
+	"nvscavenger/internal/pipeline"
 
 	_ "nvscavenger/internal/apps/nekmini"
 )
@@ -25,20 +24,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var txs []trace.Transaction
-	sink := cachesim.TxSinkFunc(func(t trace.Transaction) error {
-		txs = append(txs, t)
-		return nil
-	})
-	hier := cachesim.MustNew(cachesim.PaperConfig(), sink)
-	tr := memtrace.New(memtrace.Config{Sink: hier})
-	if err := apps.Run(app, tr, 10); err != nil {
+	cacheCfg := cachesim.PaperConfig()
+	stack := pipeline.MustBuild(pipeline.Config{Cache: &cacheCfg, CaptureTx: true})
+	if err := apps.Run(app, stack.Tracer, 10); err != nil {
 		log.Fatal(err)
 	}
-	hier.Drain()
-	if err := hier.Err(); err != nil {
+	if err := stack.Close(); err != nil {
 		log.Fatal(err)
 	}
+	txs := stack.Transactions()
 	fmt.Printf("nek5000: %d main-memory transactions captured\n\n", len(txs))
 
 	// Sweep the DRAM partition budget.

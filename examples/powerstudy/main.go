@@ -12,44 +12,36 @@ import (
 	"nvscavenger/internal/apps"
 	"nvscavenger/internal/cachesim"
 	"nvscavenger/internal/dramsim"
-	"nvscavenger/internal/memtrace"
-	"nvscavenger/internal/trace"
+	"nvscavenger/internal/pipeline"
 
 	_ "nvscavenger/internal/apps/gtcmini"
 )
-
-type collect struct{ txs []trace.Transaction }
-
-func (c *collect) Transaction(t trace.Transaction) error {
-	c.txs = append(c.txs, t)
-	return nil
-}
 
 func main() {
 	app, err := apps.New("gtc", 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sink := &collect{}
-	hier := cachesim.MustNew(cachesim.PaperConfig(), sink)
-	tr := memtrace.New(memtrace.Config{Sink: hier})
-	if err := apps.Run(app, tr, 10); err != nil {
+	cacheCfg := cachesim.PaperConfig()
+	stack := pipeline.MustBuild(pipeline.Config{Cache: &cacheCfg, CaptureTx: true})
+	if err := apps.Run(app, stack.Tracer, 10); err != nil {
 		log.Fatal(err)
 	}
-	hier.Drain()
-	if err := hier.Err(); err != nil {
+	if err := stack.Close(); err != nil {
 		log.Fatal(err)
 	}
+	txs := stack.Transactions()
 
+	hier := stack.Hierarchy
 	l1, l2 := hier.L1Stats(), hier.L2Stats()
 	fmt.Printf("== %s memory traffic ==\n", app.Name())
 	fmt.Printf("references: %d  L1 miss %.2f%%  L2 miss %.2f%%\n",
 		l1.Accesses(), l1.MissRatio()*100, l2.MissRatio()*100)
 	fmt.Printf("main-memory transactions: %d (%d reads, %d writebacks)\n\n",
-		len(sink.txs), hier.MemReads, hier.MemWrites)
+		len(txs), hier.MemReads, hier.MemWrites)
 
 	for _, policy := range []dramsim.RowPolicy{dramsim.OpenPage, dramsim.ClosedPage} {
-		reps, err := dramsim.Compare(dramsim.PaperGeometry(), policy, dramsim.Profiles(), sink.txs)
+		reps, err := dramsim.Compare(dramsim.PaperGeometry(), policy, dramsim.Profiles(), txs)
 		if err != nil {
 			log.Fatal(err)
 		}

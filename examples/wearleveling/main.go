@@ -16,6 +16,7 @@ import (
 	"nvscavenger/internal/cachesim"
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/pipeline"
 	"nvscavenger/internal/trace"
 	"nvscavenger/internal/wear"
 
@@ -23,25 +24,28 @@ import (
 )
 
 func main() {
-	// Run GTC and capture the post-cache writeback stream.
+	// Run GTC and capture the post-cache writeback stream: a Filter stage
+	// keeps only writebacks, and a batched function sink collects addresses.
 	app, err := apps.New("gtc", 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var writebacks []uint64
-	sink := cachesim.TxSinkFunc(func(t trace.Transaction) error {
-		if t.Write {
-			writebacks = append(writebacks, t.Addr)
-		}
-		return nil
-	})
-	hier := cachesim.MustNew(cachesim.PaperConfig(), sink)
-	tr := memtrace.New(memtrace.Config{Sink: hier})
+	sink := pipeline.ToTxSink(pipeline.Filter(
+		func(t trace.Transaction) bool { return t.Write },
+		pipeline.StageFunc[trace.Transaction](func(batch []trace.Transaction) error {
+			for _, t := range batch {
+				writebacks = append(writebacks, t.Addr)
+			}
+			return nil
+		})))
+	cacheCfg := cachesim.PaperConfig()
+	stack := pipeline.MustBuild(pipeline.Config{Cache: &cacheCfg, TxSinks: []trace.TxSink{sink}})
+	tr := stack.Tracer
 	if err := apps.Run(app, tr, 10); err != nil {
 		log.Fatal(err)
 	}
-	hier.Drain()
-	if err := hier.Err(); err != nil {
+	if err := stack.Close(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -248,7 +248,10 @@ func (l *level) invalidate(lineAddr uint64) (present, dirty bool) {
 	return false, false
 }
 
-// TxSink receives the filtered main-memory transactions.
+// TxSink receives filtered main-memory transactions one at a time — the
+// legacy per-transaction consumer contract.  The hierarchy itself delivers
+// transactions in batches (trace.TxSink); wrap a legacy consumer with PerTx
+// to attach it.
 type TxSink interface {
 	Transaction(trace.Transaction) error
 }
@@ -259,17 +262,36 @@ type TxSinkFunc func(trace.Transaction) error
 // Transaction calls f(t).
 func (f TxSinkFunc) Transaction(t trace.Transaction) error { return f(t) }
 
+// PerTx adapts a legacy per-transaction consumer to the batched
+// trace.TxSink contract the hierarchy emits on.
+func PerTx(s TxSink) trace.TxSink {
+	return trace.TxSinkFunc(func(batch []trace.Transaction) error {
+		for _, t := range batch {
+			if err := s.Transaction(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // Hierarchy is the two-level data-cache simulator.  It implements trace.Sink
-// so the instrumentation tracer can flush access batches straight into it.
+// so the instrumentation tracer can flush access batches straight into it,
+// and it emits the filtered main-memory trace the same way it receives
+// references: staged into an internal batch and handed to a trace.TxSink in
+// bulk, instead of one interface call per line fill or writeback.
 type Hierarchy struct {
 	l1, l2 *level
-	sink   TxSink
+	txbuf  *trace.TxBuffer
 	// accesses drives the pseudo-cycle stamp on emitted transactions: with
 	// no core timing model, "cycles" advance one per processed reference,
 	// which is what a trace-fed power simulation expects (§IV: requests are
 	// processed at full speed and average power is reported).
 	accesses uint64
-	err      error
+	// cycleSource, when set, overrides the pseudo-cycle stamp with a real
+	// core clock (the cpusim integration).  It runs at emit time, so stamps
+	// reflect issue order even though delivery is batched.
+	cycleSource func() uint64
 
 	// MemReads and MemWrites count emitted transactions.
 	MemReads  uint64
@@ -277,7 +299,7 @@ type Hierarchy struct {
 }
 
 // New builds a Hierarchy; sink may be nil to only collect statistics.
-func New(cfg Config, sink TxSink) (*Hierarchy, error) {
+func New(cfg Config, sink trace.TxSink) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -289,17 +311,28 @@ func New(cfg Config, sink TxSink) (*Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Hierarchy{l1: l1, l2: l2, sink: sink}, nil
+	h := &Hierarchy{l1: l1, l2: l2}
+	if sink != nil {
+		h.txbuf = trace.NewTxBuffer(sink, 0)
+	}
+	return h, nil
 }
 
 // MustNew is New for known-good configurations.
-func MustNew(cfg Config, sink TxSink) *Hierarchy {
+func MustNew(cfg Config, sink trace.TxSink) *Hierarchy {
 	h, err := New(cfg, sink)
 	if err != nil {
 		panic(err)
 	}
 	return h
 }
+
+// SetCycleSource installs a clock for the Cycle stamp on emitted
+// transactions, replacing the default one-pseudo-cycle-per-reference count.
+// The CPU timing model couples itself to the hierarchy this way (§IV's
+// integrated mode): the stamp is taken at emit time, before batching, so a
+// downstream power simulator sees real issue timing.
+func (h *Hierarchy) SetCycleSource(fn func() uint64) { h.cycleSource = fn }
 
 // LineSize returns the hierarchy's cache line size.
 func (h *Hierarchy) LineSize() int { return h.l1.cfg.LineSize }
@@ -311,7 +344,22 @@ func (h *Hierarchy) L1Stats() LevelStats { return h.l1.stats }
 func (h *Hierarchy) L2Stats() LevelStats { return h.l2.stats }
 
 // Err returns the first sink error encountered.
-func (h *Hierarchy) Err() error { return h.err }
+func (h *Hierarchy) Err() error {
+	if h.txbuf == nil {
+		return nil
+	}
+	return h.txbuf.Err()
+}
+
+// FlushTx drains the staged transaction batch into the sink.  Drain calls
+// it at end of simulation; call it directly to push out a partial batch
+// mid-run (e.g. before sampling a downstream consumer's state).
+func (h *Hierarchy) FlushTx() error {
+	if h.txbuf == nil {
+		return nil
+	}
+	return h.txbuf.Flush()
+}
 
 func (h *Hierarchy) emit(addr uint64, write bool) {
 	if write {
@@ -319,12 +367,14 @@ func (h *Hierarchy) emit(addr uint64, write bool) {
 	} else {
 		h.MemReads++
 	}
-	if h.sink == nil {
+	if h.txbuf == nil {
 		return
 	}
-	if err := h.sink.Transaction(trace.Transaction{Addr: addr, Write: write, Cycle: h.accesses}); err != nil && h.err == nil {
-		h.err = err
+	cycle := h.accesses
+	if h.cycleSource != nil {
+		cycle = h.cycleSource()
 	}
+	h.txbuf.Add(trace.Transaction{Addr: addr, Write: write, Cycle: cycle})
 }
 
 // ServiceLevel reports the deepest structure that had to service a
@@ -354,10 +404,15 @@ func (s ServiceLevel) String() string {
 // Access runs one reference through the hierarchy and reports the deepest
 // level that serviced it.  References spanning a line boundary are split
 // into per-line references, as hardware would; the slowest line wins.
+// A zero-size access is treated as a single-line touch: without the guard,
+// End()-1 underflows and the per-line loop's end marker precedes its start.
 func (h *Hierarchy) Access(a trace.Access) ServiceLevel {
 	lineSize := uint64(h.l1.cfg.LineSize)
 	first := a.Addr &^ (lineSize - 1)
-	last := (a.End() - 1) &^ (lineSize - 1)
+	last := first
+	if a.Size > 0 {
+		last = (a.End() - 1) &^ (lineSize - 1)
+	}
 	deepest := ServicedL1
 	for lineAddr := first; ; lineAddr += lineSize {
 		if lvl := h.accessLine(lineAddr, a.IsWrite()); lvl > deepest {
@@ -438,12 +493,13 @@ func (h *Hierarchy) Flush(batch []trace.Access) error {
 	for _, a := range batch {
 		h.Access(a)
 	}
-	return h.err
+	return h.Err()
 }
 
 // Drain writes back every dirty line in both levels, emitting the final
-// writeback transactions.  Call once at end of simulation so that resident
-// dirty data is priced like DRAMSim2's final flush.
+// writeback transactions, then flushes the staged transaction batch.  Call
+// once at end of simulation so that resident dirty data is priced like
+// DRAMSim2's final flush.
 func (h *Hierarchy) Drain() {
 	for _, set := range h.l1.sets {
 		for i := range set {
@@ -461,4 +517,5 @@ func (h *Hierarchy) Drain() {
 			}
 		}
 	}
+	h.FlushTx()
 }

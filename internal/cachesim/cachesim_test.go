@@ -160,12 +160,15 @@ func TestWriteHitDirtiesL1(t *testing.T) {
 
 func TestL2DirtyEvictionReachesMemory(t *testing.T) {
 	sink := &captureSink{}
-	h := MustNew(tinyConfig(), sink)
+	h := MustNew(tinyConfig(), PerTx(sink))
 	// Dirty one L2 line via a write (no-write-allocate L1 -> L2 write).
 	h.Access(trace.Access{Addr: 0, Size: 8, Op: trace.Write})
 	// Evict it from L2: set count 4, ways 2 -> lines 0, 1024, 2048 share set 0.
 	h.Access(trace.Access{Addr: 1024, Size: 8, Op: trace.Read})
 	h.Access(trace.Access{Addr: 2048, Size: 8, Op: trace.Read})
+	if err := h.FlushTx(); err != nil { // push the staged batch to the sink
+		t.Fatal(err)
+	}
 	if h.MemWrites != 1 {
 		t.Fatalf("memory writes = %d, want 1 (dirty L2 eviction)", h.MemWrites)
 	}
@@ -236,10 +239,13 @@ func TestFlushIsTraceSink(t *testing.T) {
 
 func TestTransactionCycleMonotonic(t *testing.T) {
 	sink := &captureSink{}
-	h := MustNew(tinyConfig(), sink)
+	h := MustNew(tinyConfig(), PerTx(sink))
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 500; i++ {
 		h.Access(trace.Access{Addr: uint64(rng.Intn(1 << 14)), Size: 8, Op: trace.Op(rng.Intn(2))})
+	}
+	if err := h.FlushTx(); err != nil {
+		t.Fatal(err)
 	}
 	var prev uint64
 	for i, tx := range sink.txs {
@@ -332,12 +338,12 @@ func TestQuickTransactionAlignment(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		aligned := true
-		sink := TxSinkFunc(func(tx trace.Transaction) error {
+		sink := PerTx(TxSinkFunc(func(tx trace.Transaction) error {
 			if tx.Addr%64 != 0 {
 				aligned = false
 			}
 			return nil
-		})
+		}))
 		h := MustNew(tinyConfig(), sink)
 		for i := 0; i < 300; i++ {
 			h.Access(trace.Access{
@@ -481,6 +487,49 @@ func TestConfigValidateLineSizeMismatch(t *testing.T) {
 	}
 	if err := PaperConfig().Validate(); err != nil {
 		t.Fatalf("paper config must validate: %v", err)
+	}
+}
+
+// TestZeroSizeAccessTerminates is the regression test for the unsigned
+// underflow in Access: a zero-size access made a.End()-1 wrap around, so the
+// line walk from first to last never terminated.  A zero-size access must
+// touch exactly the line containing Addr and return.
+func TestZeroSizeAccessTerminates(t *testing.T) {
+	h := MustNew(tinyConfig(), nil)
+	h.Access(trace.Access{Addr: 0x1000, Size: 0, Op: trace.Read})
+	if got := h.L1Stats().Accesses(); got != 1 {
+		t.Fatalf("zero-size access touched %d lines, want 1", got)
+	}
+	// Worst case before the fix: Addr 0 made first == 0 and last == ^uint64(0).
+	h.Access(trace.Access{Addr: 0, Size: 0, Op: trace.Write})
+	if got := h.L1Stats().Accesses(); got != 2 {
+		t.Fatalf("zero-size access at 0 touched %d lines total, want 2", got)
+	}
+}
+
+// TestTransactionsDeliveredInBatches locks in the staging behaviour: the
+// hierarchy buffers outgoing transactions and hands them to the TxSink as
+// batches, not one call per transaction.
+func TestTransactionsDeliveredInBatches(t *testing.T) {
+	var calls, txs int
+	sink := trace.TxSinkFunc(func(batch []trace.Transaction) error {
+		calls++
+		txs += len(batch)
+		return nil
+	})
+	h := MustNew(tinyConfig(), sink)
+	for i := 0; i < 200; i++ {
+		h.Access(trace.Access{Addr: uint64(i) * 64, Size: 8, Op: trace.Write})
+	}
+	if calls != 0 {
+		t.Fatalf("sink called %d times before flush; transactions must be staged", calls)
+	}
+	h.Drain()
+	if calls == 0 || txs == 0 {
+		t.Fatal("drain must flush the staged batch to the sink")
+	}
+	if txs != int(h.MemReads+h.MemWrites) {
+		t.Fatalf("sink saw %d transactions, hierarchy counted %d", txs, h.MemReads+h.MemWrites)
 	}
 }
 

@@ -54,10 +54,12 @@ type Config struct {
 	// Cache configures the two-level hierarchy (defaults to Table II).
 	Cache cachesim.Config
 	// MemSink optionally receives the main-memory transactions generated
-	// by the core's cache misses, stamped with the core's cycle at issue.
-	// Feeding these to a dramsim.MemorySystem with CPUFreqGHz set couples
-	// the timing and power simulators, §IV's integrated mode.
-	MemSink cachesim.TxSink
+	// by the core's cache misses in batches, each stamped with the core's
+	// cycle at issue.  Feeding these to a dramsim.MemorySystem with
+	// CPUFreqGHz set couples the timing and power simulators, §IV's
+	// integrated mode.  Wrap a legacy per-transaction consumer with
+	// cachesim.PerTx.
+	MemSink trace.TxSink
 }
 
 // PaperConfig returns the Table II/III configuration with the given memory
@@ -92,8 +94,10 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Core is the timing model.  It implements the memtrace PerfSink contract:
-// feed it Event(gap, access) pairs in program order.
+// Core is the timing model.  It implements the batched trace.PerfSink
+// contract the instrumentation tracer flushes into (FlushEvents), and the
+// per-event Event(gap, access) entry point for direct drivers; events must
+// arrive in program order either way.
 type Core struct {
 	cfg Config
 	hw  *cachesim.Hierarchy
@@ -143,13 +147,7 @@ func New(cfg Config) (*Core, error) {
 	if cfg.Cache.L1.SizeBytes == 0 {
 		cfg.Cache = cachesim.PaperConfig()
 	}
-	var stamp *cycleStamper
-	var sink cachesim.TxSink
-	if cfg.MemSink != nil {
-		stamp = &cycleStamper{sink: cfg.MemSink}
-		sink = stamp
-	}
-	hw, err := cachesim.New(cfg.Cache, sink)
+	hw, err := cachesim.New(cfg.Cache, cfg.MemSink)
 	if err != nil {
 		return nil, err
 	}
@@ -163,25 +161,13 @@ func New(cfg Config) (*Core, error) {
 	if cfg.PrefetchStreams > 0 {
 		c.streams = make([]uint64, cfg.PrefetchStreams)
 	}
-	if stamp != nil {
-		stamp.core = c
+	if cfg.MemSink != nil {
+		// Stamp outgoing transactions with the core clock at issue time;
+		// delivery stays batched, so the downstream power simulator sees
+		// real timing without a per-transaction interface call.
+		hw.SetCycleSource(func() uint64 { return uint64(c.clock) })
 	}
 	return c, nil
-}
-
-// cycleStamper rewrites outgoing transactions' Cycle field with the core's
-// clock at issue time, so a downstream power simulator sees real timing.
-type cycleStamper struct {
-	core *Core
-	sink cachesim.TxSink
-}
-
-// Transaction implements cachesim.TxSink.
-func (s *cycleStamper) Transaction(t trace.Transaction) error {
-	if s.core != nil {
-		t.Cycle = uint64(s.core.clock)
-	}
-	return s.sink.Transaction(t)
 }
 
 // MustNew is New for known-good configurations.
@@ -283,6 +269,26 @@ func (c *Core) Event(gap uint64, a trace.Access) {
 	c.issueOne(lat, isMiss)
 }
 
+// FlushEvents implements trace.PerfSink: one batch of the instruction-
+// interleaved reference stream, delivered from the tracer's staging buffer
+// so references and gaps travel in the same flush.
+func (c *Core) FlushEvents(batch []trace.PerfEvent) error {
+	for _, ev := range batch {
+		c.Event(ev.Gap, ev.Access)
+	}
+	return nil
+}
+
+// Finish flushes the hierarchy's staged transaction batch into MemSink.
+// Call once at end of replay when a MemSink is attached; without one it is
+// a no-op.
+func (c *Core) Finish() error {
+	if err := c.hw.FlushTx(); err != nil {
+		return err
+	}
+	return c.hw.Err()
+}
+
 // prefetched reports whether a missing line continues one of the tracked
 // sequential streams, and allocates a new stream (round-robin) otherwise.
 func (c *Core) prefetched(addr uint64) bool {
@@ -364,9 +370,7 @@ type SweepResult struct {
 // the runtimes normalized to the first entry (Figure 12's presentation).
 // replay must re-generate the identical event stream into the supplied sink
 // on every call.
-func Sweep(devices []string, latenciesNS []float64, replay func(sink interface {
-	Event(uint64, trace.Access)
-})) ([]SweepResult, error) {
+func Sweep(devices []string, latenciesNS []float64, replay func(sink trace.PerfSink)) ([]SweepResult, error) {
 	if len(devices) != len(latenciesNS) {
 		return nil, fmt.Errorf("cpusim: %d devices but %d latencies", len(devices), len(latenciesNS))
 	}

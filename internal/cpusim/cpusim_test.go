@@ -190,9 +190,19 @@ func TestStatsAccounting(t *testing.T) {
 }
 
 func TestSweepNormalization(t *testing.T) {
-	replay := func(sink interface{ Event(uint64, trace.Access) }) {
+	replay := func(sink trace.PerfSink) {
+		batch := make([]trace.PerfEvent, 0, 1024)
 		for i := 0; i < 5000; i++ {
-			sink.Event(5, trace.Access{Addr: uint64(i%65536) * 64, Size: 8, Op: trace.Read})
+			batch = append(batch, trace.PerfEvent{Gap: 5, Access: trace.Access{Addr: uint64(i%65536) * 64, Size: 8, Op: trace.Read}})
+			if len(batch) == cap(batch) {
+				if err := sink.FlushEvents(batch); err != nil {
+					panic(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		if err := sink.FlushEvents(batch); err != nil {
+			panic(err)
 		}
 	}
 	res, err := Sweep(
@@ -220,7 +230,7 @@ func TestSweepNormalization(t *testing.T) {
 }
 
 func TestSweepLengthMismatch(t *testing.T) {
-	_, err := Sweep([]string{"a"}, []float64{1, 2}, func(interface{ Event(uint64, trace.Access) }) {})
+	_, err := Sweep([]string{"a"}, []float64{1, 2}, func(trace.PerfSink) {})
 	if err == nil {
 		t.Fatal("mismatched sweep inputs must error")
 	}

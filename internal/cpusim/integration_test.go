@@ -37,6 +37,9 @@ func TestIntegratedTimingPower(t *testing.T) {
 		return cfg
 	}())
 	workload(collectCore)
+	if err := collectCore.Finish(); err != nil {
+		t.Fatal(err)
+	}
 	if len(collected) == 0 {
 		t.Fatal("workload generated no memory traffic")
 	}
@@ -58,6 +61,9 @@ func TestIntegratedTimingPower(t *testing.T) {
 		return cfg
 	}())
 	workload(timedCore)
+	if err := timedCore.Finish(); err != nil {
+		t.Fatal(err)
+	}
 	timedRep := timed.Report()
 
 	if timedRep.Reads != fullRep.Reads || timedRep.Writes != fullRep.Writes {
@@ -83,9 +89,18 @@ func TestIntegratedTimingPower(t *testing.T) {
 	}
 }
 
+// txFunc adapts a per-transaction closure to the batched trace.TxSink the
+// core's hierarchy flushes into.
 type txFunc func(trace.Transaction) error
 
-func (f txFunc) Transaction(t trace.Transaction) error { return f(t) }
+func (f txFunc) FlushTx(batch []trace.Transaction) error {
+	for _, t := range batch {
+		if err := f(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func TestNegativeCPUFreqRejected(t *testing.T) {
 	cfg := dramsim.PaperConfig(dramsim.DDR3())
@@ -105,6 +120,9 @@ func TestMemSinkReceivesStampedTransactions(t *testing.T) {
 	core := MustNew(cfg)
 	for i := 0; i < 2000; i++ {
 		core.Event(10, trace.Access{Addr: uint64(i) * 4096, Size: 8, Op: trace.Read})
+	}
+	if err := core.Finish(); err != nil {
+		t.Fatal(err)
 	}
 	if len(cycles) == 0 {
 		t.Fatal("no transactions delivered")

@@ -129,6 +129,20 @@ func (m *MemorySystem) Transaction(t trace.Transaction) error {
 	return nil
 }
 
+// FlushTx services a batch of main-memory requests in order.  It implements
+// trace.TxSink, so the memory system can terminate a batched transaction
+// pipeline directly (the cache hierarchy and the pipeline combinators hand
+// over their staging buffer in one call instead of one interface call per
+// transaction).
+func (m *MemorySystem) FlushTx(batch []trace.Transaction) error {
+	for _, t := range batch {
+		if err := m.Transaction(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // issueBest removes and services the first-ready transaction: the oldest
 // row hit, or the oldest transaction when nothing hits an open row.
 func (m *MemorySystem) issueBest() {

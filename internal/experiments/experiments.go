@@ -25,6 +25,7 @@ import (
 	"nvscavenger/internal/dramsim"
 	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
+	"nvscavenger/internal/pipeline"
 	"nvscavenger/internal/runner"
 	"nvscavenger/internal/trace"
 
@@ -157,13 +158,6 @@ func collectApps[T any](s *Session, names []string, f func(ctx context.Context, 
 	return runner.Collect(s.ctx(), names, f)
 }
 
-type txCapture struct{ txs []trace.Transaction }
-
-func (c *txCapture) Transaction(t trace.Transaction) error {
-	c.txs = append(c.txs, t)
-	return nil
-}
-
 // Fast returns the memoized fast-stack-mode run of an app, with the cache
 // hierarchy attached and the filtered memory trace captured.  Concurrent
 // calls for the same app share one execution.
@@ -188,20 +182,27 @@ func (s *Session) runFast(ctx context.Context, name string) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	cap := &txCapture{}
-	hier := cachesim.MustNew(cachesim.PaperConfig(), cap)
-	tr := memtrace.New(memtrace.Config{StackMode: memtrace.FastStack, Sink: hier})
-	if err := apps.RunContext(ctx, app, tr, s.opts.Iterations); err != nil {
-		return nil, err
-	}
-	hier.Drain()
-	if err := hier.Err(); err != nil {
-		return nil, err
-	}
 	labels := []obs.Label{obs.L("app", name), obs.L("mode", "fast")}
-	hier.ExportMetrics(s.cfg.metrics, labels...)
-	tr.ExportMetrics(s.cfg.metrics, labels...)
-	return &Run{App: app, Tracer: tr, Hierarchy: hier, Transactions: cap.txs}, nil
+	cacheCfg := cachesim.PaperConfig()
+	stack, err := pipeline.Build(pipeline.Config{
+		StackMode: memtrace.FastStack,
+		Cache:     &cacheCfg,
+		CaptureTx: true,
+		Metrics:   s.cfg.metrics,
+		Labels:    labels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := apps.RunContext(ctx, app, stack.Tracer, s.opts.Iterations); err != nil {
+		return nil, err
+	}
+	if err := stack.Close(); err != nil {
+		return nil, err
+	}
+	stack.Hierarchy.ExportMetrics(s.cfg.metrics, labels...)
+	stack.Tracer.ExportMetrics(s.cfg.metrics, labels...)
+	return &Run{App: app, Tracer: stack.Tracer, Hierarchy: stack.Hierarchy, Transactions: stack.Transactions()}, nil
 }
 
 // Slow returns the memoized slow-stack-mode run (per-frame attribution).
@@ -226,12 +227,18 @@ func (s *Session) runSlow(ctx context.Context, name string) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := memtrace.New(memtrace.Config{StackMode: memtrace.SlowStack})
-	if err := apps.RunContext(ctx, app, tr, s.opts.Iterations); err != nil {
+	stack, err := pipeline.Build(pipeline.Config{StackMode: memtrace.SlowStack})
+	if err != nil {
 		return nil, err
 	}
-	tr.ExportMetrics(s.cfg.metrics, obs.L("app", name), obs.L("mode", "slow"))
-	return &Run{App: app, Tracer: tr}, nil
+	if err := apps.RunContext(ctx, app, stack.Tracer, s.opts.Iterations); err != nil {
+		return nil, err
+	}
+	if err := stack.Close(); err != nil {
+		return nil, err
+	}
+	stack.Tracer.ExportMetrics(s.cfg.metrics, obs.L("app", name), obs.L("mode", "slow"))
+	return &Run{App: app, Tracer: stack.Tracer}, nil
 }
 
 // Warm populates every memoized run the exhibits need, fanning the
@@ -426,27 +433,20 @@ func (s *Session) Figure12() ([]Figure12Row, error) {
 	})
 }
 
-// perfAdapter forwards performance events and counts the references the
-// sweep observed (the runner's throughput metric).
-type perfAdapter struct {
-	sink interface {
-		Event(uint64, trace.Access)
-	}
-	refs *uint64
-}
-
-func (p perfAdapter) Event(gap uint64, a trace.Access) {
-	*p.refs++
-	p.sink.Event(gap, a)
+// countingPerf forwards performance-event batches and counts the references
+// the sweep observed (the runner's throughput metric).
+func countingPerf(sink trace.PerfSink, refs *uint64) trace.PerfSink {
+	return trace.PerfSinkFunc(func(batch []trace.PerfEvent) error {
+		*refs += uint64(len(batch))
+		return sink.FlushEvents(batch)
+	})
 }
 
 func (s *Session) latencySweep(ctx context.Context, name string) ([]cpusim.SweepResult, error) {
 	v, err := s.eng.Do(ctx, s.key(name, "perf-sweep", "table4-latencies"), func(ctx context.Context) (any, uint64, error) {
 		var refs uint64
 		var runErr error
-		replay := func(sink interface {
-			Event(uint64, trace.Access)
-		}) {
+		replay := func(sink trace.PerfSink) {
 			if runErr != nil {
 				return
 			}
@@ -455,11 +455,19 @@ func (s *Session) latencySweep(ctx context.Context, name string) ([]cpusim.Sweep
 				runErr = err
 				return
 			}
-			tr := memtrace.New(memtrace.Config{
+			stack, err := pipeline.Build(pipeline.Config{
 				StackMode: memtrace.FastStack,
-				Perf:      perfAdapter{sink: sink, refs: &refs},
+				Perf:      countingPerf(sink, &refs),
 			})
-			if err := apps.RunContext(ctx, app, tr, 1); err != nil {
+			if err != nil {
+				runErr = err
+				return
+			}
+			if err := apps.RunContext(ctx, app, stack.Tracer, 1); err != nil {
+				runErr = err
+				return
+			}
+			if err := stack.Close(); err != nil {
 				runErr = err
 			}
 		}

@@ -65,6 +65,25 @@ func TestMetricsFieldsStableAcrossJobs(t *testing.T) {
 			t.Errorf("histogram %s%v count: %d vs %d", a.Name, a.Labels, a.Count, b.Count)
 		}
 	}
+
+	// The pipeline stage counters ride the same registry; their presence and
+	// exact agreement across job counts is the batch-dataflow determinism
+	// check: worker scheduling must not change how many events cross each
+	// stage boundary, only when.
+	for _, stage := range []string{"accesses", "transactions"} {
+		ls := []obs.Label{obs.L("app", "gtc"), obs.L("mode", "fast"), obs.L("stage", stage)}
+		ev, ok := seq.Counter("pipeline_events_total", ls...)
+		if !ok || ev == 0 {
+			t.Fatalf("pipeline_events_total{stage=%s} missing or zero in jobs=1 snapshot", stage)
+		}
+		if batches, ok := seq.Counter("pipeline_batches_total", ls...); !ok || batches == 0 || batches > ev {
+			t.Fatalf("pipeline_batches_total{stage=%s} = %d (%v) for %d events", stage, batches, ok, ev)
+		}
+		pv, ok := par.Counter("pipeline_events_total", ls...)
+		if !ok || pv != ev {
+			t.Errorf("pipeline_events_total{stage=%s}: %d (jobs=1) vs %d (jobs=4)", stage, ev, pv)
+		}
+	}
 }
 
 // TestSessionMetricsSnapshotContents checks the aggregated snapshot holds

@@ -8,6 +8,7 @@ import (
 	"nvscavenger/internal/apps"
 	"nvscavenger/internal/core"
 	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/pipeline"
 	"nvscavenger/internal/runner"
 )
 
@@ -50,8 +51,15 @@ func (s *Session) SamplingStudy(app string, periods []int) ([]SamplingRow, error
 				if err != nil {
 					return nil, 0, err
 				}
-				tr := memtrace.New(memtrace.Config{StackMode: memtrace.FastStack, SamplePeriod: period})
+				stack, err := pipeline.Build(pipeline.Config{StackMode: memtrace.FastStack, SamplePeriod: period})
+				if err != nil {
+					return nil, 0, err
+				}
+				tr := stack.Tracer
 				if err := apps.RunContext(ctx, a, tr, s.opts.Iterations); err != nil {
+					return nil, 0, err
+				}
+				if err := stack.Close(); err != nil {
 					return nil, 0, err
 				}
 				res := runResult{

@@ -42,9 +42,12 @@ type Config struct {
 	StackReserve uint64
 	// Perf optionally receives the performance-event stream: each memory
 	// reference together with the number of non-memory instructions retired
-	// since the previous reference.  The trace-driven CPU timing simulator
-	// consumes this stream for the latency-sensitivity study (§V).
-	Perf PerfSink
+	// since the previous reference.  Events are staged into a buffer the
+	// size of BufferSize and delivered in batches, so references and
+	// instruction gaps travel in the same flush as the raw trace.  The
+	// trace-driven CPU timing simulator consumes this stream for the
+	// latency-sensitivity study (§V).
+	Perf trace.PerfSink
 	// SamplePeriod observes only every N-th reference when > 1.  The paper
 	// rejects sampling for this tool (§III-D): establishing a memory-access
 	// panorama for all objects needs every reference, and sampling loses
@@ -55,18 +58,25 @@ type Config struct {
 	SamplePeriod int
 }
 
-// PerfSink consumes the instruction-interleaved reference stream.
-type PerfSink interface {
-	// Event reports one memory reference preceded by gap non-memory
-	// instructions.
-	Event(gap uint64, a trace.Access)
-}
+// PerfSink is the batched performance-event consumer contract; it is
+// trace.PerfSink, aliased here for call sites that configure a Tracer.
+type PerfSink = trace.PerfSink
 
 // Tracer observes the access stream of one instrumented program.
 type Tracer struct {
 	cfg Config
 	reg *registry
 	buf *trace.Buffer
+
+	// perfBuf stages performance events for batched delivery to cfg.Perf;
+	// perfErr is the sink's first error (sticky, reported by Close, and
+	// short-circuiting like trace.Buffer).
+	perfBuf []trace.PerfEvent
+	perfErr error
+	// PerfDropped counts events discarded after a perf-sink error.
+	PerfDropped uint64
+	// PerfFlushes counts perf-buffer drains (benchmarks read it).
+	PerfFlushes uint64
 
 	// iteration state
 	iter       int
@@ -140,6 +150,13 @@ func New(cfg Config) *Tracer {
 	}
 	if cfg.Sink != nil {
 		t.buf = trace.NewBuffer(cfg.Sink, cfg.BufferSize)
+	}
+	if cfg.Perf != nil {
+		size := cfg.BufferSize
+		if size <= 0 {
+			size = trace.DefaultBufferSize
+		}
+		t.perfBuf = make([]trace.PerfEvent, 0, size)
 	}
 	return t
 }
@@ -255,9 +272,30 @@ func (t *Tracer) access(addr uint64, size uint8, op trace.Op) {
 		t.buf.Add(trace.Access{Addr: addr, Size: size, Op: op})
 	}
 	if t.cfg.Perf != nil {
-		t.cfg.Perf.Event(t.perfGap, trace.Access{Addr: addr, Size: size, Op: op})
+		t.perfBuf = append(t.perfBuf, trace.PerfEvent{Gap: t.perfGap, Access: trace.Access{Addr: addr, Size: size, Op: op}})
 		t.perfGap = 0
+		if len(t.perfBuf) == cap(t.perfBuf) {
+			t.flushPerf()
+		}
 	}
+}
+
+// flushPerf drains the staged performance events to the perf sink; errors
+// are sticky and short-circuit further delivery.
+func (t *Tracer) flushPerf() {
+	if len(t.perfBuf) == 0 {
+		return
+	}
+	if t.perfErr != nil {
+		t.PerfDropped += uint64(len(t.perfBuf))
+		t.perfBuf = t.perfBuf[:0]
+		return
+	}
+	t.PerfFlushes++
+	if err := t.cfg.Perf.FlushEvents(t.perfBuf); err != nil {
+		t.perfErr = err
+	}
+	t.perfBuf = t.perfBuf[:0]
 }
 
 // classify maps an address to its segment by the region layout.
@@ -358,15 +396,23 @@ func (t *Tracer) RegistryStats() (lookups, cacheHits, scanned, rebalances uint64
 	return t.reg.Lookups, t.reg.CacheHits, t.reg.Scanned, t.reg.Rebalances
 }
 
-// Close finalizes iteration accounting and flushes the trace buffer.
+// Close finalizes iteration accounting and flushes the trace and
+// performance-event buffers, returning the first sink error.
 func (t *Tracer) Close() error {
 	if t.closed {
 		return nil
 	}
 	t.closed = true
 	t.finishIterationAccounting()
+	var err error
 	if t.buf != nil {
-		return t.buf.Close()
+		err = t.buf.Close()
 	}
-	return nil
+	if t.cfg.Perf != nil {
+		t.flushPerf()
+		if err == nil {
+			err = t.perfErr
+		}
+	}
+	return err
 }

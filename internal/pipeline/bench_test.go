@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"testing"
+
+	"nvscavenger/internal/apps"
+	"nvscavenger/internal/cachesim"
+	"nvscavenger/internal/obs"
+	"nvscavenger/internal/trace"
+
+	_ "nvscavenger/internal/apps/gtcmini"
+)
+
+// BenchmarkPipelineThroughput compares the two delivery disciplines at the
+// transaction boundary on the cache-filtered GTC trace: one interface call
+// per batch (the pipeline contract) versus one interface call per
+// transaction (the legacy contract, via the PerTx adapter).  The trace is
+// captured once up front so the benchmark isolates the hand-off cost — the
+// price every per-event hop used to pay — from the app and tracer.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	app, err := apps.New("gtc", 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cacheCfg := cachesim.PaperConfig()
+	st := MustBuild(Config{Cache: &cacheCfg, CaptureTx: true})
+	if err := apps.Run(app, st.Tracer, 5); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	txs := st.Transactions()
+	if len(txs) == 0 {
+		b.Fatal("empty trace")
+	}
+
+	// The consumer does token per-transaction work (classify + mix the
+	// address) so the comparison is delivery discipline, not an empty call.
+	var reads, writes, mix uint64
+	consume := func(t trace.Transaction) {
+		if t.Write {
+			writes++
+		} else {
+			reads++
+		}
+		mix ^= t.Addr
+	}
+	deliver := func(b *testing.B, sink trace.TxSink) {
+		b.Helper()
+		b.ReportMetric(float64(len(txs)), "tx")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for off := 0; off < len(txs); off += trace.DefaultTxBufferSize {
+				end := min(off+trace.DefaultTxBufferSize, len(txs))
+				if err := sink.FlushTx(txs[off:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("batched", func(b *testing.B) {
+		deliver(b, trace.TxSinkFunc(func(batch []trace.Transaction) error {
+			for _, t := range batch {
+				consume(t)
+			}
+			return nil
+		}))
+	})
+	b.Run("per-transaction", func(b *testing.B) {
+		deliver(b, cachesim.PerTx(cachesim.TxSinkFunc(func(t trace.Transaction) error {
+			consume(t)
+			return nil
+		})))
+	})
+}
+
+// BenchmarkPipelineInstrumentationOverhead measures what the Counted stage
+// wrappers cost on the same workload: metrics off versus metrics on.
+func BenchmarkPipelineInstrumentationOverhead(b *testing.B) {
+	run := func(b *testing.B, cfg Config) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			app, err := apps.New("gtc", 0.1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cacheCfg := cachesim.PaperConfig()
+			cfg.Cache = &cacheCfg
+			cfg.CaptureTx = true
+			st := MustBuild(cfg)
+			if err := apps.Run(app, st.Tracer, 3); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, Config{}) })
+	b.Run("on", func(b *testing.B) { run(b, Config{Metrics: obs.NewRegistry()}) })
+}

@@ -141,6 +141,17 @@ func (w *Writer) Flush(batch []Access) error {
 	return nil
 }
 
+// FlushTx implements TxSink for transaction streams, so a file writer can
+// terminate a batched transaction pipeline directly.
+func (w *Writer) FlushTx(batch []Transaction) error {
+	for _, t := range batch {
+		if err := w.WriteTransaction(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Count returns the number of records written so far.
 func (w *Writer) Count() uint64 { return w.n }
 

@@ -108,6 +108,45 @@ type SinkFunc func(batch []Access) error
 // Flush calls f(batch).
 func (f SinkFunc) Flush(batch []Access) error { return f(batch) }
 
+// TxSink consumes batches of main-memory transactions — the post-cache
+// mirror of Sink.  Every stage boundary of the memory-event dataflow moves
+// events in batches (accesses, transactions, performance events), so the
+// per-event interface-call overhead of the §III-D memory-buffer
+// optimization is paid once per batch at every hop, not just the first.
+// The callee must not retain the slice.
+type TxSink interface {
+	FlushTx(batch []Transaction) error
+}
+
+// TxSinkFunc adapts a function to the TxSink interface.
+type TxSinkFunc func(batch []Transaction) error
+
+// FlushTx calls f(batch).
+func (f TxSinkFunc) FlushTx(batch []Transaction) error { return f(batch) }
+
+// PerfEvent is one entry of the performance-event stream: a memory
+// reference preceded by Gap non-memory (ALU/branch) instructions.  The
+// trace-driven CPU timing model consumes these in program order.
+type PerfEvent struct {
+	// Gap is the number of non-memory instructions retired since the
+	// previous reference.
+	Gap uint64
+	// Access is the memory reference itself.
+	Access Access
+}
+
+// PerfSink consumes batches of performance events, so references and
+// instruction gaps travel in the same flush as the rest of the dataflow.
+type PerfSink interface {
+	FlushEvents(batch []PerfEvent) error
+}
+
+// PerfSinkFunc adapts a function to the PerfSink interface.
+type PerfSinkFunc func(batch []PerfEvent) error
+
+// FlushEvents calls f(batch).
+func (f PerfSinkFunc) FlushEvents(batch []PerfEvent) error { return f(batch) }
+
 // DefaultBufferSize is the number of accesses staged before the buffer is
 // handed to the sink.  Large enough to amortize the call, small enough to
 // stay cache-resident.
@@ -115,10 +154,11 @@ const DefaultBufferSize = 1 << 14
 
 // Buffer stages accesses and flushes them to a Sink in batches (§III-D).
 type Buffer struct {
-	sink Sink
-	buf  []Access
-	n    int
-	err  error
+	sink    Sink
+	buf     []Access
+	n       int
+	err     error
+	dropped uint64
 	// Flushes counts how many times the staging buffer was drained; used by
 	// the instrumentation-overhead benchmarks.
 	Flushes uint64
@@ -134,7 +174,8 @@ func NewBuffer(sink Sink, size int) *Buffer {
 }
 
 // Add stages one access, flushing if the buffer fills.  Errors from the sink
-// are sticky and reported by Close.
+// are sticky and reported by Close; once a sink has failed it is never
+// invoked again — subsequent batches are dropped and counted in Dropped.
 func (b *Buffer) Add(a Access) {
 	b.buf[b.n] = a
 	b.n++
@@ -146,12 +187,21 @@ func (b *Buffer) Add(a Access) {
 // Err returns the first error reported by the sink, if any.
 func (b *Buffer) Err() error { return b.err }
 
+// Dropped returns the number of accesses discarded after the sink's first
+// error (a failed sink is never called again).
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
 func (b *Buffer) flush() {
 	if b.n == 0 {
 		return
 	}
+	if b.err != nil {
+		b.dropped += uint64(b.n)
+		b.n = 0
+		return
+	}
 	b.Flushes++
-	if err := b.sink.Flush(b.buf[:b.n]); err != nil && b.err == nil {
+	if err := b.sink.Flush(b.buf[:b.n]); err != nil {
 		b.err = err
 	}
 	b.n = 0
@@ -159,6 +209,81 @@ func (b *Buffer) flush() {
 
 // Close drains any staged accesses and returns the first sink error.
 func (b *Buffer) Close() error {
+	b.flush()
+	return b.err
+}
+
+// DefaultTxBufferSize is the number of transactions staged before a
+// TxBuffer flushes.  The post-cache stream is one to three orders of
+// magnitude thinner than the access stream, so the batch is smaller.
+const DefaultTxBufferSize = 1 << 12
+
+// TxBuffer stages main-memory transactions and flushes them to a TxSink in
+// batches — the post-cache mirror of Buffer.  The cache hierarchy stages its
+// line fills and writebacks here instead of invoking its sink per
+// transaction.
+type TxBuffer struct {
+	sink    TxSink
+	buf     []Transaction
+	n       int
+	err     error
+	dropped uint64
+	// Flushes counts how many times the staging buffer was drained.
+	Flushes uint64
+}
+
+// NewTxBuffer returns a TxBuffer of the given capacity flushing into sink.
+// A non-positive size selects DefaultTxBufferSize.
+func NewTxBuffer(sink TxSink, size int) *TxBuffer {
+	if size <= 0 {
+		size = DefaultTxBufferSize
+	}
+	return &TxBuffer{sink: sink, buf: make([]Transaction, size)}
+}
+
+// Add stages one transaction, flushing if the buffer fills.  Errors from
+// the sink are sticky and reported by Close; once a sink has failed it is
+// never invoked again — subsequent batches are dropped and counted.
+func (b *TxBuffer) Add(t Transaction) {
+	b.buf[b.n] = t
+	b.n++
+	if b.n == len(b.buf) {
+		b.flush()
+	}
+}
+
+// Err returns the first error reported by the sink, if any.
+func (b *TxBuffer) Err() error { return b.err }
+
+// Dropped returns the number of transactions discarded after the sink's
+// first error.
+func (b *TxBuffer) Dropped() uint64 { return b.dropped }
+
+func (b *TxBuffer) flush() {
+	if b.n == 0 {
+		return
+	}
+	if b.err != nil {
+		b.dropped += uint64(b.n)
+		b.n = 0
+		return
+	}
+	b.Flushes++
+	if err := b.sink.FlushTx(b.buf[:b.n]); err != nil {
+		b.err = err
+	}
+	b.n = 0
+}
+
+// Flush drains any staged transactions to the sink without closing the
+// buffer; the hierarchy calls it after its end-of-run Drain.
+func (b *TxBuffer) Flush() error {
+	b.flush()
+	return b.err
+}
+
+// Close drains any staged transactions and returns the first sink error.
+func (b *TxBuffer) Close() error {
 	b.flush()
 	return b.err
 }

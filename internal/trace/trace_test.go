@@ -88,14 +88,82 @@ func TestBufferStickyError(t *testing.T) {
 	b := NewBuffer(sink, 1)
 	b.Add(Access{})
 	b.Add(Access{})
+	b.Add(Access{})
 	if b.Err() != boom {
 		t.Fatal("expected sticky error")
 	}
 	if err := b.Close(); err != boom {
 		t.Fatalf("Close error = %v, want boom", err)
 	}
-	if calls != 2 {
-		t.Fatalf("sink called %d times, want 2", calls)
+	if calls != 1 {
+		t.Fatalf("sink called %d times, want 1 (a failed sink must not be retried)", calls)
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", b.Dropped())
+	}
+}
+
+func TestTxBufferFlushesInBatches(t *testing.T) {
+	var got []Transaction
+	sink := TxSinkFunc(func(batch []Transaction) error {
+		got = append(got, batch...)
+		return nil
+	})
+	b := NewTxBuffer(sink, 4)
+	for i := 0; i < 10; i++ {
+		b.Add(Transaction{Addr: uint64(i), Write: i%2 == 0, Cycle: uint64(i)})
+	}
+	if len(got) != 8 {
+		t.Fatalf("before close: delivered %d transactions, want 8 (two full batches)", len(got))
+	}
+	if b.Flushes != 2 {
+		t.Fatalf("Flushes = %d, want 2", b.Flushes)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("after Flush: delivered %d transactions, want 10", len(got))
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tx := range got {
+		if tx.Addr != uint64(i) || tx.Cycle != uint64(i) {
+			t.Fatalf("transaction %d = %+v; order not preserved", i, tx)
+		}
+	}
+}
+
+func TestTxBufferDefaultSize(t *testing.T) {
+	b := NewTxBuffer(TxSinkFunc(func([]Transaction) error { return nil }), 0)
+	if len(b.buf) != DefaultTxBufferSize {
+		t.Fatalf("default tx buffer size = %d, want %d", len(b.buf), DefaultTxBufferSize)
+	}
+}
+
+func TestTxBufferStickyError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	sink := TxSinkFunc(func([]Transaction) error {
+		calls++
+		return boom
+	})
+	b := NewTxBuffer(sink, 1)
+	b.Add(Transaction{})
+	b.Add(Transaction{})
+	b.Add(Transaction{})
+	if b.Err() != boom {
+		t.Fatal("expected sticky error")
+	}
+	if err := b.Close(); err != boom {
+		t.Fatalf("Close error = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("sink called %d times, want 1 (a failed sink must not be retried)", calls)
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", b.Dropped())
 	}
 }
 
