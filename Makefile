@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-obs race-pipeline bench report
+.PHONY: ci vet build test race race-obs race-pipeline bench chaos report
 
-ci: vet build race-obs race-pipeline race bench
+ci: vet build race-obs race-pipeline race bench chaos
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,14 @@ race-pipeline:
 # wrappers keep working, not a timing run.
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkPipeline|BenchmarkAblation(ObjectCache|Buffer)' -benchtime=1x -count=1 ./internal/pipeline .
+
+# Chaos gate: the fault-injection and resilience packages race-enabled,
+# plus one seeded degraded sweep — it must complete (exit 0) with partial
+# exhibits rather than abort.
+chaos:
+	$(GO) test -race -count=2 ./internal/faults ./internal/resilience
+	$(GO) run ./cmd/nvreport -scale 0.05 -iterations 3 -only table1,table5 \
+		-fault sink:every=3,seed=7 -progress=false >/dev/null
 
 report:
 	$(GO) run ./cmd/nvreport

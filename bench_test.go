@@ -29,6 +29,16 @@ func benchOptions() experiments.Options {
 	return experiments.Options{Scale: 0.1, Iterations: 5}
 }
 
+// mustMem builds a MemorySystem from a config the benchmark knows is valid.
+func mustMem(b *testing.B, cfg dramsim.Config) *dramsim.MemorySystem {
+	b.Helper()
+	m, err := dramsim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
 // ---- exhibit benchmarks ----------------------------------------------
 
 func BenchmarkTable1Footprints(b *testing.B) {
@@ -223,7 +233,7 @@ func benchRowPolicy(b *testing.B, policy dramsim.RowPolicy) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := dramsim.MustNew(dramsim.Config{
+		m := mustMem(b, dramsim.Config{
 			Geometry: dramsim.PaperGeometry(),
 			Profile:  dramsim.DDR3(),
 			Policy:   policy,
@@ -251,7 +261,7 @@ func BenchmarkAblationUnfilteredPower(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		m := dramsim.MustNew(dramsim.PaperConfig(dramsim.DDR3()))
+		m := mustMem(b, dramsim.PaperConfig(dramsim.DDR3()))
 		sink := trace.SinkFunc(func(batch []trace.Access) error {
 			for _, a := range batch {
 				if err := m.Transaction(trace.Transaction{Addr: a.Addr &^ 63, Write: a.IsWrite()}); err != nil {
@@ -273,7 +283,7 @@ func BenchmarkAblationFilteredPower(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		m := dramsim.MustNew(dramsim.PaperConfig(dramsim.DDR3()))
+		m := mustMem(b, dramsim.PaperConfig(dramsim.DDR3()))
 		cacheCfg := cachesim.PaperConfig()
 		st := pipeline.MustBuild(pipeline.Config{Cache: &cacheCfg, TxSinks: []trace.TxSink{m}})
 		if err := apps.Run(app, st.Tracer, 2); err != nil {
@@ -347,7 +357,7 @@ func benchScheduling(b *testing.B, s dramsim.Scheduling) {
 	for i := 0; i < b.N; i++ {
 		cfg := dramsim.PaperConfig(dramsim.DDR3())
 		cfg.Scheduling = s
-		m := dramsim.MustNew(cfg)
+		m := mustMem(b, cfg)
 		for _, t := range txs {
 			if err := m.Transaction(t); err != nil {
 				b.Fatal(err)

@@ -11,6 +11,7 @@
 //	nvreport -only table5,fig12  # a subset
 //	nvreport -jobs 8             # bound the worker pool explicitly
 //	nvreport -metrics m.json     # also dump the observability snapshot
+//	nvreport -fault sink:every=50,seed=7   # seeded chaos run, degrades gracefully
 //
 // Exhibits: table1, table5, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, table6, fig12, placement.
@@ -27,6 +28,7 @@ import (
 
 	"nvscavenger/internal/cli"
 	"nvscavenger/internal/experiments"
+	"nvscavenger/internal/faults"
 	"nvscavenger/internal/runner"
 )
 
@@ -237,6 +239,8 @@ func run(args []string, out io.Writer) error {
 	progress := fs.Bool("progress", true, "stream per-run progress lines to stderr")
 	outdir := fs.String("outdir", "", "also write each exhibit to <outdir>/<name>.txt")
 	metricsOut := fs.String("metrics", "", "write the run's observability snapshot to this file (.json for JSON, text otherwise)")
+	faultSpec := fs.String("fault", "", "chaos run: deterministic fault spec, e.g. sink:every=50,seed=7 or worker:prob=0.3,seed=9 (degrades gracefully)")
+	retries := fs.Int("retries", 0, "re-execute a failed instrumented run up to this many attempts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -261,6 +265,16 @@ func run(args []string, out io.Writer) error {
 		experiments.WithScale(*scale),
 		experiments.WithIterations(*iters),
 		experiments.WithJobs(j),
+	}
+	if *faultSpec != "" {
+		spec, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		sessOpts = append(sessOpts, experiments.WithFaults(spec))
+	}
+	if *retries > 1 {
+		sessOpts = append(sessOpts, experiments.WithRetry(*retries))
 	}
 	if *progress {
 		sessOpts = append(sessOpts, experiments.WithProgress(progressPrinter(os.Stderr)))
@@ -304,6 +318,12 @@ func run(args []string, out io.Writer) error {
 			w = io.MultiWriter(out, f)
 		}
 		err := ex.gen(sess, w)
+		if err != nil && sess.Degraded() {
+			// Chaos/degraded run: an exhibit whose runs were exhausted is
+			// annotated in place and the sweep continues.
+			_, werr := fmt.Fprintf(w, "%s: DEGRADED: %v\n\n", ex.name, err)
+			err = werr
+		}
 		if f != nil {
 			if cerr := f.Close(); err == nil {
 				err = cerr
@@ -311,6 +331,16 @@ func run(args []string, out io.Writer) error {
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", ex.name, err)
+		}
+	}
+
+	if sess.Degraded() {
+		if runErrs := sess.RunErrors(); len(runErrs) > 0 {
+			fmt.Fprintln(out, "Degraded runs:")
+			for _, re := range runErrs {
+				fmt.Fprintf(out, "  %-36s %s\n", re.Key, re.Err)
+			}
+			fmt.Fprintln(out)
 		}
 	}
 

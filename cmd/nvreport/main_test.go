@@ -69,6 +69,41 @@ func stripTimestamp(text string) string {
 	return strings.Join(kept, "\n")
 }
 
+// TestChaosReportDeterministicAcrossJobs: a seeded -fault sweep must emit a
+// byte-identical degraded report whether the runs execute sequentially or
+// on a worker pool — the injector decides per run key, not per schedule.
+func TestChaosReportDeterministicAcrossJobs(t *testing.T) {
+	report := func(jobs string) string {
+		var out bytes.Buffer
+		if err := run([]string{"-scale", "0.05", "-iterations", "3", "-progress=false",
+			"-only", "table1,table5,table6", "-jobs", jobs,
+			"-fault", "worker:prob=0.5,seed=9"}, &out); err != nil {
+			t.Fatalf("jobs=%s chaos run: %v", jobs, err)
+		}
+		return stripTimestamp(out.String())
+	}
+	seq := report("1")
+	par := report("4")
+	if seq != par {
+		t.Fatalf("degraded report differs between jobs=1 and jobs=4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "Degraded runs:") {
+		t.Fatalf("chaos report missing the degradation section:\n%s", seq)
+	}
+	if !strings.Contains(seq, "worker crash") {
+		t.Fatalf("chaos report missing per-run annotations:\n%s", seq)
+	}
+}
+
+// TestFaultFlagRejectsBadSpec: a malformed -fault spec must fail fast
+// before any run is scheduled.
+func TestFaultFlagRejectsBadSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "table1", "-fault", "sink:bogus=1"}, &out); err == nil {
+		t.Error("malformed -fault spec must error")
+	}
+}
+
 func TestRunUnknownExhibit(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-only", "fig99"}, &out); err == nil {

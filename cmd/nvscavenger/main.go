@@ -13,6 +13,7 @@
 //	nvscavenger -app nek5000 [-scale 1.0] [-iterations 10] [-mode fast]
 //	            [-placement] [-endurance] [-category 2] [-timeout 5m]
 //	            [-json snap.json] [-metrics m.txt]
+//	            [-fault access:every=50,seed=7]   # deterministic chaos run
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"nvscavenger/internal/cli"
 	"nvscavenger/internal/core"
 	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/faults"
 	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
 	"nvscavenger/internal/pipeline"
@@ -59,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.String("json", "", "write the full analysis snapshot as JSON to this file (embeds the metrics block)")
 	metricsOut := fs.String("metrics", "", "write the run's observability snapshot to this file (.json for JSON, text otherwise)")
 	timeout := fs.Duration("timeout", 0, "abort the instrumented run after this long (0 = no limit)")
+	faultSpec := fs.String("fault", "", "chaos run: deterministic fault spec, e.g. access:every=50,seed=7 or worker:every=1")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,34 +85,50 @@ func run(args []string, out io.Writer) error {
 		defer cancel()
 	}
 
+	var fault faults.Spec
+	if *faultSpec != "" {
+		var err error
+		fault, err = faults.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+	}
+
 	reg := obs.NewRegistry()
 	eng := runner.New(runner.Config{Jobs: 1, Metrics: reg})
-	v, err := eng.Do(ctx,
-		runner.Key{App: *appName, Mode: *mode, Scale: *scale, Iterations: *iters},
-		func(ctx context.Context) (any, uint64, error) {
-			app, err := apps.New(*appName, *scale)
-			if err != nil {
-				return nil, 0, err
-			}
-			// A stats tap terminates the access stream so the batch flow is
-			// visible in the pipeline stage counters of -metrics.
-			stack, err := pipeline.Build(pipeline.Config{
-				StackMode:  stackMode,
-				AccessTaps: []trace.Sink{&trace.Stats{}},
-				Metrics:    reg,
-				Labels:     []obs.Label{obs.L("app", *appName), obs.L("mode", *mode)},
-			})
-			if err != nil {
-				return nil, 0, err
-			}
-			if err := apps.RunContext(ctx, app, stack.Tracer, *iters); err != nil {
-				return nil, 0, err
-			}
-			if err := stack.Close(); err != nil {
-				return nil, 0, err
-			}
-			return instrumented{app: app, tr: stack.Tracer}, stack.Tracer.Sampled, nil
+	key := runner.Key{App: *appName, Mode: *mode, Scale: *scale, Iterations: *iters}
+	fn := func(ctx context.Context) (any, uint64, error) {
+		app, err := apps.New(*appName, *scale)
+		if err != nil {
+			return nil, 0, err
+		}
+		// A stats tap terminates the access stream so the batch flow is
+		// visible in the pipeline stage counters of -metrics.
+		var tap trace.Sink = &trace.Stats{}
+		if fault.Is(faults.TargetAccess) || fault.Is(faults.TargetSink) {
+			tap = faults.Sink(fault, tap)
+		}
+		stack, err := pipeline.Build(pipeline.Config{
+			StackMode:  stackMode,
+			AccessTaps: []trace.Sink{tap},
+			Metrics:    reg,
+			Labels:     []obs.Label{obs.L("app", *appName), obs.L("mode", *mode)},
 		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := apps.RunContext(ctx, app, stack.Tracer, *iters); err != nil {
+			return nil, 0, err
+		}
+		if err := stack.Close(); err != nil {
+			return nil, 0, err
+		}
+		return instrumented{app: app, tr: stack.Tracer}, stack.Tracer.Sampled, nil
+	}
+	if fault.Is(faults.TargetWorker) {
+		fn = faults.Worker(fault, key.String(), fn)
+	}
+	v, err := eng.Do(ctx, key, fn)
 	if err != nil {
 		return err
 	}

@@ -39,10 +39,13 @@ func main() {
 	fmt.Printf("%12s %10s %10s %12s %12s %14s %12s\n",
 		"DRAM budget", "DRAM pages", "migrations", "DRAM svc %", "NV write %", "avg lat (ns)", "bg saving %")
 	for _, budget := range []int{0, 8, 32, 128, 512, 2048} {
-		sys := hybrid.MustNew(hybrid.Config{
+		sys, err := hybrid.New(hybrid.Config{
 			DRAMBudgetPages:   budget,
 			EpochTransactions: 100000,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, t := range txs {
 			if err := sys.Transaction(t); err != nil {
 				log.Fatal(err)

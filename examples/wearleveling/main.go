@@ -67,7 +67,10 @@ func main() {
 	report := func(label string, stream []uint64, base uint64, n int) {
 		fmt.Printf("--- %s (%d line writes over %d lines) ---\n", label, len(stream), n)
 		for _, scheme := range []wear.Scheme{wear.Static, wear.StartGap} {
-			tracker := wear.MustNewTracker(wear.Config{BaseAddr: base, Lines: n, Scheme: scheme, GapMovePeriod: 10})
+			tracker, err := wear.NewTracker(wear.Config{BaseAddr: base, Lines: n, Scheme: scheme, GapMovePeriod: 10})
+			if err != nil {
+				log.Fatal(err)
+			}
 			for _, addr := range stream {
 				tracker.Write(addr)
 			}

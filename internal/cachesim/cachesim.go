@@ -15,6 +15,7 @@ package cachesim
 import (
 	"fmt"
 
+	"nvscavenger/internal/resilience"
 	"nvscavenger/internal/trace"
 )
 
@@ -349,6 +350,39 @@ func (h *Hierarchy) Err() error {
 		return nil
 	}
 	return h.txbuf.Err()
+}
+
+// SetSinkRetry switches the transaction staging buffer into recoverable
+// mode: failing sink flushes are retried per the policy before tripping
+// sticky.  No-op for statistics-only hierarchies.
+func (h *Hierarchy) SetSinkRetry(p resilience.RetryPolicy) {
+	if h.txbuf != nil {
+		h.txbuf.SetRetry(p)
+	}
+}
+
+// TxDropped returns the transactions dropped after the sink tripped.
+func (h *Hierarchy) TxDropped() uint64 {
+	if h.txbuf == nil {
+		return 0
+	}
+	return h.txbuf.Dropped()
+}
+
+// TxRetries returns the sink-flush retries the recoverable mode performed.
+func (h *Hierarchy) TxRetries() uint64 {
+	if h.txbuf == nil {
+		return 0
+	}
+	return h.txbuf.Retries()
+}
+
+// TxTrips returns 1 once the sink error has tripped sticky, else 0.
+func (h *Hierarchy) TxTrips() uint64 {
+	if h.txbuf == nil {
+		return 0
+	}
+	return h.txbuf.Trips()
 }
 
 // FlushTx drains the staged transaction batch into the sink.  Drain calls

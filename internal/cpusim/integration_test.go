@@ -43,7 +43,10 @@ func TestIntegratedTimingPower(t *testing.T) {
 	if len(collected) == 0 {
 		t.Fatal("workload generated no memory traffic")
 	}
-	fullSpeed := dramsim.MustNew(dramsim.PaperConfig(dramsim.DDR3()))
+	fullSpeed, err := dramsim.New(dramsim.PaperConfig(dramsim.DDR3()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tx := range collected {
 		if err := fullSpeed.Transaction(tx); err != nil {
 			t.Fatal(err)
@@ -54,7 +57,10 @@ func TestIntegratedTimingPower(t *testing.T) {
 	// Integrated mode: the power simulator honours the core's timestamps.
 	timedCfg := dramsim.PaperConfig(dramsim.DDR3())
 	timedCfg.CPUFreqGHz = 2.266
-	timed := dramsim.MustNew(timedCfg)
+	timed, err := dramsim.New(timedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	timedCore := MustNew(func() Config {
 		cfg := PaperConfig(10)
 		cfg.MemSink = timed

@@ -9,6 +9,16 @@ import (
 	"nvscavenger/internal/trace"
 )
 
+// mustNew builds a MemorySystem from a config the test knows is valid.
+func mustNew(t testing.TB, cfg Config) *MemorySystem {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestProfilesMatchTableIV(t *testing.T) {
 	want := map[string][2]float64{
 		"DDR3":   {10, 10},
@@ -118,7 +128,7 @@ func TestConsecutiveLinesShareRow(t *testing.T) {
 }
 
 func TestRowBufferHitsSequentialStream(t *testing.T) {
-	m := MustNew(PaperConfig(DDR3()))
+	m := mustNew(t, PaperConfig(DDR3()))
 	for i := 0; i < 1024; i++ {
 		if err := m.Transaction(trace.Transaction{Addr: uint64(i) * 64}); err != nil {
 			t.Fatal(err)
@@ -136,7 +146,7 @@ func TestRowBufferHitsSequentialStream(t *testing.T) {
 func TestClosedPageAlwaysActivates(t *testing.T) {
 	cfg := PaperConfig(DDR3())
 	cfg.Policy = ClosedPage
-	m := MustNew(cfg)
+	m := mustNew(t, cfg)
 	for i := 0; i < 100; i++ {
 		if err := m.Transaction(trace.Transaction{Addr: uint64(i) * 64}); err != nil {
 			t.Fatal(err)
@@ -225,7 +235,7 @@ func TestTableVIShape(t *testing.T) {
 }
 
 func TestReportComponentsConsistent(t *testing.T) {
-	m := MustNew(PaperConfig(DDR3()))
+	m := mustNew(t, PaperConfig(DDR3()))
 	for _, tx := range appLikeTrace(5000, 0.25, 3) {
 		if err := m.Transaction(tx); err != nil {
 			t.Fatal(err)
@@ -245,7 +255,7 @@ func TestReportComponentsConsistent(t *testing.T) {
 }
 
 func TestBandwidthAndUtilization(t *testing.T) {
-	m := MustNew(PaperConfig(DDR3()))
+	m := mustNew(t, PaperConfig(DDR3()))
 	for i := 0; i < 10000; i++ {
 		if err := m.Transaction(trace.Transaction{Addr: uint64(i) * 64}); err != nil {
 			t.Fatal(err)
@@ -281,7 +291,7 @@ func TestLoadingEffectVisibleInBandwidth(t *testing.T) {
 }
 
 func TestTransactionAfterReportRejected(t *testing.T) {
-	m := MustNew(PaperConfig(DDR3()))
+	m := mustNew(t, PaperConfig(DDR3()))
 	_ = m.Report()
 	if err := m.Transaction(trace.Transaction{}); err == nil {
 		t.Fatal("transactions after Report must be rejected")
@@ -303,7 +313,7 @@ func TestReplayTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := MustNew(PaperConfig(PCRAM()))
+	m := mustNew(t, PaperConfig(PCRAM()))
 	n, err := m.ReplayTrace(r)
 	if err != nil {
 		t.Fatal(err)
@@ -330,7 +340,7 @@ func TestReplayRejectsAccessTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := MustNew(PaperConfig(DDR3()))
+	m := mustNew(t, PaperConfig(DDR3()))
 	if _, err := m.ReplayTrace(r); err == nil {
 		t.Fatal("access-kind trace must be rejected")
 	}
@@ -355,12 +365,9 @@ func TestBadConfigRejected(t *testing.T) {
 	if _, err := New(Config{Geometry: PaperGeometry(), Profile: p}); err == nil {
 		t.Fatal("bad profile must be rejected")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew must panic on bad config")
-		}
-	}()
-	MustNew(Config{})
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
 }
 
 // Property: completion times are monotone non-decreasing in issue order.
@@ -417,7 +424,7 @@ func TestQuickRowAccounting(t *testing.T) {
 func TestQuickWriteFractionSlowsPCRAM(t *testing.T) {
 	f := func(seed int64) bool {
 		mkElapsed := func(writeFrac float64) float64 {
-			m := MustNew(PaperConfig(PCRAM()))
+			m := mustNew(t, PaperConfig(PCRAM()))
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < 600; i++ {
 				// Walk one row of one bank: every access contends on the
@@ -446,7 +453,7 @@ func TestFRFCFSServicesEverything(t *testing.T) {
 	cfg := PaperConfig(DDR3())
 	cfg.Scheduling = FRFCFS
 	cfg.WindowSize = 8
-	m := MustNew(cfg)
+	m := mustNew(t, cfg)
 	for i := 0; i < 1000; i++ {
 		if err := m.Transaction(trace.Transaction{Addr: uint64(i%128) * 1 << 20, Write: i%3 == 0}); err != nil {
 			t.Fatal(err)
@@ -472,7 +479,7 @@ func TestFRFCFSImprovesRowHits(t *testing.T) {
 	run := func(s Scheduling) PowerReport {
 		cfg := PaperConfig(DDR3())
 		cfg.Scheduling = s
-		m := MustNew(cfg)
+		m := mustNew(t, cfg)
 		for _, tx := range mkTxs() {
 			if err := m.Transaction(tx); err != nil {
 				t.Fatal(err)

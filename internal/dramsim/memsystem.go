@@ -102,15 +102,6 @@ func New(cfg Config) (*MemorySystem, error) {
 	return &MemorySystem{cfg: cfg, ctl: ctl}, nil
 }
 
-// MustNew is New for known-good configurations.
-func MustNew(cfg Config) *MemorySystem {
-	m, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // Transaction services one main-memory request.  Under FR-FCFS the request
 // enters the reorder window; a transaction is issued once the window fills,
 // preferring row hits over older row misses.

@@ -8,7 +8,7 @@ import (
 )
 
 func TestPowerReportExportMetrics(t *testing.T) {
-	m := MustNew(PaperConfig(DDR3()))
+	m := mustNew(t, PaperConfig(DDR3()))
 	for i := 0; i < 128; i++ {
 		if err := m.Transaction(trace.Transaction{Addr: uint64(i) * 64, Write: i%3 == 0}); err != nil {
 			t.Fatal(err)

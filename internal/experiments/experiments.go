@@ -16,13 +16,17 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"nvscavenger/internal/apps"
 	"nvscavenger/internal/cachesim"
 	"nvscavenger/internal/core"
 	"nvscavenger/internal/cpusim"
 	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/faults"
 	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
 	"nvscavenger/internal/pipeline"
@@ -78,6 +82,9 @@ type Session struct {
 	cfg  config
 	opts Options // effective scale/iterations, the legacy view
 	eng  *runner.Engine
+
+	mu       sync.Mutex
+	failures map[string]string // run key -> first error, the degraded-report annotations
 }
 
 // NewSession returns a Session configured by the given options (see
@@ -93,10 +100,97 @@ func NewSession(opts ...Option) *Session {
 	if cfg.metrics == nil {
 		cfg.metrics = obs.NewRegistry()
 	}
-	return &Session{
-		cfg:  cfg,
-		opts: Options{Scale: cfg.scale, Iterations: cfg.iterations},
-		eng:  runner.New(runner.Config{Jobs: cfg.jobs, Progress: cfg.progress, Metrics: cfg.metrics}),
+	s := &Session{
+		cfg:      cfg,
+		opts:     Options{Scale: cfg.scale, Iterations: cfg.iterations},
+		failures: map[string]string{},
+	}
+	// Every failed engine run — whatever exhibit requested it — passes
+	// through the progress stream, so failure recording hooks there rather
+	// than at each call site.
+	progress := cfg.progress
+	s.eng = runner.New(runner.Config{
+		Jobs:    cfg.jobs,
+		Metrics: cfg.metrics,
+		Retry:   cfg.retry,
+		Progress: func(ev runner.Event) {
+			if ev.Kind == runner.EventError {
+				s.noteFailure(ev.Key.String(), ev.Err)
+			}
+			if progress != nil {
+				progress(ev)
+			}
+		},
+	})
+	return s
+}
+
+// noteFailure records a run failure for the degraded report.  Cancellations
+// are not failures (they are how sibling runs are told to stop), and the
+// first error per key wins — re-requesting an uncached failed run repeats
+// the identical error, so first-wins keeps the annotation deterministic.
+func (s *Session) noteFailure(key string, err error) {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.failures[key]; !ok {
+		s.failures[key] = err.Error()
+	}
+}
+
+// RunError is one failed run in a degraded sweep.
+type RunError struct {
+	// Key is the runner key of the failed run (e.g. "gtc/fast@s0.05@i3").
+	Key string
+	// Err is the failure message.
+	Err string
+}
+
+// RunErrors returns the per-run error annotations accumulated so far,
+// sorted by key — the "Degraded runs" section of a chaos report.
+func (s *Session) RunErrors() []RunError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunError, 0, len(s.failures))
+	for k, e := range s.failures {
+		out = append(out, RunError{Key: k, Err: e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Degraded reports whether the session runs in graceful-degradation mode
+// (armed faults or WithDegraded).
+func (s *Session) Degraded() bool { return s.cfg.degrade }
+
+// do schedules one keyed run on the engine, arming the worker-crash fault
+// when the session's spec targets workers.  The crash decision is a pure
+// hash of (seed, key), so the same runs fail at any jobs count.
+func (s *Session) do(ctx context.Context, key runner.Key, fn runner.Func) (any, error) {
+	if s.cfg.fault.Is(faults.TargetWorker) {
+		fn = faults.Worker(s.cfg.fault, key.String(), fn)
+	}
+	return s.eng.Do(ctx, key, fn)
+}
+
+// chaos injects the session's fault spec into a pipeline configuration:
+// sink faults attach a failing transaction sink behind the cache stage,
+// access faults attach a failing access tap, and perf faults wrap the
+// performance-event sink.  With no armed fault the config is untouched, so
+// healthy builds stay byte-identical.
+func (s *Session) chaos(cfg *pipeline.Config) {
+	f := s.cfg.fault
+	switch {
+	case f.Is(faults.TargetSink) && cfg.Cache != nil:
+		cfg.TxSinks = append(cfg.TxSinks, faults.TxSink(f, trace.TxSinkFunc(
+			func([]trace.Transaction) error { return nil })))
+	case f.Is(faults.TargetAccess):
+		cfg.AccessTaps = append(cfg.AccessTaps, faults.Sink(f, trace.SinkFunc(
+			func([]trace.Access) error { return nil })))
+	case f.Is(faults.TargetPerf) && cfg.Perf != nil:
+		cfg.Perf = faults.PerfSink(f, cfg.Perf)
 	}
 }
 
@@ -153,9 +247,26 @@ func (s *Session) key(app, mode, profile string) runner.Key {
 
 // collectApps fans per-app work out across the engine's worker pool and
 // returns the results in input order, so any report built from them is
-// byte-identical to a sequential run.
+// byte-identical to a sequential run.  In degraded mode a failed app does
+// not abort its siblings: its row is dropped from the result (the failure
+// is annotated via RunErrors) and only the parent context's cancellation
+// still aborts.
 func collectApps[T any](s *Session, names []string, f func(ctx context.Context, name string) (T, error)) ([]T, error) {
-	return runner.Collect(s.ctx(), names, f)
+	if !s.cfg.degrade {
+		return runner.Collect(s.ctx(), names, f)
+	}
+	res, errs := runner.CollectPartial(s.ctx(), names, f)
+	out := make([]T, 0, len(res))
+	for i, err := range errs {
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			continue // annotated through the engine's progress stream
+		}
+		out = append(out, res[i])
+	}
+	return out, nil
 }
 
 // Fast returns the memoized fast-stack-mode run of an app, with the cache
@@ -164,7 +275,7 @@ func collectApps[T any](s *Session, names []string, f func(ctx context.Context, 
 func (s *Session) Fast(name string) (*Run, error) { return s.fast(s.ctx(), name) }
 
 func (s *Session) fast(ctx context.Context, name string) (*Run, error) {
-	v, err := s.eng.Do(ctx, s.key(name, "fast", ""), func(ctx context.Context) (any, uint64, error) {
+	v, err := s.do(ctx, s.key(name, "fast", ""), func(ctx context.Context) (any, uint64, error) {
 		run, err := s.runFast(ctx, name)
 		if err != nil {
 			return nil, 0, err
@@ -184,13 +295,15 @@ func (s *Session) runFast(ctx context.Context, name string) (*Run, error) {
 	}
 	labels := []obs.Label{obs.L("app", name), obs.L("mode", "fast")}
 	cacheCfg := cachesim.PaperConfig()
-	stack, err := pipeline.Build(pipeline.Config{
+	pcfg := pipeline.Config{
 		StackMode: memtrace.FastStack,
 		Cache:     &cacheCfg,
 		CaptureTx: true,
 		Metrics:   s.cfg.metrics,
 		Labels:    labels,
-	})
+	}
+	s.chaos(&pcfg)
+	stack, err := pipeline.Build(pcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +322,7 @@ func (s *Session) runFast(ctx context.Context, name string) (*Run, error) {
 func (s *Session) Slow(name string) (*Run, error) { return s.slow(s.ctx(), name) }
 
 func (s *Session) slow(ctx context.Context, name string) (*Run, error) {
-	v, err := s.eng.Do(ctx, s.key(name, "slow", ""), func(ctx context.Context) (any, uint64, error) {
+	v, err := s.do(ctx, s.key(name, "slow", ""), func(ctx context.Context) (any, uint64, error) {
 		run, err := s.runSlow(ctx, name)
 		if err != nil {
 			return nil, 0, err
@@ -227,7 +340,9 @@ func (s *Session) runSlow(ctx context.Context, name string) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	stack, err := pipeline.Build(pipeline.Config{StackMode: memtrace.SlowStack})
+	pcfg := pipeline.Config{StackMode: memtrace.SlowStack}
+	s.chaos(&pcfg)
+	stack, err := pipeline.Build(pcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +369,7 @@ func (s *Session) Warm() error {
 	if len(s.subset([]string{"cam"})) > 0 {
 		jobs = append(jobs, job{"slow", "cam"})
 	}
-	_, err := runner.Collect(s.ctx(), jobs, func(ctx context.Context, j job) (struct{}, error) {
+	warmOne := func(ctx context.Context, j job) (struct{}, error) {
 		var err error
 		if j.mode == "fast" {
 			_, err = s.fast(ctx, j.name)
@@ -265,7 +380,19 @@ func (s *Session) Warm() error {
 			return struct{}{}, fmt.Errorf("%s %s: %w", j.mode, j.name, err)
 		}
 		return struct{}{}, nil
-	})
+	}
+	if s.cfg.degrade {
+		// Degraded warm-up: failed runs are annotated (RunErrors) and the
+		// exhibits degrade per app; only the parent's cancellation aborts.
+		_, errs := runner.CollectPartial(s.ctx(), jobs, warmOne)
+		for _, err := range errs {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+		}
+		return nil
+	}
+	_, err := runner.Collect(s.ctx(), jobs, warmOne)
 	return err
 }
 
@@ -384,7 +511,7 @@ func (s *Session) Table6() ([]Table6Row, error) {
 		if err != nil {
 			return Table6Row{}, err
 		}
-		v, err := s.eng.Do(ctx, s.key(name, "power", "table4-profiles"), func(ctx context.Context) (any, uint64, error) {
+		v, err := s.do(ctx, s.key(name, "power", "table4-profiles"), func(ctx context.Context) (any, uint64, error) {
 			if len(run.Transactions) == 0 {
 				return nil, 0, fmt.Errorf("experiments: %s produced no memory transactions", name)
 			}
@@ -443,7 +570,7 @@ func countingPerf(sink trace.PerfSink, refs *uint64) trace.PerfSink {
 }
 
 func (s *Session) latencySweep(ctx context.Context, name string) ([]cpusim.SweepResult, error) {
-	v, err := s.eng.Do(ctx, s.key(name, "perf-sweep", "table4-latencies"), func(ctx context.Context) (any, uint64, error) {
+	v, err := s.do(ctx, s.key(name, "perf-sweep", "table4-latencies"), func(ctx context.Context) (any, uint64, error) {
 		var refs uint64
 		var runErr error
 		replay := func(sink trace.PerfSink) {
@@ -455,10 +582,12 @@ func (s *Session) latencySweep(ctx context.Context, name string) ([]cpusim.Sweep
 				runErr = err
 				return
 			}
-			stack, err := pipeline.Build(pipeline.Config{
+			pcfg := pipeline.Config{
 				StackMode: memtrace.FastStack,
 				Perf:      countingPerf(sink, &refs),
-			})
+			}
+			s.chaos(&pcfg)
+			stack, err := pipeline.Build(pcfg)
 			if err != nil {
 				runErr = err
 				return

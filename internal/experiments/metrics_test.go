@@ -110,6 +110,15 @@ func TestSessionMetricsSnapshotContents(t *testing.T) {
 	if _, ok := snap.Gauge("memtrace_object_cache_hit_ratio", obs.L("app", "gtc"), obs.L("mode", "fast")); !ok {
 		t.Error("missing memtrace object-cache stats")
 	}
+	// Resilience accounting: the staging-buffer drop gauges must be
+	// published (zero on a healthy run) so chaos runs are diagnosable from
+	// the same -metrics snapshot.
+	if v, ok := snap.Gauge("memtrace_buffer_dropped", obs.L("app", "gtc"), obs.L("mode", "fast")); !ok || v != 0 {
+		t.Errorf("memtrace_buffer_dropped = %g (%v), want present and 0 on a healthy run", v, ok)
+	}
+	if v, ok := snap.Gauge("cachesim_txbuffer_dropped", obs.L("app", "gtc"), obs.L("mode", "fast")); !ok || v != 0 {
+		t.Errorf("cachesim_txbuffer_dropped = %g (%v), want present and 0 on a healthy run", v, ok)
+	}
 }
 
 // TestWithMetricsSharedRegistry: a caller-provided registry receives the

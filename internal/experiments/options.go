@@ -3,7 +3,9 @@ package experiments
 import (
 	"context"
 
+	"nvscavenger/internal/faults"
 	"nvscavenger/internal/obs"
+	"nvscavenger/internal/resilience"
 	"nvscavenger/internal/runner"
 )
 
@@ -33,6 +35,9 @@ type config struct {
 	ctx        context.Context
 	progress   func(runner.Event)
 	metrics    *obs.Registry
+	fault      faults.Spec
+	degrade    bool
+	retry      resilience.RetryPolicy
 }
 
 func defaultConfig() config {
@@ -113,6 +118,41 @@ func WithMetrics(reg *obs.Registry) Option {
 	return optionFunc(func(c *config) {
 		if reg != nil {
 			c.metrics = reg
+		}
+	})
+}
+
+// WithFaults arms the session's deterministic fault injector (chaos runs):
+// the spec's target layer fails per its every/prob schedule in each
+// instrumented run.  Arming faults also switches the session into degraded
+// mode — a failed app yields a partial exhibit with a per-app error
+// annotation (see RunErrors) instead of aborting the sweep.  Injection is
+// seeded, so the same spec produces byte-identical degraded reports at any
+// jobs count.
+func WithFaults(spec faults.Spec) Option {
+	return optionFunc(func(c *config) {
+		if spec.Enabled() {
+			c.fault = spec
+			c.degrade = true
+		}
+	})
+}
+
+// WithDegraded switches the session into graceful-degradation mode without
+// arming faults: any genuinely failing app run is annotated and skipped
+// rather than aborting the whole sweep.
+func WithDegraded() Option {
+	return optionFunc(func(c *config) { c.degrade = true })
+}
+
+// WithRetry installs a per-run retry policy on the session's engine: a
+// failed (or panicked) instrumented run is re-executed up to attempts
+// times before its error is reported.  Values below 2 are ignored (one
+// attempt is the default).
+func WithRetry(attempts int) Option {
+	return optionFunc(func(c *config) {
+		if attempts > 1 {
+			c.retry = resilience.RetryPolicy{Attempts: attempts}
 		}
 	})
 }

@@ -45,7 +45,7 @@ func (s *Session) SamplingStudy(app string, periods []int) ([]SamplingRow, error
 	}
 
 	runAt := func(ctx context.Context, period int) (runResult, error) {
-		v, err := s.eng.Do(ctx, s.key(app, "sampling", fmt.Sprintf("period-%d", period)),
+		v, err := s.do(ctx, s.key(app, "sampling", fmt.Sprintf("period-%d", period)),
 			func(ctx context.Context) (any, uint64, error) {
 				a, err := apps.New(app, s.opts.Scale)
 				if err != nil {

@@ -1,0 +1,341 @@
+// Package faults is the deterministic fault injector for chaos runs: it
+// wraps the simulator's existing contracts — trace sinks, pipeline stages,
+// writers and run functions — with decorators that fail every Nth call or
+// with a seeded probability.
+//
+// Determinism is the design constraint.  The paper's experiments are pinned
+// byte-for-byte by golden reports, and the whole point of injecting faults
+// into them is to check that *degraded* output is just as reproducible: the
+// same fault spec must fail the same flushes and the same apps whether the
+// sweep runs at jobs=1 or jobs=4.  So nothing here consults the wall clock
+// or a global random source.  Count-based injection keeps a per-wrapped-
+// instance call counter; probabilistic injection derives an xorshift stream
+// from the configured seed (and, for workers, from the run key), so every
+// decision is a pure function of configuration and per-instance call
+// sequence — never of goroutine scheduling.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nvscavenger/internal/pipeline"
+	"nvscavenger/internal/runner"
+	"nvscavenger/internal/trace"
+)
+
+// Fault targets: which layer of the stack a Spec attacks.
+const (
+	// TargetSink attacks the post-cache transaction sinks (TxSink).
+	TargetSink = "sink"
+	// TargetAccess attacks the raw access stream (Sink / access taps).
+	TargetAccess = "access"
+	// TargetPerf attacks the performance-event stream (PerfSink).
+	TargetPerf = "perf"
+	// TargetWriter attacks io.Writer trace outputs.
+	TargetWriter = "writer"
+	// TargetWorker attacks whole runs (runner.Func): the run returns an
+	// error, or panics when the spec's mode is "panic".
+	TargetWorker = "worker"
+)
+
+var validTargets = map[string]bool{
+	TargetSink:   true,
+	TargetAccess: true,
+	TargetPerf:   true,
+	TargetWriter: true,
+	TargetWorker: true,
+}
+
+// ErrInjected is the base error every injected fault wraps; test with
+// errors.Is.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Spec is a parsed fault specification.  The zero value injects nothing.
+type Spec struct {
+	// Target names the attacked layer (Target* constants).
+	Target string
+	// Every trips the fault on every Nth call (1 = every call).
+	Every uint64
+	// Prob trips the fault on each call with this seeded probability
+	// (0 < Prob <= 1).  Exactly one of Every/Prob must be set.
+	Prob float64
+	// Seed drives the probabilistic stream and the per-key worker
+	// decision.  Defaults to 1 so "prob=0.5" alone is valid.
+	Seed uint64
+	// Panic makes worker faults panic instead of returning an error.
+	Panic bool
+}
+
+// Enabled reports whether the spec injects anything.
+func (s Spec) Enabled() bool { return s.Target != "" }
+
+// Is reports whether the spec attacks the given target.
+func (s Spec) Is(target string) bool { return s.Target == target }
+
+// Parse reads a "target:key=value,key=value" fault specification, e.g.
+// "sink:every=50,seed=7" or "worker:prob=0.5,seed=3,mode=panic".  Keys:
+// every=N, prob=P, seed=S, mode=error|panic.  Exactly one of every/prob is
+// required.
+func Parse(text string) (Spec, error) {
+	target, params, ok := strings.Cut(text, ":")
+	if !ok {
+		return Spec{}, fmt.Errorf("faults: spec %q: want target:key=value,...", text)
+	}
+	target = strings.TrimSpace(target)
+	if !validTargets[target] {
+		return Spec{}, fmt.Errorf("faults: unknown target %q (want sink, access, perf, writer or worker)", target)
+	}
+	spec := Spec{Target: target, Seed: 1}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faults: spec %q: parameter %q is not key=value", text, kv)
+		}
+		switch key {
+		case "every":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || n == 0 {
+				return Spec{}, fmt.Errorf("faults: spec %q: every=%q must be a positive integer", text, val)
+			}
+			spec.Every = n
+		case "prob":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return Spec{}, fmt.Errorf("faults: spec %q: prob=%q must be in (0, 1]", text, val)
+			}
+			spec.Prob = p
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: spec %q: seed=%q must be an integer", text, val)
+			}
+			spec.Seed = n
+		case "mode":
+			switch val {
+			case "error":
+				spec.Panic = false
+			case "panic":
+				spec.Panic = true
+			default:
+				return Spec{}, fmt.Errorf("faults: spec %q: mode=%q must be error or panic", text, val)
+			}
+		default:
+			return Spec{}, fmt.Errorf("faults: spec %q: unknown parameter %q", text, key)
+		}
+	}
+	if (spec.Every == 0) == (spec.Prob == 0) {
+		return Spec{}, fmt.Errorf("faults: spec %q: exactly one of every=N or prob=P is required", text)
+	}
+	return spec, nil
+}
+
+// String renders the spec in Parse's format (canonical parameter order).
+func (s Spec) String() string {
+	if !s.Enabled() {
+		return ""
+	}
+	parts := []string{}
+	if s.Every > 0 {
+		parts = append(parts, "every="+strconv.FormatUint(s.Every, 10))
+	}
+	if s.Prob > 0 {
+		parts = append(parts, "prob="+strconv.FormatFloat(s.Prob, 'g', -1, 64))
+	}
+	parts = append(parts, "seed="+strconv.FormatUint(s.Seed, 10))
+	if s.Panic {
+		parts = append(parts, "mode=panic")
+	}
+	sort.Strings(parts)
+	return s.Target + ":" + strings.Join(parts, ",")
+}
+
+// splitmix64 is the seed-expansion step of the xorshift family: it turns
+// correlated seeds (0, 1, 2...) into well-mixed initial states.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Injector decides, call by call, whether to trip a fault.  Each decorator
+// owns a private Injector, so the decision sequence is per-wrapped-instance
+// and independent of how runs are scheduled across workers.  Injector is
+// not safe for concurrent use; the buffers and stages it decorates are
+// already single-goroutine per run.
+type Injector struct {
+	spec  Spec
+	rng   uint64
+	calls uint64
+}
+
+// NewInjector returns a fresh decision stream for the spec.
+func (s Spec) NewInjector() *Injector {
+	return &Injector{spec: s, rng: splitmix64(s.Seed)}
+}
+
+// next advances the xorshift64 stream.
+func (in *Injector) next() uint64 {
+	x := in.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	in.rng = x
+	return x
+}
+
+// Trip records one call and reports whether it must fail, along with the
+// 1-based call number (for error messages).
+func (in *Injector) Trip() (call uint64, trip bool) {
+	in.calls++
+	if in.spec.Every > 0 {
+		return in.calls, in.calls%in.spec.Every == 0
+	}
+	// Map the top 53 bits onto [0, 1): the standard uniform-double draw.
+	u := float64(in.next()>>11) / float64(1<<53)
+	return in.calls, u < in.spec.Prob
+}
+
+func (in *Injector) errf(what string) error {
+	call, trip := in.Trip()
+	if !trip {
+		return nil
+	}
+	return fmt.Errorf("%w: %s %s call %d (%s)", ErrInjected, in.spec.Target, what, call, in.spec)
+}
+
+// TxSink wraps next with an injector failing transaction flushes.
+func TxSink(spec Spec, next trace.TxSink) trace.TxSink {
+	in := spec.NewInjector()
+	return trace.TxSinkFunc(func(batch []trace.Transaction) error {
+		if err := in.errf("flush"); err != nil {
+			return err
+		}
+		return next.FlushTx(batch)
+	})
+}
+
+// Sink wraps next with an injector failing access flushes.
+func Sink(spec Spec, next trace.Sink) trace.Sink {
+	in := spec.NewInjector()
+	return trace.SinkFunc(func(batch []trace.Access) error {
+		if err := in.errf("flush"); err != nil {
+			return err
+		}
+		return next.Flush(batch)
+	})
+}
+
+// PerfSink wraps next with an injector failing performance-event flushes.
+func PerfSink(spec Spec, next trace.PerfSink) trace.PerfSink {
+	in := spec.NewInjector()
+	return trace.PerfSinkFunc(func(batch []trace.PerfEvent) error {
+		if err := in.errf("flush"); err != nil {
+			return err
+		}
+		return next.FlushEvents(batch)
+	})
+}
+
+// Stage wraps a generic pipeline stage with an injector failing flushes;
+// the batch-typed analogue of the sink decorators.
+func Stage[T any](spec Spec, next pipeline.Stage[T]) pipeline.Stage[T] {
+	in := spec.NewInjector()
+	return pipeline.StageFunc[T](func(batch []T) error {
+		if err := in.errf("flush"); err != nil {
+			return err
+		}
+		return next.Flush(batch)
+	})
+}
+
+// Writer wraps w with an injector failing writes — the error-injection path
+// for trace.Writer and other io.Writer outputs.
+func Writer(spec Spec, w io.Writer) io.Writer {
+	return &faultWriter{in: spec.NewInjector(), w: w}
+}
+
+type faultWriter struct {
+	in *Injector
+	w  io.Writer
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if err := fw.in.errf("write"); err != nil {
+		return 0, err
+	}
+	return fw.w.Write(p)
+}
+
+// Worker decorates a runner.Func with a crash fault.  Unlike the flush
+// decorators, the decision cannot ride a call counter: runs execute
+// concurrently and in scheduling-dependent order, so a shared counter would
+// fail *different* runs at jobs=1 vs jobs=4.  Instead the decision is a
+// pure hash of (seed, key): every=N fails every Nth key by hash residue,
+// prob=P fails the keys whose hash lands below P.  In Panic mode the run
+// panics (exercising the engine's recovery path) instead of returning the
+// error.
+func Worker(spec Spec, key string, fn runner.Func) runner.Func {
+	if !spec.Is(TargetWorker) {
+		return fn
+	}
+	h := splitmix64(spec.Seed ^ hashString(key))
+	var trip bool
+	if spec.Every > 0 {
+		trip = h%spec.Every == 0
+	} else {
+		trip = float64(h>>11)/float64(1<<53) < spec.Prob
+	}
+	if !trip {
+		return fn
+	}
+	return func(ctx context.Context) (any, uint64, error) {
+		err := fmt.Errorf("%w: worker crash for run %s (%s)", ErrInjected, key, spec)
+		if spec.Panic {
+			panic(err)
+		}
+		return nil, 0, err
+	}
+}
+
+// hashString is FNV-1a, inlined so the package stays free of hash/fnv's
+// allocation on every run-key decision.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Rate returns the spec's nominal failure rate — 1/Every or Prob — for
+// documentation and sanity checks.
+func (s Spec) Rate() float64 {
+	switch {
+	case s.Every > 0:
+		return 1 / float64(s.Every)
+	case s.Prob > 0:
+		return s.Prob
+	}
+	return 0
+}
+
+// MustParse is Parse for known-good literals (tests, examples).
+func MustParse(text string) Spec {
+	spec, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}

@@ -10,10 +10,13 @@ import (
 // Example drives the dynamic page-placement system with a skewed workload:
 // two hot pages earn DRAM residency, the cold majority stays in NVRAM.
 func Example() {
-	sys := hybrid.MustNew(hybrid.Config{
+	sys, err := hybrid.New(hybrid.Config{
 		DRAMBudgetPages:   2,
 		EpochTransactions: 1000,
 	})
+	if err != nil {
+		panic(err)
+	}
 	for epoch := 0; epoch < 3; epoch++ {
 		for i := 0; i < 1000; i++ {
 			pn := uint64(i % 2) // hot pages 0 and 1

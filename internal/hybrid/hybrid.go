@@ -168,15 +168,6 @@ func New(cfg Config) (*System, error) {
 	return &System{cfg: cfg, pageShift: shift, pages: map[uint64]*page{}}, nil
 }
 
-// MustNew is New for known-good configurations.
-func MustNew(cfg Config) *System {
-	s, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Transaction services one main-memory request (cachesim TxSink contract).
 func (s *System) Transaction(t trace.Transaction) error {
 	pn := t.Addr >> s.pageShift

@@ -9,6 +9,16 @@ import (
 	"nvscavenger/internal/trace"
 )
 
+// mustNew builds a System from a config the test knows is valid.
+func mustNew(t testing.TB, cfg Config) *System {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func tinyConfig(budget int) Config {
 	return Config{
 		PageBytes:         4096,
@@ -18,7 +28,7 @@ func tinyConfig(budget int) Config {
 }
 
 func TestDefaultsAndValidation(t *testing.T) {
-	s := MustNew(Config{DRAMBudgetPages: 1})
+	s := mustNew(t, Config{DRAMBudgetPages: 1})
 	if s.cfg.PageBytes != 4096 || s.cfg.EpochTransactions != 100000 {
 		t.Fatalf("defaults not applied: %+v", s.cfg)
 	}
@@ -36,12 +46,9 @@ func TestDefaultsAndValidation(t *testing.T) {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew must panic on bad config")
-		}
-	}()
-	MustNew(Config{PageBytes: 3})
+	if _, err := New(Config{PageBytes: 3}); err == nil {
+		t.Fatal("non-power-of-two page size must be rejected")
+	}
 }
 
 func TestLocationString(t *testing.T) {
@@ -51,7 +58,7 @@ func TestLocationString(t *testing.T) {
 }
 
 func TestPagesStartInNVRAM(t *testing.T) {
-	s := MustNew(tinyConfig(4))
+	s := mustNew(t, tinyConfig(4))
 	for i := 0; i < 10; i++ {
 		s.Transaction(trace.Transaction{Addr: uint64(i) * 4096})
 	}
@@ -65,7 +72,7 @@ func TestPagesStartInNVRAM(t *testing.T) {
 }
 
 func TestHotPagesPromoted(t *testing.T) {
-	s := MustNew(tinyConfig(2))
+	s := mustNew(t, tinyConfig(2))
 	// Pages 0 and 1 are hot; pages 2..9 cold.
 	for e := 0; e < 3; e++ {
 		for i := 0; i < 1000; i++ {
@@ -91,7 +98,7 @@ func TestHotPagesPromoted(t *testing.T) {
 func TestWriteIntensityPrioritized(t *testing.T) {
 	cfg := tinyConfig(1)
 	cfg.WriteWeight = 10
-	s := MustNew(cfg)
+	s := mustNew(t, cfg)
 	// Page 0: 400 reads. Page 1: 100 writes (score 1000 > 400).
 	for e := 0; e < 2; e++ {
 		for i := 0; i < 800; i++ {
@@ -110,7 +117,7 @@ func TestWriteIntensityPrioritized(t *testing.T) {
 }
 
 func TestBudgetRespected(t *testing.T) {
-	s := MustNew(tinyConfig(3))
+	s := mustNew(t, tinyConfig(3))
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 20000; i++ {
 		s.Transaction(trace.Transaction{Addr: uint64(rng.Intn(50)) * 4096, Write: rng.Intn(3) == 0})
@@ -125,7 +132,7 @@ func TestBudgetRespected(t *testing.T) {
 }
 
 func TestStableWorkloadStopsMigrating(t *testing.T) {
-	s := MustNew(tinyConfig(2))
+	s := mustNew(t, tinyConfig(2))
 	workload := func() {
 		for i := 0; i < 1000; i++ {
 			s.Transaction(trace.Transaction{Addr: uint64(i%2) * 4096})
@@ -147,7 +154,7 @@ func TestStableWorkloadStopsMigrating(t *testing.T) {
 }
 
 func TestPhaseChangeTriggersMigration(t *testing.T) {
-	s := MustNew(tinyConfig(1))
+	s := mustNew(t, tinyConfig(1))
 	for i := 0; i < 2000; i++ {
 		s.Transaction(trace.Transaction{Addr: 0})
 	}
@@ -173,7 +180,7 @@ func TestPhaseChangeTriggersMigration(t *testing.T) {
 func TestColdPagesNeverEnterDRAM(t *testing.T) {
 	cfg := tinyConfig(10)
 	cfg.MinScore = 5
-	s := MustNew(cfg)
+	s := mustNew(t, cfg)
 	// 1000 pages touched once each: all below MinScore.
 	for i := 0; i < 1000; i++ {
 		s.Transaction(trace.Transaction{Addr: uint64(i) * 4096})
@@ -185,7 +192,7 @@ func TestColdPagesNeverEnterDRAM(t *testing.T) {
 }
 
 func TestReportLatencyBounds(t *testing.T) {
-	s := MustNew(tinyConfig(2))
+	s := mustNew(t, tinyConfig(2))
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 30000; i++ {
 		pn := uint64(rng.Intn(4))
@@ -215,7 +222,7 @@ func TestReportLatencyBounds(t *testing.T) {
 
 func TestNVRAMWriteShareDropsWithPlacement(t *testing.T) {
 	mk := func(budget int) float64 {
-		s := MustNew(tinyConfig(budget))
+		s := mustNew(t, tinyConfig(budget))
 		rng := rand.New(rand.NewSource(3))
 		for i := 0; i < 20000; i++ {
 			// Writes concentrate on pages 0-1.
@@ -239,7 +246,7 @@ func TestNVRAMWriteShareDropsWithPlacement(t *testing.T) {
 func TestCustomProfiles(t *testing.T) {
 	cfg := tinyConfig(1)
 	cfg.NVRAM = dramsim.STTRAM()
-	s := MustNew(cfg)
+	s := mustNew(t, cfg)
 	for i := 0; i < 3000; i++ {
 		s.Transaction(trace.Transaction{Addr: uint64(i%3) * 4096})
 	}
@@ -255,7 +262,7 @@ func TestCustomProfiles(t *testing.T) {
 // the partition always sums to the page count.
 func TestQuickConservation(t *testing.T) {
 	f := func(seed int64, n uint16, budget uint8) bool {
-		s := MustNew(tinyConfig(int(budget % 16)))
+		s := mustNew(t, tinyConfig(int(budget % 16)))
 		rng := rand.New(rand.NewSource(seed))
 		count := int(n%5000) + 1
 		for i := 0; i < count; i++ {
@@ -282,7 +289,7 @@ func TestQuickConservation(t *testing.T) {
 // migration overhead]; with zero migrations it is within the pure bounds.
 func TestQuickLatencyWithinBounds(t *testing.T) {
 	f := func(seed int64) bool {
-		s := MustNew(tinyConfig(4))
+		s := mustNew(t, tinyConfig(4))
 		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < 4000; i++ {
 			s.Transaction(trace.Transaction{

@@ -17,6 +17,7 @@
 package memtrace
 
 import (
+	"nvscavenger/internal/resilience"
 	"nvscavenger/internal/trace"
 )
 
@@ -394,6 +395,40 @@ func (t *Tracer) Footprint() uint64 {
 // buckets, and rebalance events.
 func (t *Tracer) RegistryStats() (lookups, cacheHits, scanned, rebalances uint64) {
 	return t.reg.Lookups, t.reg.CacheHits, t.reg.Scanned, t.reg.Rebalances
+}
+
+// SetSinkRetry switches the access staging buffer into recoverable mode:
+// failing sink flushes are retried per the policy before tripping sticky.
+// No-op for sinkless tracers.
+func (t *Tracer) SetSinkRetry(p resilience.RetryPolicy) {
+	if t.buf != nil {
+		t.buf.SetRetry(p)
+	}
+}
+
+// SinkDropped returns the accesses dropped after the sink tripped.
+func (t *Tracer) SinkDropped() uint64 {
+	if t.buf == nil {
+		return 0
+	}
+	return t.buf.Dropped()
+}
+
+// SinkRetries returns the sink-flush retries the recoverable mode
+// performed.
+func (t *Tracer) SinkRetries() uint64 {
+	if t.buf == nil {
+		return 0
+	}
+	return t.buf.Retries()
+}
+
+// SinkTrips returns 1 once the sink error has tripped sticky, else 0.
+func (t *Tracer) SinkTrips() uint64 {
+	if t.buf == nil {
+		return 0
+	}
+	return t.buf.Trips()
 }
 
 // Close finalizes iteration accounting and flushes the trace and

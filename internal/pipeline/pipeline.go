@@ -24,6 +24,7 @@ import (
 	"nvscavenger/internal/cachesim"
 	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
+	"nvscavenger/internal/resilience"
 	"nvscavenger/internal/trace"
 )
 
@@ -117,6 +118,70 @@ func (c *counted[T]) Flush(batch []T) error {
 		c.errors.Inc()
 		return err
 	}
+	return nil
+}
+
+// resilient wraps a stage boundary with retry and an optional breaker.
+type resilient[T any] struct {
+	next      Stage[T]
+	retry     resilience.RetryPolicy
+	breaker   *resilience.Breaker
+	retries   *obs.Counter
+	dropped   *obs.Counter
+	trips     *obs.Counter
+	lastTrips uint64
+}
+
+// Resilient wraps next with failure handling, the robustness sibling of
+// Counted: flush errors are retried per the policy, and — when a breaker
+// is supplied — an exhausted flush trips the breaker and the batch is
+// *dropped* instead of propagating the error upstream (graceful
+// degradation: the run completes on the surviving stages).  While the
+// breaker is open, batches are dropped without touching the stage; after
+// its cooldown one batch probes the stage and success resumes normal
+// flow.  With a nil breaker, exhausted errors propagate, so Resilient is
+// then pure retry.  Retries, dropped events and breaker trips land in the
+// registry as pipeline_retries_total / pipeline_dropped_events_total /
+// pipeline_trips_total, stage-labelled like the Counted series.  A nil
+// registry keeps the behaviour but skips the accounting.
+func Resilient[T any](reg *obs.Registry, stage string, retry resilience.RetryPolicy, br *resilience.Breaker, next Stage[T], labels ...obs.Label) Stage[T] {
+	if reg == nil {
+		reg = obs.NewRegistry() // private: resilience without accounting
+	}
+	ls := append(append([]obs.Label{}, labels...), obs.L("stage", stage))
+	return &resilient[T]{
+		next:    next,
+		retry:   retry,
+		breaker: br,
+		retries: reg.Counter("pipeline_retries_total", ls...),
+		dropped: reg.Counter("pipeline_dropped_events_total", ls...),
+		trips:   reg.Counter("pipeline_trips_total", ls...),
+	}
+}
+
+// Flush implements Stage.
+func (r *resilient[T]) Flush(batch []T) error {
+	if r.breaker != nil && !r.breaker.Allow() {
+		r.dropped.Add(uint64(len(batch)))
+		return nil
+	}
+	n, err := r.retry.Do(func() error { return r.next.Flush(batch) })
+	r.retries.Add(uint64(n))
+	if err == nil {
+		if r.breaker != nil {
+			r.breaker.Success()
+		}
+		return nil
+	}
+	if r.breaker == nil {
+		return err
+	}
+	r.breaker.Failure()
+	if t := r.breaker.Trips(); t > r.lastTrips {
+		r.trips.Add(t - r.lastTrips)
+		r.lastTrips = t
+	}
+	r.dropped.Add(uint64(len(batch)))
 	return nil
 }
 

@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"nvscavenger/internal/obs"
+	"nvscavenger/internal/resilience"
+)
+
+// flakyStage fails its first failN flushes, then succeeds.
+type flakyStage struct {
+	failN   int
+	calls   int
+	flushed int
+}
+
+func (s *flakyStage) Flush(batch []int) error {
+	s.calls++
+	if s.calls <= s.failN {
+		return errors.New("transient stage failure")
+	}
+	s.flushed += len(batch)
+	return nil
+}
+
+// TestResilientRetryRecovers: a transient stage failure is absorbed by the
+// retry budget; the batch arrives and the retry count lands in the
+// registry.
+func TestResilientRetryRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	next := &flakyStage{failN: 2}
+	st := Resilient[int](reg, "tx", resilience.RetryPolicy{Attempts: 3}, nil, next)
+	if err := st.Flush([]int{1, 2, 3}); err != nil {
+		t.Fatalf("retry budget must absorb the failures: %v", err)
+	}
+	if next.flushed != 3 {
+		t.Fatalf("flushed = %d, want 3", next.flushed)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("pipeline_retries_total", obs.L("stage", "tx")); v != 2 {
+		t.Fatalf("pipeline_retries_total = %d, want 2", v)
+	}
+	if v, _ := snap.Counter("pipeline_dropped_events_total", obs.L("stage", "tx")); v != 0 {
+		t.Fatalf("pipeline_dropped_events_total = %d, want 0", v)
+	}
+}
+
+// TestResilientWithoutBreakerPropagates: pure-retry mode (nil breaker)
+// propagates an exhausted error upstream.
+func TestResilientWithoutBreakerPropagates(t *testing.T) {
+	next := &flakyStage{failN: 1 << 30}
+	st := Resilient[int](nil, "tx", resilience.RetryPolicy{Attempts: 2}, nil, next)
+	if err := st.Flush([]int{1}); err == nil {
+		t.Fatal("exhausted retries with no breaker must propagate")
+	}
+	if next.calls != 2 {
+		t.Fatalf("calls = %d, want 2", next.calls)
+	}
+}
+
+// TestResilientBreakerDegrades walks the full degradation sequence with
+// FailureThreshold=1, Cooldown=2 against a permanently dead stage:
+//
+//	flush 1  →  stage fails, breaker trips (trip #1), batch dropped
+//	flush 2-3 → rejected during cooldown, batches dropped
+//	flush 4  →  half-open probe, stage fails again (trip #2)
+//	flush 5  →  rejected (new cooldown)
+//
+// Every error is absorbed — the producer never sees a failure — and the
+// registry accounts for both trips and all dropped events.
+func TestResilientBreakerDegrades(t *testing.T) {
+	reg := obs.NewRegistry()
+	next := &flakyStage{failN: 1 << 30}
+	br := resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 1, Cooldown: 2})
+	st := Resilient[int](reg, "tx", resilience.RetryPolicy{}, br, next)
+
+	for i := 1; i <= 5; i++ {
+		if err := st.Flush([]int{i, i}); err != nil {
+			t.Fatalf("flush %d: breaker mode must absorb errors: %v", i, err)
+		}
+	}
+	if next.calls != 2 {
+		t.Fatalf("stage calls = %d, want 2 (first failure + half-open probe)", next.calls)
+	}
+	if br.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", br.Trips())
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("pipeline_trips_total", obs.L("stage", "tx")); v != 2 {
+		t.Fatalf("pipeline_trips_total = %d, want 2", v)
+	}
+	if v, _ := snap.Counter("pipeline_dropped_events_total", obs.L("stage", "tx")); v != 10 {
+		t.Fatalf("pipeline_dropped_events_total = %d, want 10 (all five 2-event batches)", v)
+	}
+}
+
+// TestResilientBreakerProbeSuccessResumes: a stage that heals before the
+// probe resumes normal flow — post-recovery batches flow through.
+func TestResilientBreakerProbeSuccessResumes(t *testing.T) {
+	next := &flakyStage{failN: 1} // only the first flush fails
+	br := resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 1, Cooldown: 1})
+	st := Resilient[int](nil, "tx", resilience.RetryPolicy{}, br, next)
+
+	_ = st.Flush([]int{1}) // fails, trips
+	_ = st.Flush([]int{2}) // rejected (cooldown)
+	if err := st.Flush([]int{3, 4}); err != nil {
+		t.Fatalf("probe flush: %v", err)
+	}
+	if br.State() != resilience.Closed {
+		t.Fatalf("state = %v, want closed after successful probe", br.State())
+	}
+	if err := st.Flush([]int{5}); err != nil {
+		t.Fatalf("post-recovery flush: %v", err)
+	}
+	if next.flushed != 3 {
+		t.Fatalf("flushed = %d, want 3 (probe batch + recovered batch)", next.flushed)
+	}
+}

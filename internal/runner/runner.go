@@ -16,6 +16,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"nvscavenger/internal/obs"
+	"nvscavenger/internal/resilience"
 	"nvscavenger/internal/stats"
 )
 
@@ -171,6 +173,11 @@ type Config struct {
 	// per-run wall-time histograms into.  Nil gets a private registry;
 	// pass a shared one (the Session's) to aggregate across components.
 	Metrics *obs.Registry
+	// Retry is the per-run retry policy: a failed (or panicked) run is
+	// re-executed up to the policy's attempt bound before the error is
+	// reported.  Cancelled runs are never retried.  The zero value keeps
+	// the engine's historical run-once behaviour.
+	Retry resilience.RetryPolicy
 }
 
 // Engine executes keyed runs on a bounded worker pool with single-flight
@@ -187,6 +194,8 @@ type Engine struct {
 	misses   *obs.Counter
 	errs     *obs.Counter
 	joinErrs *obs.Counter
+	retries  *obs.Counter
+	panics   *obs.Counter
 
 	mu    sync.Mutex
 	cache map[Key]*entry
@@ -216,6 +225,8 @@ func New(cfg Config) *Engine {
 		misses:   reg.Counter("runner_misses_total"),
 		errs:     reg.Counter("runner_errors_total"),
 		joinErrs: reg.Counter("runner_joined_failures_total"),
+		retries:  reg.Counter("runner_retries_total"),
+		panics:   reg.Counter("runner_panics_recovered_total"),
 		cache:    map[Key]*entry{},
 	}
 }
@@ -287,7 +298,18 @@ func (e *Engine) execute(ctx context.Context, key Key, fn Func) (any, error) {
 
 	e.emit(Event{Kind: EventStart, Key: key})
 	start := time.Now()
-	v, refs, err := fn(ctx)
+	v, refs, err := e.attempt(ctx, fn)
+	// Retry transient failures per the engine policy.  Cancellation is
+	// never transient, and events fire only for the final outcome so
+	// progress consumers see one verdict per run.
+	for i := 0; err != nil && i+1 < e.cfg.Retry.MaxAttempts(); i++ {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		e.retries.Inc()
+		e.cfg.Retry.Wait(i)
+		v, refs, err = e.attempt(ctx, fn)
+	}
 	wall := time.Since(start)
 	if err != nil {
 		e.emit(Event{Kind: EventError, Key: key, Wall: wall, Err: err})
@@ -302,6 +324,24 @@ func (e *Engine) execute(ctx context.Context, key Key, fn Func) (any, error) {
 		obs.L("key", key.String())).Observe(wall.Seconds())
 	e.emit(Event{Kind: EventDone, Key: key, Wall: wall, Refs: refs})
 	return v, nil
+}
+
+// attempt executes fn once, containing a worker panic to this run: the
+// panic surfaces as a *resilience.PanicError instead of killing the whole
+// parallel sweep.  memtrace's invariant assertions still panic at their
+// site; this is where the engine absorbs them.
+func (e *Engine) attempt(ctx context.Context, fn Func) (v any, refs uint64, err error) {
+	err = resilience.Recover(func() error {
+		var ferr error
+		v, refs, ferr = fn(ctx)
+		return ferr
+	})
+	var pe *resilience.PanicError
+	if errors.As(err, &pe) {
+		v, refs = nil, 0
+		e.panics.Inc()
+	}
+	return v, refs, err
 }
 
 func (e *Engine) emit(ev Event) {
@@ -325,35 +365,81 @@ func (e *Engine) Metrics() Metrics {
 
 // Collect applies f to every item concurrently and returns the results in
 // input order.  The first failure cancels the context handed to the
-// remaining calls and is returned after all of them finish.  Result order
-// — and therefore any report built from it — is independent of scheduling.
+// remaining calls; after all of them finish, every non-cancellation error
+// is reported — a sibling that fails for its own reason after the first
+// cancellation is joined into the returned error, not silently lost.
+// Result order — and therefore any report built from it — is independent
+// of scheduling.
 func Collect[K, T any](ctx context.Context, items []K, f func(ctx context.Context, item K) (T, error)) ([]T, error) {
-	ctx, cancel := context.WithCancel(ctx)
+	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	out := make([]T, len(items))
-	var (
-		wg       sync.WaitGroup
-		once     sync.Once
-		firstErr error
-	)
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
 	for i, item := range items {
 		wg.Add(1)
 		go func(i int, item K) {
 			defer wg.Done()
-			v, err := f(ctx, item)
+			v, err := f(cctx, item)
 			if err != nil {
-				once.Do(func() {
-					firstErr = err
-					cancel()
-				})
+				errs[i] = err
+				cancel()
 				return
 			}
 			out[i] = v
 		}(i, item)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	real := realErrors(errs)
+	switch len(real) {
+	case 0:
+		// All failures (if any) were cancellations — either the parent
+		// context died or a sibling's cancel raced a context error ahead
+		// of the real failure; report the first of them.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case 1:
+		// Preserve the error's identity when there is only one, so
+		// callers matching with errors.Is/As see it unwrapped.
+		return nil, real[0]
+	default:
+		return nil, errors.Join(real...)
 	}
-	return out, nil
+}
+
+// CollectPartial applies f to every item concurrently *without* sibling
+// cancellation: a failed item does not abort the rest.  It returns the
+// results and a parallel error slice, both in input order (failed indexes
+// hold T's zero value).  The degraded-sweep path of the experiment session
+// uses this to keep every healthy app's exhibits when one app crashes.
+func CollectPartial[K, T any](ctx context.Context, items []K, f func(ctx context.Context, item K) (T, error)) ([]T, []error) {
+	out := make([]T, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	for i, item := range items {
+		wg.Add(1)
+		go func(i int, item K) {
+			defer wg.Done()
+			out[i], errs[i] = f(ctx, item)
+		}(i, item)
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// realErrors filters a per-item error slice down to the failures that are
+// not context cancellations, preserving input order.
+func realErrors(errs []error) []error {
+	var real []error
+	for _, err := range errs {
+		if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			continue
+		}
+		real = append(real, err)
+	}
+	return real
 }

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"nvscavenger/internal/resilience"
+)
+
+// flakyTxSink fails its first failN flushes, then succeeds.
+type flakyTxSink struct {
+	failN   int
+	calls   int
+	flushed int
+}
+
+func (s *flakyTxSink) FlushTx(batch []Transaction) error {
+	s.calls++
+	if s.calls <= s.failN {
+		return errors.New("transient sink failure")
+	}
+	s.flushed += len(batch)
+	return nil
+}
+
+// TestTxBufferRetryRecovers: in recoverable mode a transiently failing
+// sink is retried within the same flush — no events are dropped and no
+// sticky trip happens.
+func TestTxBufferRetryRecovers(t *testing.T) {
+	sink := &flakyTxSink{failN: 2}
+	b := NewTxBuffer(sink, 4)
+	b.SetRetry(resilience.RetryPolicy{Attempts: 3})
+	for i := 0; i < 4; i++ {
+		b.Add(Transaction{Addr: uint64(i) * 64})
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("recoverable flush failed: %v", err)
+	}
+	if sink.flushed != 4 {
+		t.Fatalf("flushed = %d, want 4", sink.flushed)
+	}
+	if b.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", b.Retries())
+	}
+	if b.Trips() != 0 || b.Dropped() != 0 {
+		t.Fatalf("trips/dropped = %d/%d, want 0/0", b.Trips(), b.Dropped())
+	}
+}
+
+// TestTxBufferRetryExhaustionTripsSticky: when the sink outlasts the retry
+// budget the error trips sticky exactly as in fail-fast mode — later
+// batches are dropped and counted, the sink is never called again.
+func TestTxBufferRetryExhaustionTripsSticky(t *testing.T) {
+	sink := &flakyTxSink{failN: 1 << 30}
+	b := NewTxBuffer(sink, 2)
+	b.SetRetry(resilience.RetryPolicy{Attempts: 3})
+	b.Add(Transaction{})
+	b.Add(Transaction{}) // fills: flush fails 3 times, trips
+	if b.Err() == nil {
+		t.Fatal("exhausted retries must trip the sticky error")
+	}
+	if sink.calls != 3 {
+		t.Fatalf("sink calls = %d, want 3 (retry budget)", sink.calls)
+	}
+	if b.Retries() != 2 || b.Trips() != 1 {
+		t.Fatalf("retries/trips = %d/%d, want 2/1", b.Retries(), b.Trips())
+	}
+	// Post-trip batches are dropped without touching the sink; the failing
+	// batch itself is not counted (legacy semantics).
+	b.Add(Transaction{})
+	b.Add(Transaction{})
+	if sink.calls != 3 {
+		t.Fatalf("sink called after trip: %d calls", sink.calls)
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", b.Dropped())
+	}
+}
+
+// flakySink is the access-stream mirror of flakyTxSink.
+type flakySink struct {
+	failN   int
+	calls   int
+	flushed int
+}
+
+func (s *flakySink) Flush(batch []Access) error {
+	s.calls++
+	if s.calls <= s.failN {
+		return errors.New("transient sink failure")
+	}
+	s.flushed += len(batch)
+	return nil
+}
+
+// TestBufferRetryRecovers: the access buffer mirrors the TxBuffer's
+// recoverable mode.
+func TestBufferRetryRecovers(t *testing.T) {
+	sink := &flakySink{failN: 1}
+	b := NewBuffer(sink, 2)
+	b.SetRetry(resilience.RetryPolicy{Attempts: 2})
+	b.Add(Access{Addr: 1, Size: 8})
+	b.Add(Access{Addr: 2, Size: 8})
+	if err := b.Close(); err != nil {
+		t.Fatalf("recoverable flush failed: %v", err)
+	}
+	if sink.flushed != 2 || b.Retries() != 1 || b.Trips() != 0 {
+		t.Fatalf("flushed/retries/trips = %d/%d/%d, want 2/1/0", sink.flushed, b.Retries(), b.Trips())
+	}
+}
+
+// TestBufferZeroPolicyIsFailFast: without SetRetry the behaviour is
+// byte-identical to the historical fail-fast buffer.
+func TestBufferZeroPolicyIsFailFast(t *testing.T) {
+	sink := &flakySink{failN: 1 << 30}
+	b := NewBuffer(sink, 2)
+	b.Add(Access{Size: 1})
+	b.Add(Access{Size: 1})
+	if b.Err() == nil {
+		t.Fatal("first failure must trip immediately")
+	}
+	if sink.calls != 1 {
+		t.Fatalf("sink calls = %d, want 1 (no retry by default)", sink.calls)
+	}
+	if b.Retries() != 0 || b.Trips() != 1 {
+		t.Fatalf("retries/trips = %d/%d, want 0/1", b.Retries(), b.Trips())
+	}
+}

@@ -13,7 +13,11 @@
 // and reduces interference with the traced program's own data cache.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+
+	"nvscavenger/internal/resilience"
+)
 
 // Op is the kind of a memory operation.
 type Op uint8
@@ -159,6 +163,9 @@ type Buffer struct {
 	n       int
 	err     error
 	dropped uint64
+	retry   resilience.RetryPolicy
+	retries uint64
+	trips   uint64
 	// Flushes counts how many times the staging buffer was drained; used by
 	// the instrumentation-overhead benchmarks.
 	Flushes uint64
@@ -191,6 +198,18 @@ func (b *Buffer) Err() error { return b.err }
 // error (a failed sink is never called again).
 func (b *Buffer) Dropped() uint64 { return b.dropped }
 
+// SetRetry switches the buffer into recoverable mode: a failing flush is
+// retried per the policy before the error trips sticky.  The zero policy
+// (one attempt) is the historical fail-fast behaviour.
+func (b *Buffer) SetRetry(p resilience.RetryPolicy) { b.retry = p }
+
+// Retries returns how many flush retries the recoverable mode performed.
+func (b *Buffer) Retries() uint64 { return b.retries }
+
+// Trips returns 1 once the sink error has tripped sticky, else 0.  Kept a
+// counter so the obs export reads the same for buffers and breakers.
+func (b *Buffer) Trips() uint64 { return b.trips }
+
 func (b *Buffer) flush() {
 	if b.n == 0 {
 		return
@@ -201,8 +220,11 @@ func (b *Buffer) flush() {
 		return
 	}
 	b.Flushes++
-	if err := b.sink.Flush(b.buf[:b.n]); err != nil {
+	r, err := b.retry.Do(func() error { return b.sink.Flush(b.buf[:b.n]) })
+	b.retries += uint64(r)
+	if err != nil {
 		b.err = err
+		b.trips++
 	}
 	b.n = 0
 }
@@ -228,6 +250,9 @@ type TxBuffer struct {
 	n       int
 	err     error
 	dropped uint64
+	retry   resilience.RetryPolicy
+	retries uint64
+	trips   uint64
 	// Flushes counts how many times the staging buffer was drained.
 	Flushes uint64
 }
@@ -259,6 +284,16 @@ func (b *TxBuffer) Err() error { return b.err }
 // first error.
 func (b *TxBuffer) Dropped() uint64 { return b.dropped }
 
+// SetRetry switches the buffer into recoverable mode: a failing flush is
+// retried per the policy before the error trips sticky.
+func (b *TxBuffer) SetRetry(p resilience.RetryPolicy) { b.retry = p }
+
+// Retries returns how many flush retries the recoverable mode performed.
+func (b *TxBuffer) Retries() uint64 { return b.retries }
+
+// Trips returns 1 once the sink error has tripped sticky, else 0.
+func (b *TxBuffer) Trips() uint64 { return b.trips }
+
 func (b *TxBuffer) flush() {
 	if b.n == 0 {
 		return
@@ -269,8 +304,11 @@ func (b *TxBuffer) flush() {
 		return
 	}
 	b.Flushes++
-	if err := b.sink.FlushTx(b.buf[:b.n]); err != nil {
+	r, err := b.retry.Do(func() error { return b.sink.FlushTx(b.buf[:b.n]) })
+	b.retries += uint64(r)
+	if err != nil {
 		b.err = err
+		b.trips++
 	}
 	b.n = 0
 }

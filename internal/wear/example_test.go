@@ -11,7 +11,10 @@ import (
 // placement and Start-Gap wear leveling.
 func Example() {
 	lifetime := func(scheme wear.Scheme) float64 {
-		tr := wear.MustNewTracker(wear.Config{Lines: 64, Scheme: scheme, GapMovePeriod: 10})
+		tr, err := wear.NewTracker(wear.Config{Lines: 64, Scheme: scheme, GapMovePeriod: 10})
+		if err != nil {
+			panic(err)
+		}
 		for i := 0; i < 100000; i++ {
 			tr.Write(0) // always the same logical line
 		}

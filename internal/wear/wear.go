@@ -103,15 +103,6 @@ func NewTracker(cfg Config) (*Tracker, error) {
 	return t, nil
 }
 
-// MustNewTracker is NewTracker for known-good configurations.
-func MustNewTracker(cfg Config) *Tracker {
-	t, err := NewTracker(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return t
-}
-
 // physical maps a logical line to its physical line under the scheme.
 func (t *Tracker) physical(logical int) int {
 	if t.cfg.Scheme != StartGap {

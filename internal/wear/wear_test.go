@@ -8,6 +8,16 @@ import (
 	"nvscavenger/internal/dramsim"
 )
 
+// mustTracker builds a Tracker from a config the test knows is valid.
+func mustTracker(t testing.TB, cfg Config) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
 func TestSchemeString(t *testing.T) {
 	if Static.String() != "static" || StartGap.String() != "start-gap" {
 		t.Fatal("scheme strings wrong")
@@ -21,16 +31,13 @@ func TestValidation(t *testing.T) {
 	if _, err := NewTracker(Config{Lines: 4, GapMovePeriod: -1}); err == nil {
 		t.Fatal("negative period must error")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNewTracker must panic on bad config")
-		}
-	}()
-	MustNewTracker(Config{})
+	if _, err := NewTracker(Config{}); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
 }
 
 func TestStaticConcentratesWear(t *testing.T) {
-	tr := MustNewTracker(Config{Lines: 64, Scheme: Static})
+	tr := mustTracker(t, Config{Lines: 64, Scheme: Static})
 	// Hammer line 0.
 	for i := 0; i < 10000; i++ {
 		tr.Write(0)
@@ -45,7 +52,7 @@ func TestStaticConcentratesWear(t *testing.T) {
 }
 
 func TestStartGapSpreadsWear(t *testing.T) {
-	tr := MustNewTracker(Config{Lines: 64, Scheme: StartGap, GapMovePeriod: 10})
+	tr := mustTracker(t, Config{Lines: 64, Scheme: StartGap, GapMovePeriod: 10})
 	for i := 0; i < 200000; i++ {
 		tr.Write(0) // same logical line forever
 	}
@@ -62,7 +69,7 @@ func TestStartGapSpreadsWear(t *testing.T) {
 
 func TestStartGapExtendsLifetime(t *testing.T) {
 	hammer := func(scheme Scheme) float64 {
-		tr := MustNewTracker(Config{Lines: 128, Scheme: scheme, GapMovePeriod: 10})
+		tr := mustTracker(t, Config{Lines: 128, Scheme: scheme, GapMovePeriod: 10})
 		for i := 0; i < 300000; i++ {
 			tr.Write(64 * uint64(i%4)) // 4 hot lines of 128
 		}
@@ -75,7 +82,7 @@ func TestStartGapExtendsLifetime(t *testing.T) {
 }
 
 func TestOutOfRangeCounted(t *testing.T) {
-	tr := MustNewTracker(Config{BaseAddr: 4096, Lines: 4})
+	tr := mustTracker(t, Config{BaseAddr: 4096, Lines: 4})
 	tr.Write(0)               // below base
 	tr.Write(4096 + 4*64)     // past the last line
 	tr.Write(4096 + 2*64 + 8) // inside (unaligned ok)
@@ -89,7 +96,7 @@ func TestOutOfRangeCounted(t *testing.T) {
 }
 
 func TestLifetimeUnwritten(t *testing.T) {
-	tr := MustNewTracker(Config{Lines: 8})
+	tr := mustTracker(t, Config{Lines: 8})
 	if got := tr.LifetimeWrites(dramsim.PCRAM()); got != dramsim.PCRAM().WriteEndurance {
 		t.Fatalf("unwritten lifetime = %v", got)
 	}
@@ -103,7 +110,7 @@ func TestQuickWriteConservation(t *testing.T) {
 		if scheme {
 			sc = StartGap
 		}
-		tr := MustNewTracker(Config{Lines: 32, Scheme: sc, GapMovePeriod: 7})
+		tr := mustTracker(t, Config{Lines: 32, Scheme: sc, GapMovePeriod: 7})
 		rng := rand.New(rand.NewSource(seed))
 		count := uint64(n%4000) + 1
 		for i := uint64(0); i < count; i++ {
@@ -122,7 +129,7 @@ func TestQuickWriteConservation(t *testing.T) {
 // add only GapMoves/Lines extra per line on average).
 func TestQuickStartGapImbalanceBounded(t *testing.T) {
 	f := func(seed int64) bool {
-		tr := MustNewTracker(Config{Lines: 16, Scheme: StartGap, GapMovePeriod: 5})
+		tr := mustTracker(t, Config{Lines: 16, Scheme: StartGap, GapMovePeriod: 5})
 		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < 5000; i++ {
 			tr.Write(uint64(rng.Intn(16)) * 64)
@@ -139,7 +146,7 @@ func TestQuickStartGapImbalanceBounded(t *testing.T) {
 // start-gap run (no two logical lines share a physical line).
 func TestQuickStartGapMappingBijective(t *testing.T) {
 	f := func(moves uint8) bool {
-		tr := MustNewTracker(Config{Lines: 12, Scheme: StartGap, GapMovePeriod: 1})
+		tr := mustTracker(t, Config{Lines: 12, Scheme: StartGap, GapMovePeriod: 1})
 		for i := 0; i < int(moves); i++ {
 			tr.Write(uint64(i%12) * 64)
 		}
