@@ -1,11 +1,20 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-obs race-pipeline bench chaos report
+.PHONY: ci lint vet build test race race-obs race-pipeline bench chaos report
 
-ci: vet build race-obs race-pipeline race bench chaos
+ci: lint vet build race-obs race-pipeline race bench chaos
 
+# Project-native static analysis: determinism, metric naming, the error
+# contract and the sticky-sink contract, over every package.  Non-zero on
+# any finding; suppress at the site with //nvlint:ignore <pass> <reason>.
+lint:
+	$(GO) run ./cmd/nvlint ./...
+
+# go vet does not walk cmd/nvlint's testdata fixtures, so also prove the
+# lint tool itself builds.
 vet:
 	$(GO) vet ./...
+	$(GO) build -o /dev/null ./cmd/nvlint
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,94 @@
+// Command nvlint runs the repository's project-native static-analysis
+// passes (internal/lint) over package patterns: determinism, metricname,
+// errcontract and stickysink.  It is the source-level gate behind the
+// repo's headline invariants — byte-identical reports at any -jobs count,
+// replayable fault schedules, and the sticky-error sink contract.
+//
+// Usage:
+//
+//	nvlint ./...                        # everything, all passes
+//	nvlint -passes determinism ./...    # a subset of passes
+//	nvlint -json ./internal/trace       # machine-readable diagnostics
+//	nvlint -list                        # describe the registered passes
+//
+// Diagnostics print one per line as file:line:col: [pass] message; the
+// exit status is non-zero when any finding survives suppression.  Findings
+// are suppressed at the site with `//nvlint:ignore <pass> <reason>` on the
+// same or preceding line.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nvscavenger/internal/cli"
+	"nvscavenger/internal/lint"
+)
+
+func main() { cli.Main("nvlint", run) }
+
+func run(args []string, out io.Writer) error {
+	fs := cli.NewFlagSet("nvlint")
+	passes := fs.String("passes", "", "comma-separated pass subset (default: all of "+strings.Join(lint.PassNames(), ", ")+")")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	list := fs.Bool("list", false, "list the registered passes and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		t := cli.NewTable(out)
+		for _, name := range lint.PassNames() {
+			t.Row(name, lint.PassDoc(name))
+		}
+		return t.Flush()
+	}
+
+	var names []string
+	if *passes != "" {
+		for _, name := range strings.Split(*passes, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+	}
+	suite, err := lint.NewSuite(names...)
+	if err != nil {
+		return err
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.Load(cwd, fs.Args()...)
+	if err != nil {
+		return err
+	}
+
+	diags := suite.Run(pkgs)
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			if _, err := fmt.Fprintln(out, d); err != nil {
+				return err
+			}
+		}
+	}
+	if n := len(diags); n > 0 {
+		return fmt.Errorf("%d finding(s) in %d package(s)", n, len(pkgs))
+	}
+	return nil
+}

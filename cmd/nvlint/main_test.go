@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nvscavenger/internal/lint"
+)
+
+func TestUnknownPassErrors(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-passes", "nope"}, &buf)
+	if err == nil {
+		t.Fatal("want error for -passes nope")
+	}
+	if !strings.Contains(err.Error(), `unknown pass "nope"`) {
+		t.Errorf("error should name the unknown pass: %v", err)
+	}
+}
+
+func TestListPasses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, name := range lint.PassNames() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list output missing pass %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestJSONDiagnostics(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-json", "testdata/bad"}, &buf)
+	if err == nil {
+		t.Fatal("want non-nil error when findings exist")
+	}
+	if !strings.Contains(err.Error(), "1 finding(s) in 1 package(s)") {
+		t.Errorf("exit error should count findings: %v", err)
+	}
+	var diags []lint.Diagnostic
+	if jerr := json.Unmarshal(buf.Bytes(), &diags); jerr != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", jerr, buf.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Pass != "errcontract" || d.File != "cmd/nvlint/testdata/bad/bad.go" || d.Line == 0 || d.Col == 0 || !strings.Contains(d.Message, "discarded") {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+}
+
+func TestTextDiagnosticsAndExit(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-passes", "errcontract", "testdata/bad"}, &buf)
+	if err == nil {
+		t.Fatal("want non-nil error when findings exist")
+	}
+	want := "cmd/nvlint/testdata/bad/bad.go:9:14: [errcontract]"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("text output should contain %q:\n%s", want, buf.String())
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"."}, &buf); err != nil {
+		t.Fatalf("nvlint on its own package should be clean: %v\n%s", err, buf.String())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("clean run should print nothing, got:\n%s", buf.String())
+	}
+}

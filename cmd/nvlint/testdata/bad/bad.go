@@ -1,0 +1,11 @@
+// Package bad is a deliberately failing fixture for nvlint's own CLI
+// tests: one discarded error, nothing else.
+package bad
+
+import "errors"
+
+func mayFail() error { return errors.New("bad") }
+
+func use() { _ = mayFail() }
+
+var _ = use

@@ -107,12 +107,13 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		if dumpWriter != nil {
-			if err := dumpWriter.Close(); err != nil {
-				dumpFile.Close()
-				return err
+			werr := dumpWriter.Close()
+			cerr := dumpFile.Close()
+			if werr != nil {
+				return werr
 			}
-			if err := dumpFile.Close(); err != nil {
-				return err
+			if cerr != nil {
+				return cerr
 			}
 		}
 		txs = stack.Transactions()
@@ -130,7 +131,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer f.Close() //nvlint:ignore errcontract read-only trace file; close cannot lose data
 		r, err := trace.NewReader(f)
 		if err != nil {
 			return err
@@ -183,16 +184,16 @@ func run(args []string, out io.Writer) error {
 			w = trace.NewCompressedTransactionWriter(f)
 		}
 		stage := pipeline.Counted(reg, "dump", pipeline.TxStage(w), obs.L("trace", *traceFile))
-		if err := stage.Flush(txs); err != nil {
-			f.Close()
-			return err
+		werr := stage.Flush(txs)
+		if werr == nil {
+			werr = w.Close()
 		}
-		if err := w.Close(); err != nil {
-			f.Close()
-			return err
+		cerr := f.Close()
+		if werr != nil {
+			return werr
 		}
-		if err := f.Close(); err != nil {
-			return err
+		if cerr != nil {
+			return cerr
 		}
 		fmt.Fprintf(out, "wrote %d transactions to %s\n", len(txs), *dump)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -120,7 +121,10 @@ func openTrace(path string) (*trace.Reader, *os.File, error) {
 	}
 	r, err := trace.NewReader(f)
 	if err != nil {
-		f.Close()
+		cerr := f.Close()
+		if cerr != nil {
+			return nil, nil, errors.Join(err, cerr)
+		}
 		return nil, nil, err
 	}
 	return r, f, nil
@@ -131,7 +135,7 @@ func inspect(path string, stat bool, head int, reg *obs.Registry, out io.Writer)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //nvlint:ignore errcontract read-only trace file; close cannot lose data
 
 	kind := "transaction"
 	if r.Kind() == trace.KindAccess {
@@ -205,7 +209,7 @@ func convertTrace(src, dst string, reg *obs.Registry, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //nvlint:ignore errcontract read-only trace file; close cannot lose data
 
 	o, err := os.Create(dst)
 	if err != nil {
@@ -227,19 +231,18 @@ func convertTrace(src, dst string, reg *obs.Registry, out io.Writer) error {
 	// The writer terminates both batched stage chains (trace.Writer is a
 	// Sink and a TxSink); only the stream's kind runs.
 	ls := []obs.Label{obs.L("src", src), obs.L("dst", dst)}
-	err = readBatched(r,
+	werr := readBatched(r,
 		pipeline.Counted[trace.Access](reg, "convert", pipeline.Stage[trace.Access](w), ls...),
 		pipeline.Counted[trace.Transaction](reg, "convert", pipeline.TxStage(w), ls...))
-	if err != nil {
-		o.Close()
-		return err
+	if werr == nil {
+		werr = w.Close()
 	}
-	if err := w.Close(); err != nil {
-		o.Close()
-		return err
+	cerr := o.Close()
+	if werr != nil {
+		return werr
 	}
-	if err := o.Close(); err != nil {
-		return err
+	if cerr != nil {
+		return cerr
 	}
 	n := w.Count()
 	reg.Gauge("nvtrace_converted_records", ls...).Set(float64(n))

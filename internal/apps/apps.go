@@ -107,7 +107,7 @@ var registry = map[string]Factory{}
 // the app packages' init functions.
 func Register(name string, f Factory) {
 	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("apps: duplicate registration of %q", name))
+		panic(fmt.Sprintf("apps: duplicate registration of %q", name)) //nvlint:ignore errcontract init-time registration bug; unreachable after package init
 	}
 	registry[name] = f
 }

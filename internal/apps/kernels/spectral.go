@@ -19,7 +19,7 @@ import (
 func FFTRadix2(tr *memtrace.Tracer, data memtrace.F64, inverse bool) {
 	n := data.Len() / 2
 	if n < 2 || n&(n-1) != 0 {
-		panic("kernels: FFT length must be a power of two >= 2")
+		panic("kernels: FFT length must be a power of two >= 2") //nvlint:ignore errcontract invariant assertion; runner.Recover absorbs it per run
 	}
 
 	// Bit-reversal permutation.

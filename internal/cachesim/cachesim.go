@@ -531,10 +531,10 @@ func (h *Hierarchy) Flush(batch []trace.Access) error {
 }
 
 // Drain writes back every dirty line in both levels, emitting the final
-// writeback transactions, then flushes the staged transaction batch.  Call
-// once at end of simulation so that resident dirty data is priced like
-// DRAMSim2's final flush.
-func (h *Hierarchy) Drain() {
+// writeback transactions, then flushes the staged transaction batch and
+// returns the sink's sticky error, if any.  Call once at end of simulation
+// so that resident dirty data is priced like DRAMSim2's final flush.
+func (h *Hierarchy) Drain() error {
 	for _, set := range h.l1.sets {
 		for i := range set {
 			if set[i].valid && set[i].dirty {
@@ -551,5 +551,5 @@ func (h *Hierarchy) Drain() {
 			}
 		}
 	}
-	h.FlushTx()
+	return h.FlushTx()
 }

@@ -63,17 +63,20 @@ func RequireApp(fs *flag.FlagSet, name string) error {
 
 // WriteJSONFile creates path and hands the file to write (typically a
 // snapshot's WriteJSON), closing it on every path; used by the tools'
-// -json flags.
+// -json flags.  The write error takes precedence over the close error —
+// a failed write usually makes the close fail too, and the first cause is
+// the one worth reporting.
 func WriteJSONFile(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
 	}
-	return f.Close()
+	return cerr
 }
 
 // WriteMetricsFile writes an observability snapshot to path: the JSON
@@ -88,11 +91,12 @@ func WriteMetricsFile(path string, snap obs.Snapshot) error {
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
 	}
-	return f.Close()
+	return cerr
 }
 
 // Table renders aligned report columns through a tabwriter.  Rows are

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// funcObject resolves an expression used as a call target to the
+// *types.Func it denotes (package function or method), or nil.
+func funcObject(p *Package, fun ast.Expr) *types.Func {
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		f, _ := p.Info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.Info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name.
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// declName names a top-level declaration for allowlist matching:
+// "Func" for functions, "Recv.Method" for methods, "-" for non-function
+// declarations (package vars and constants).
+func declName(d ast.Decl) string {
+	fd, ok := d.(*ast.FuncDecl)
+	if !ok {
+		return "-"
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+}
+
+// recvTypeName extracts the receiver's type name, unwrapping pointers and
+// type parameters.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// enclosingFuncs maps every node position range to the name of its
+// enclosing top-level declaration by walking decls in order.  Passes use
+// it through inspectDecls, which hands the declaration name down.
+func inspectDecls(f *ast.File, visit func(decl ast.Decl, name string)) {
+	for _, d := range f.Decls {
+		visit(d, declName(d))
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// returnsError reports whether a call expression's result includes an
+// error component (single error result or an error member of a tuple).
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// importedPkg finds an imported package of p by import-path suffix (e.g.
+// "internal/trace"), or nil.  When p itself matches, p's package is
+// returned, so passes can analyze the defining package too.
+func importedPkg(p *Package, suffix string) *types.Package {
+	if strings.HasSuffix(p.Pkg.Path(), suffix) {
+		return p.Pkg
+	}
+	for _, imp := range p.Pkg.Imports() {
+		if strings.HasSuffix(imp.Path(), suffix) {
+			return imp
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	_ "embed"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicRoots are the packages whose output must be byte-identical
+// across runs and -jobs counts: the simulators, the event model, the
+// dataflow, the fault schedules, the experiment session, the mini-apps and
+// the run engine.  A package is in scope when the first path segment after
+// "internal/" matches.
+var deterministicRoots = map[string]bool{
+	"cachesim":    true,
+	"dramsim":     true,
+	"memtrace":    true,
+	"trace":       true,
+	"pipeline":    true,
+	"faults":      true,
+	"experiments": true,
+	"apps":        true,
+	"runner":      true,
+}
+
+//go:embed determinism_allow.txt
+var determinismAllowlist []byte
+
+// determinism flags wall-clock reads, global math/rand state, sleeps and
+// map-iteration feeding output inside the deterministic packages.  The few
+// sanctioned sites (the runner's default wall clock) live in
+// determinism_allow.txt, one "pkg func offense" triple per line.
+type determinism struct {
+	nopFinish
+	allow map[string]bool
+}
+
+func init() {
+	registerPass("determinism", func() Pass {
+		return &determinism{allow: parseAllowlist(determinismAllowlist)}
+	})
+}
+
+// parseAllowlist reads "pkg-rel-path function offense" triples; '#' starts
+// a comment, blank lines are skipped.
+func parseAllowlist(data []byte) map[string]bool {
+	allow := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 3 {
+			allow[fields[0]+" "+fields[1]+" "+fields[2]] = true
+		}
+	}
+	return allow
+}
+
+func (*determinism) Name() string { return "determinism" }
+func (*determinism) Doc() string {
+	return "no time.Now/time.Sleep/global math/rand or output-feeding map ranges in deterministic packages"
+}
+
+// inScope reports whether the package's exhibits must be deterministic.
+func (*determinism) inScope(p *Package) bool {
+	rel, ok := strings.CutPrefix(p.ModRel(), "internal/")
+	if !ok {
+		return false
+	}
+	root, _, _ := strings.Cut(rel, "/")
+	return deterministicRoots[root]
+}
+
+func (d *determinism) Check(p *Package, r *Reporter) {
+	if !d.inScope(p) {
+		return
+	}
+	for _, f := range p.Files {
+		inspectDecls(f, func(decl ast.Decl, fn string) {
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					d.checkSelector(p, r, fn, e)
+				case *ast.RangeStmt:
+					d.checkRange(p, r, fn, e)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// checkSelector flags references to time.Now, time.Sleep and the global
+// math/rand state (package-level functions other than the source
+// constructors; seeded *rand.Rand methods are deterministic and fine).
+func (d *determinism) checkSelector(p *Package, r *Reporter, fn string, sel *ast.SelectorExpr) {
+	obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return
+	}
+	var offense, why string
+	switch {
+	case obj.Pkg().Path() == "time" && obj.Name() == "Now":
+		offense, why = "time.Now", "wall-clock reads vary across runs"
+	case obj.Pkg().Path() == "time" && obj.Name() == "Sleep":
+		offense, why = "time.Sleep", "sleeping couples results to scheduling"
+	case obj.Pkg().Path() == "math/rand" && obj.Name() != "New" && obj.Name() != "NewSource":
+		offense, why = "math/rand."+obj.Name(), "global rand state is shared and unseeded; use a local seeded rand.New(rand.NewSource(...))"
+	default:
+		return
+	}
+	if d.allow[p.ModRel()+" "+fn+" "+offense] {
+		return
+	}
+	r.Report(sel.Pos(), "determinism", "%s in deterministic package %s: %s", offense, p.ModRel(), why)
+}
+
+// outputMethods are the sinks a map-range must not feed directly: report
+// writers, table rows and the batched trace hand-off.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Row": true, "Rowf": true,
+	"Flush": true, "FlushTx": true, "FlushEvents": true,
+}
+
+// checkRange flags iteration over a map whose body writes report or trace
+// output: Go map order is randomized per run, so anything emitted from
+// inside the loop breaks byte-identical exhibits.
+func (d *determinism) checkRange(p *Package, r *Reporter, fn string, rs *ast.RangeStmt) {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var feed ast.Node
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if feed != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := funcObject(p, call.Fun)
+		if f == nil {
+			return true
+		}
+		if f.Pkg() != nil && f.Pkg().Path() == "fmt" && strings.HasPrefix(f.Name(), "Fprint") {
+			feed = call
+			return false
+		}
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil && outputMethods[f.Name()] {
+			feed = call
+			return false
+		}
+		return true
+	})
+	if feed == nil {
+		return
+	}
+	if d.allow[p.ModRel()+" "+fn+" map-range"] {
+		return
+	}
+	r.Report(rs.Pos(), "determinism",
+		"map iteration feeds output at %s (map order is randomized; iterate sorted keys instead)",
+		p.Fset.Position(feed.Pos()))
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errcontract enforces the repo's error-handling contract outside tests:
+//
+//   - no discarded error results, neither `_ = f()` nor a bare call
+//     statement (fmt printing and in-memory builders are exempt: they
+//     cannot fail in a way the tools act on);
+//   - fmt.Errorf wraps error operands with %w, never %v/%s, so errors.Is
+//     and errors.As keep working through the tools' error chains;
+//   - no panic outside internal/faults (the mode=panic injection paths),
+//     main functions, and Must* constructors.  Invariant assertions that
+//     the runner deliberately absorbs carry an inline suppression naming
+//     that contract.
+type errcontract struct {
+	nopFinish
+}
+
+func init() {
+	registerPass("errcontract", func() Pass { return &errcontract{} })
+}
+
+func (*errcontract) Name() string { return "errcontract" }
+func (*errcontract) Doc() string {
+	return "no discarded errors, fmt.Errorf wraps with %w, no panic outside faults/main/Must*"
+}
+
+func (e *errcontract) Check(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		inspectDecls(f, func(decl ast.Decl, fn string) {
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					e.checkBareCall(p, r, s.X)
+				case *ast.DeferStmt:
+					e.checkBareCall(p, r, s.Call)
+				case *ast.GoStmt:
+					e.checkBareCall(p, r, s.Call)
+				case *ast.AssignStmt:
+					e.checkDiscard(p, r, s)
+				case *ast.CallExpr:
+					e.checkErrorf(p, r, s)
+					e.checkPanic(p, r, fn, s)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// exemptCall reports whether an unchecked call is sanctioned: fmt's
+// printing family and writes into in-memory accumulators (strings.Builder,
+// bytes.Buffer, hash.Hash), whose errors are nil by documented contract.
+// The receiver is judged by the static type of the receiver *expression*,
+// so a hash.Hash64's Write is exempt even though the method is promoted
+// from the embedded io.Writer.
+func exemptCall(p *Package, call *ast.CallExpr) bool {
+	f := funcObject(p, call.Fun)
+	if f == nil {
+		return false
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := p.Info.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkgPath := named.Obj().Pkg().Path()
+	// hash.Hash documents that Write never returns an error.
+	if pkgPath == "hash" || strings.HasPrefix(pkgPath, "hash/") {
+		return true
+	}
+	switch pkgPath + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// checkBareCall flags a call used as a statement (plain, deferred or
+// spawned) whose result set includes an error.
+func (e *errcontract) checkBareCall(p *Package, r *Reporter, expr ast.Expr) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || !returnsError(p, call) || exemptCall(p, call) {
+		return
+	}
+	r.Report(call.Pos(), "errcontract", "result of %s includes an error that is discarded", callName(p, call))
+}
+
+// checkDiscard flags `_ = f()` and `v, _ := g()` forms that blank an
+// error-typed result.
+func (e *errcontract) checkDiscard(p *Package, r *Reporter, s *ast.AssignStmt) {
+	// Tuple form: lhs blanks map positionally onto one call's results.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok || exemptCall(p, call) {
+			return
+		}
+		tup, ok := p.Info.TypeOf(call).(*types.Tuple)
+		if !ok || tup.Len() != len(s.Lhs) {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if isBlank(lhs) && isErrorType(tup.At(i).Type()) {
+				r.Report(lhs.Pos(), "errcontract", "error result of %s discarded with _", callName(p, call))
+			}
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if !isBlank(lhs) || i >= len(s.Rhs) {
+			continue
+		}
+		rhs := ast.Unparen(s.Rhs[i])
+		if call, ok := rhs.(*ast.CallExpr); ok && exemptCall(p, call) {
+			continue
+		}
+		if isErrorType(p.Info.TypeOf(rhs)) {
+			r.Report(lhs.Pos(), "errcontract", "error value discarded with _")
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callName renders a call target for diagnostics ("pkg.Func" or
+// "Type.Method").
+func callName(p *Package, call *ast.CallExpr) string {
+	f := funcObject(p, call.Fun)
+	if f == nil {
+		return "call"
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return named.Obj().Name() + "." + f.Name()
+		}
+		return f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// checkErrorf flags fmt.Errorf formatting an error operand with a verb
+// other than %w.
+func (e *errcontract) checkErrorf(p *Package, r *Reporter, call *ast.CallExpr) {
+	f := funcObject(p, call.Fun)
+	if !isPkgFunc(f, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok || len(verbs) != len(call.Args)-1 {
+		return
+	}
+	for i, verb := range verbs {
+		arg := call.Args[i+1]
+		if verb != 'w' && isErrorType(p.Info.TypeOf(arg)) {
+			r.Report(arg.Pos(), "errcontract",
+				"error formatted with %%%c; wrap with %%w so errors.Is/As see the cause", verb)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a format string in argument
+// order.  Explicit argument indexes and star widths make the mapping
+// positional-unsafe; the scan then reports !ok and the check backs off.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			return nil, false
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		for i < len(runes) && strings.ContainsRune("+-# 0123456789.", runes[i]) {
+			i++
+		}
+		if i >= len(runes) {
+			return nil, false
+		}
+		if runes[i] == '[' || runes[i] == '*' {
+			return nil, false
+		}
+		verbs = append(verbs, runes[i])
+	}
+	return verbs, true
+}
+
+// checkPanic flags panic calls outside the sanctioned contexts.
+func (e *errcontract) checkPanic(p *Package, r *Reporter, fn string, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return
+	}
+	if obj := p.Info.Uses[id]; obj != nil && obj.Pkg() != nil {
+		return // a local function shadowing the builtin
+	}
+	if strings.HasSuffix(p.ModRel(), "internal/faults") {
+		return
+	}
+	base := fn
+	if i := strings.LastIndexByte(base, '.'); i >= 0 {
+		base = base[i+1:]
+	}
+	if base == "main" && p.Pkg.Name() == "main" {
+		return
+	}
+	if strings.HasPrefix(base, "Must") {
+		return
+	}
+	r.Report(call.Pos(), "errcontract",
+		"panic outside internal/faults, main and Must* (return an error, or suppress with the invariant's contract)")
+}

@@ -1,0 +1,218 @@
+// Package lint is the repository's project-native static-analysis layer:
+// a dependency-free analyzer framework on the standard library's go/ast,
+// go/token and go/types (no x/tools), plus the project-specific passes
+// that keep the reproduction's headline invariants true at the source
+// level — byte-identical reports at any -jobs count, seeded fault
+// schedules that replay identically, metric-name hygiene in the obs
+// registry, and the error contract the tools rely on.
+//
+// Every paper exhibit is only as trustworthy as those invariants, and all
+// of them are source-level properties: a stray time.Now in a simulator, a
+// map-range feeding a report writer, or a swallowed sink error shows up as
+// a flaky golden file long after the commit that caused it.  The passes
+// move that detection to lint time.
+//
+// A diagnostic renders as "file:line:col: [pass] message".  A finding can
+// be suppressed at the site with an inline comment on the same line or the
+// line directly above:
+//
+//	//nvlint:ignore <pass> <reason>
+//
+// The reason is mandatory; a directive without one suppresses nothing and
+// is itself reported (pass name "nvlint").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in module-relative file
+// coordinates.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+// String renders the finding the way compilers do:
+// "file:line:col: [pass] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Pass, d.Message)
+}
+
+// Pass is one analyzer.  Check is invoked once per loaded package; Finish
+// runs after every package has been checked, for passes that accumulate
+// cross-package state (metric-name uniqueness).  Passes are stateful and
+// single-use: NewSuite builds fresh instances for every run.
+type Pass interface {
+	Name() string
+	Doc() string
+	Check(p *Package, r *Reporter)
+	Finish(r *Reporter)
+}
+
+// nopFinish is embedded by passes with no cross-package state.
+type nopFinish struct{}
+
+func (nopFinish) Finish(*Reporter) {}
+
+// passFactories is the registry, keyed by pass name.  Registration happens
+// in each pass's file init; the map is read-only afterwards.
+var passFactories = map[string]func() Pass{}
+
+func registerPass(name string, factory func() Pass) {
+	if _, dup := passFactories[name]; dup {
+		panic("lint: duplicate pass " + name) //nvlint:ignore errcontract registry misuse is a programmer error at init time
+	}
+	passFactories[name] = factory
+}
+
+// PassNames returns every registered pass name, sorted.
+func PassNames() []string {
+	names := make([]string, 0, len(passFactories))
+	for name := range passFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PassDoc returns the one-line documentation of a registered pass.
+func PassDoc(name string) string {
+	f, ok := passFactories[name]
+	if !ok {
+		return ""
+	}
+	return f().Doc()
+}
+
+// Suite is one lint run's worth of pass instances.
+type Suite struct {
+	passes []Pass
+}
+
+// NewSuite instantiates the named passes (all registered passes when names
+// is empty).  Unknown names are an error listing what exists.
+func NewSuite(names ...string) (*Suite, error) {
+	if len(names) == 0 {
+		names = PassNames()
+	}
+	s := &Suite{}
+	for _, name := range names {
+		factory, ok := passFactories[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown pass %q (have %s)", name, strings.Join(PassNames(), ", "))
+		}
+		s.passes = append(s.passes, factory())
+	}
+	return s, nil
+}
+
+// Run checks every package with every pass and returns the surviving
+// diagnostics sorted by file, line, column and pass.  Suppressed findings
+// are dropped; malformed suppression directives are reported under the
+// pseudo-pass "nvlint" regardless of which passes were selected.
+func (s *Suite) Run(pkgs []*Package) []Diagnostic {
+	r := &Reporter{}
+	for _, p := range pkgs {
+		r.pkg = p
+		for _, d := range p.badIgnores {
+			r.diags = append(r.diags, d)
+		}
+		for _, pass := range s.passes {
+			pass.Check(p, r)
+		}
+	}
+	r.pkg = nil
+	for _, pass := range s.passes {
+		pass.Finish(r)
+	}
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Pass < b.Pass
+	})
+	return r.diags
+}
+
+// Reporter collects diagnostics during a run and applies the package's
+// inline suppressions as they are emitted.
+type Reporter struct {
+	pkg   *Package
+	diags []Diagnostic
+}
+
+// Report files one finding at pos.  Findings matching an
+// "//nvlint:ignore pass reason" directive on the same or preceding line
+// are dropped.  Passes that report from Finish pass the package the
+// position belongs to explicitly via ReportIn.
+func (r *Reporter) Report(pos token.Pos, pass, format string, args ...any) {
+	r.ReportIn(r.pkg, pos, pass, format, args...)
+}
+
+// ReportIn is Report against an explicit package (for Finish-time
+// findings whose positions span packages).
+func (r *Reporter) ReportIn(p *Package, pos token.Pos, pass, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	file := p.relFile(position.Filename)
+	if p.suppressed(file, position.Line, pass) {
+		return
+	}
+	r.diags = append(r.diags, Diagnostic{
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Pass:    pass,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed "//nvlint:ignore pass reason" comment.
+type ignoreDirective struct {
+	pass string
+	line int
+}
+
+const ignorePrefix = "//nvlint:ignore"
+
+// scanIgnores extracts the suppression directives of one parsed file and
+// reports malformed ones (missing pass or reason) as diagnostics.
+func scanIgnores(fset *token.FileSet, f *ast.File, relFile func(string) string) (byLine map[int][]string, malformed []Diagnostic) {
+	byLine = map[int][]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			if len(fields) < 2 {
+				malformed = append(malformed, Diagnostic{
+					File:    relFile(pos.Filename),
+					Line:    pos.Line,
+					Col:     pos.Column,
+					Pass:    "nvlint",
+					Message: "malformed ignore directive: want //nvlint:ignore <pass> <reason>",
+				})
+				continue
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+		}
+	}
+	return byLine, malformed
+}

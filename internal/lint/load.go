@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package handed to the passes: the parsed
+// files, the go/types universe they were checked in, and the parsed
+// suppression directives.
+type Package struct {
+	// Path is the import path the package was checked under.
+	Path string
+	// Module is the module path of the loader that produced the package.
+	Module string
+	// Dir is the absolute directory the files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	root       string
+	ignores    map[string]map[int][]string // rel file -> line -> suppressed passes
+	badIgnores []Diagnostic
+}
+
+// relFile maps an absolute file name into module-relative, slash-separated
+// form — the coordinate system diagnostics and golden files use.
+func (p *Package) relFile(abs string) string {
+	rel, err := filepath.Rel(p.root, abs)
+	if err != nil {
+		return abs
+	}
+	return filepath.ToSlash(rel)
+}
+
+// suppressed reports whether pass findings on line of file are covered by
+// an ignore directive on the same or the directly preceding line.
+func (p *Package) suppressed(file string, line int, pass string) bool {
+	lines := p.ignores[file]
+	for _, l := range []int{line, line - 1} {
+		for _, name := range lines[l] {
+			if name == pass {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ModRel returns the package path relative to the module (e.g.
+// "internal/trace"), the key the determinism scope and allowlist use.
+func (p *Package) ModRel() string {
+	return strings.TrimPrefix(strings.TrimPrefix(p.Path, p.Module), "/")
+}
+
+// Loader discovers, parses and type-checks the module's packages using
+// only the standard library: module-internal imports resolve through the
+// loader itself (each package is checked exactly once, so type identity is
+// consistent across the whole run), everything else falls back to the
+// go/importer source importer, which finds the standard library under
+// GOROOT without consulting the network or a build cache.
+type Loader struct {
+	Root   string // module root directory (holds go.mod)
+	Module string // module path from go.mod
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a Loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer is not an ImporterFrom")
+	}
+	return &Loader{
+		Root:    root,
+		Module:  module,
+		fset:    fset,
+		std:     std,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load expands the package patterns relative to cwd ("./...", "dir/...",
+// or a single directory) and returns the matched packages, parsed and
+// type-checked, sorted by import path.
+func (l *Loader) Load(cwd string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	for _, pat := range patterns {
+		expanded, err := l.expand(cwd, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range expanded {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.Module)
+		}
+		path := l.Module
+		if rel != "." {
+			path = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadAs parses and checks the Go files of one directory under an explicit
+// import path.  The lint tests use it to check testdata fixtures — which
+// live outside the buildable tree — as if they were packages of the
+// module, including fixture paths that opt into scoped passes.
+func (l *Loader) LoadAs(dir, path string) (*Package, error) {
+	return l.load(path, dir)
+}
+
+// expand resolves one pattern to package directories.
+func (l *Loader) expand(cwd, pat string) ([]string, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "..."); ok {
+		recursive = true
+		pat = strings.TrimSuffix(rest, "/")
+		if pat == "" || pat == "." {
+			pat = "."
+		}
+	}
+	base := pat
+	if !filepath.IsAbs(base) {
+		base = filepath.Join(cwd, base)
+	}
+	if !recursive {
+		if !hasGoFiles(base) {
+			return nil, fmt.Errorf("lint: no Go files in %s", pat)
+		}
+		return []string{base}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go source file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// load parses and type-checks the package at dir under path, memoized.
+// Test files are excluded: every pass's contract ("outside tests") is the
+// non-test build of each package.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{
+		Path:    path,
+		Module:  l.Module,
+		Dir:     dir,
+		Fset:    l.fset,
+		root:    l.Root,
+		ignores: map[string]map[int][]string{},
+	}
+	for _, e := range ents {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+		byLine, malformed := scanIgnores(l.fset, f, p.relFile)
+		p.ignores[p.relFile(l.fset.Position(f.Pos()).Filename)] = byLine
+		p.badIgnores = append(p.badIgnores, malformed...)
+	}
+	if len(p.Files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	p.Pkg, err = conf.Check(path, l.fset, p.Files, p.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// through the loader, everything else through the source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if rel, ok := strings.CutPrefix(path, l.Module+"/"); ok || path == l.Module {
+		dir := l.Root
+		if ok {
+			dir = filepath.Join(l.Root, filepath.FromSlash(rel))
+		}
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

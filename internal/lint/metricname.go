@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricNameRE is the registry's naming grammar: lower_snake_case starting
+// with a letter, matching what the obs snapshot renderings and the golden
+// metrics assertions key on.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// metricSite is one obs registration call.
+type metricSite struct {
+	name string
+	kind string // "Counter", "Gauge", "Histogram"
+	pkg  *Package
+	pos  token.Pos
+}
+
+// metricname checks every literal metric name handed to *obs.Registry
+// registration: the lower_snake_case grammar, the _total suffix on
+// counters, literal-only names (a computed name cannot be checked or
+// grepped), and repo-wide uniqueness — the same series name registered
+// from two packages would silently merge unrelated data in a shared
+// registry, and the same name registered as two different kinds panics at
+// snapshot time in no deterministic order.
+type metricname struct {
+	sites []metricSite
+}
+
+func init() {
+	registerPass("metricname", func() Pass { return &metricname{} })
+}
+
+func (*metricname) Name() string { return "metricname" }
+func (*metricname) Doc() string {
+	return "obs metric names are literal lower_snake_case, counters end in _total, names unique across packages"
+}
+
+func (m *metricname) Check(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryMethod(p, call)
+			if !ok {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				r.Report(call.Args[0].Pos(), "metricname",
+					"metric name passed to Registry.%s must be a string literal", kind)
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !metricNameRE.MatchString(name) {
+				r.Report(lit.Pos(), "metricname",
+					"metric name %q does not match ^[a-z][a-z0-9_]*$", name)
+			} else if kind == "Counter" && !strings.HasSuffix(name, "_total") {
+				r.Report(lit.Pos(), "metricname",
+					"counter name %q must end in _total", name)
+			}
+			m.sites = append(m.sites, metricSite{name: name, kind: kind, pkg: p, pos: lit.Pos()})
+			return true
+		})
+	}
+}
+
+// Finish enforces cross-package uniqueness over every site seen this run.
+// Re-registering the same name inside one package is the registry's
+// intended register-once-reuse pattern; the same name from a second
+// package (or as a second kind anywhere) is a collision.
+func (m *metricname) Finish(r *Reporter) {
+	first := map[string]metricSite{}
+	for _, s := range m.sites {
+		prev, seen := first[s.name]
+		if !seen {
+			first[s.name] = s
+			continue
+		}
+		if prev.kind != s.kind {
+			r.ReportIn(s.pkg, s.pos, "metricname",
+				"metric %q registered as %s here but as %s at %s",
+				s.name, s.kind, prev.kind, prev.pkg.Fset.Position(prev.pos))
+			continue
+		}
+		if prev.pkg.Path != s.pkg.Path {
+			r.ReportIn(s.pkg, s.pos, "metricname",
+				"metric %q already registered by package %s at %s",
+				s.name, prev.pkg.Path, prev.pkg.Fset.Position(prev.pos))
+		}
+	}
+}
+
+// registryMethod reports whether call is a registration method on
+// *obs.Registry and which one.
+func registryMethod(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	f, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	switch f.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs") {
+		return "", false
+	}
+	return f.Name(), true
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises every determinism finding.  The test loads it
+// under a synthetic import path inside the deterministic package set.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock in a deterministic package.
+func Stamp() time.Time { return time.Now() }
+
+// Pause couples results to scheduling.
+func Pause() { time.Sleep(time.Millisecond) }
+
+// Jitter draws from the shared global rand state.
+func Jitter() int { return rand.Intn(8) }
+
+// Seeded is fine: a locally seeded source replays identically.
+func Seeded() int { return rand.New(rand.NewSource(42)).Intn(8) }
+
+// Dump emits report output from inside a map range.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Keys is fine: collect-then-sort never emits from inside the range.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,42 @@
+// Package fixture exercises every errcontract finding.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// open discards errors three ways and wraps with the wrong verb.
+func open(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("fixture: open: %v", err) // %v wrap of an error
+	}
+	f.Close()     // bare call discards the error
+	_ = f.Close() // explicit discard
+	return nil
+}
+
+// boom panics outside the sanctioned contexts.
+func boom() {
+	panic("fixture: unreachable")
+}
+
+// MustOpen may panic: Must* constructors are the sanctioned escape hatch.
+func MustOpen(path string) *os.File {
+	f, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// report writes into an in-memory builder, which never fails.
+func report(w *strings.Builder) {
+	w.WriteString("ok")
+}
+
+var _ = open
+var _ = boom
+var _ = report

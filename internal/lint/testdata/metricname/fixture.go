@@ -1,0 +1,14 @@
+// Package fixture exercises every metricname finding.
+package fixture
+
+import "nvscavenger/internal/obs"
+
+// Register touches every naming rule.
+func Register(reg *obs.Registry, dynamic string) {
+	reg.Counter("fixture_runs_total").Inc()               // ok
+	reg.Counter("fixture_refs").Inc()                     // counter without _total
+	reg.Gauge("Fixture-Ratio").Set(1)                     // grammar violation
+	reg.Histogram("fixture_wall_seconds", nil).Observe(1) // ok
+	reg.Counter(dynamic + "_total").Inc()                 // non-literal name
+	reg.Gauge("fixture_runs_total").Set(1)                // kind collision with the counter
+}

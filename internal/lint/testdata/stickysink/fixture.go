@@ -1,0 +1,36 @@
+// Package fixture exercises the stickysink contract.
+package fixture
+
+import "nvscavenger/internal/trace"
+
+// guarded honours the contract: the sticky error is checked before the
+// sink is invoked.
+type guarded struct {
+	sink trace.Sink
+	err  error
+}
+
+func (g *guarded) flush(batch []trace.Access) {
+	if g.err != nil {
+		return
+	}
+	if err := g.sink.Flush(batch); err != nil {
+		g.err = err
+	}
+}
+
+// unguarded violates it: the sink is re-invoked even after an error has
+// tripped sticky.
+type unguarded struct {
+	sink trace.TxSink
+	err  error
+}
+
+func (u *unguarded) flush(batch []trace.Transaction) {
+	if err := u.sink.FlushTx(batch); err != nil {
+		u.err = err
+	}
+}
+
+var _ = (*guarded).flush
+var _ = (*unguarded).flush

@@ -1,0 +1,19 @@
+// Package fixture proves the suppression directive: a well-formed
+// //nvlint:ignore with a reason silences the finding on the same or next
+// line; a directive without a reason is malformed — it suppresses nothing
+// and is itself reported.
+package fixture
+
+import "time"
+
+// Sanctioned carries a proper suppression.
+func Sanctioned() time.Time {
+	//nvlint:ignore determinism fixture demonstrates a sanctioned site
+	return time.Now()
+}
+
+// Unsanctioned's directive has no reason, so the finding survives.
+func Unsanctioned() time.Time {
+	//nvlint:ignore determinism
+	return time.Now()
+}

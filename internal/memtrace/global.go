@@ -34,7 +34,7 @@ func newGlobalState() globalState {
 // address and returns its object.
 func (t *Tracer) Global(name string, size uint64) *Object {
 	if size == 0 {
-		panic("memtrace: Global of size 0")
+		panic("memtrace: Global of size 0") //nvlint:ignore errcontract invariant assertion; runner.Recover absorbs it per run
 	}
 	base := t.globals.brk
 	t.globals.brk += (size + globalAlign - 1) &^ uint64(globalAlign-1)
@@ -48,10 +48,10 @@ func (t *Tracer) Global(name string, size uint64) *Object {
 // accumulated statistics are summed.
 func (t *Tracer) GlobalAt(name string, base, size uint64) *Object {
 	if size == 0 {
-		panic("memtrace: GlobalAt of size 0")
+		panic("memtrace: GlobalAt of size 0") //nvlint:ignore errcontract invariant assertion; runner.Recover absorbs it per run
 	}
 	if base >= heapBase {
-		panic(fmt.Sprintf("memtrace: global %q at %#x collides with heap segment", name, base))
+		panic(fmt.Sprintf("memtrace: global %q at %#x collides with heap segment", name, base)) //nvlint:ignore errcontract invariant assertion; runner.Recover absorbs it per run
 	}
 	lo, hi := base, base+size
 	var overlapped []*Object

@@ -87,7 +87,7 @@ func (t *Tracer) heapAddr(size uint64) uint64 {
 // that the program will actually compute on.
 func (t *Tracer) Malloc(name, site string, size uint64) *Object {
 	if size == 0 {
-		panic("memtrace: Malloc of size 0")
+		panic("memtrace: Malloc of size 0") //nvlint:ignore errcontract invariant assertion; runner.Recover absorbs it per run
 	}
 	sig := heapSig{site: site, size: size, stackHash: t.stackHash()}
 	base := t.heapAddr(size)
@@ -131,10 +131,10 @@ func (t *Tracer) reviveHeapObject(obj *Object, base, size uint64) {
 // the instrumented program.
 func (t *Tracer) Free(obj *Object) {
 	if obj.Segment != trace.SegHeap {
-		panic(fmt.Sprintf("memtrace: Free of non-heap object %v", obj))
+		panic(fmt.Sprintf("memtrace: Free of non-heap object %v", obj)) //nvlint:ignore errcontract invariant assertion; runner.Recover absorbs it per run
 	}
 	if obj.Dead {
-		panic(fmt.Sprintf("memtrace: double free of %v", obj))
+		panic(fmt.Sprintf("memtrace: double free of %v", obj)) //nvlint:ignore errcontract invariant assertion; runner.Recover absorbs it per run
 	}
 	t.reg.remove(obj)
 	obj.Dead = true

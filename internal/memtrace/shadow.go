@@ -77,7 +77,7 @@ func (t *Tracer) Enter(name string) Frame {
 // Leave pops the most recent shadow-stack frame, releasing its locals.
 func (t *Tracer) Leave() {
 	if len(t.frames) == 0 {
-		panic("memtrace: Leave without matching Enter")
+		panic("memtrace: Leave without matching Enter") //nvlint:ignore errcontract invariant assertion; runner.Recover absorbs it per run
 	}
 	f := t.frames[len(t.frames)-1]
 	if f.obj != nil {
@@ -98,7 +98,7 @@ func (t *Tracer) Depth() int { return len(t.frames) }
 func (f Frame) alloc(n uint64) uint64 {
 	t := f.t
 	if f.depth != len(t.frames)-1 {
-		panic("memtrace: Local on a frame that is not the top of the stack")
+		panic("memtrace: Local on a frame that is not the top of the stack") //nvlint:ignore errcontract invariant assertion; runner.Recover absorbs it per run
 	}
 	n = (n + stackAlign - 1) &^ uint64(stackAlign-1)
 	fr := &t.frames[f.depth]
@@ -108,7 +108,7 @@ func (f Frame) alloc(n uint64) uint64 {
 		t.minSP = t.sp
 	}
 	if t.sp <= t.stackLimit {
-		panic(fmt.Sprintf("memtrace: simulated stack overflow (sp=%#x)", t.sp))
+		panic(fmt.Sprintf("memtrace: simulated stack overflow (sp=%#x)", t.sp)) //nvlint:ignore errcontract invariant assertion; runner.Recover absorbs it per run
 	}
 	return fr.lo
 }

@@ -362,7 +362,10 @@ func (s *Stack) Close() error {
 	s.closed = true
 	err := s.Tracer.Close()
 	if s.Hierarchy != nil {
-		s.Hierarchy.Drain()
+		derr := s.Hierarchy.Drain()
+		if err == nil {
+			err = derr
+		}
 		if err == nil {
 			err = s.Hierarchy.Err()
 		}

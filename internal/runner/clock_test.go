@@ -1,0 +1,88 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"nvscavenger/internal/obs"
+)
+
+// steppedClock advances a fixed amount on every read, so each run's
+// start/end pair spans exactly one step.
+func steppedClock(step time.Duration) func() time.Time {
+	var mu sync.Mutex
+	now := time.Unix(1_000_000, 0)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(step)
+		return now
+	}
+}
+
+// TestWithClockDeterministicWallMetrics drives the engine under a stepped
+// fake clock: every wall measurement, the wall summary and the published
+// wall histograms come out exact, independent of real time and scheduling.
+func TestWithClockDeterministicWallMetrics(t *testing.T) {
+	const step = 250 * time.Millisecond
+	reg := obs.NewRegistry()
+	// Jobs: 1 serializes runs, so consecutive clock reads pair up as one
+	// run's start and end.
+	e := New(Config{Jobs: 1, Metrics: reg}, WithClock(steppedClock(step)))
+
+	fn := func(ctx context.Context) (any, uint64, error) { return nil, 1000, nil }
+	apps := []string{"gtc", "s3d", "nek"}
+	for _, app := range apps {
+		if _, err := e.Do(context.Background(), key(app), fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := e.Metrics()
+	if len(m.Runs) != len(apps) {
+		t.Fatalf("runs = %d, want %d", len(m.Runs), len(apps))
+	}
+	for _, r := range m.Runs {
+		if r.Wall != step {
+			t.Errorf("run %s: wall = %v, want exactly %v", r.Key, r.Wall, step)
+		}
+		if got, want := r.RefsPerSec(), 1000/step.Seconds(); got != want {
+			t.Errorf("run %s: refs/sec = %v, want %v", r.Key, got, want)
+		}
+	}
+
+	ws := m.WallSummary()
+	if ws.Count() != len(apps) || ws.Total() != 0.75 || ws.Mean() != 0.25 {
+		t.Errorf("wall summary count/total/mean = %d/%v/%v, want 3/0.75/0.25",
+			ws.Count(), ws.Total(), ws.Mean())
+	}
+	if ws.Min() != 0.25 || ws.Max() != 0.25 {
+		t.Errorf("wall summary min/max = %v/%v, want 0.25/0.25", ws.Min(), ws.Max())
+	}
+
+	// The published histograms see the same exact values.
+	for _, app := range apps {
+		h := reg.Histogram("runner_run_wall_seconds", obs.SecondsBuckets,
+			obs.L("key", key(app).String()))
+		if h.Count() != 1 || h.Sum() != 0.25 {
+			t.Errorf("%s wall histogram count/sum = %d/%v, want 1/0.25", app, h.Count(), h.Sum())
+		}
+	}
+}
+
+// TestWithClockNilKeepsDefault pins the nil-safety contract.
+func TestWithClockNilKeepsDefault(t *testing.T) {
+	e := New(Config{Jobs: 1}, WithClock(nil))
+	if e.now == nil {
+		t.Fatal("nil clock must keep the default")
+	}
+	if _, err := e.Do(context.Background(), key("gtc"),
+		func(ctx context.Context) (any, uint64, error) { return nil, 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Metrics(); len(m.Runs) != 1 || m.Runs[0].Wall < 0 {
+		t.Fatalf("default clock produced bad run metrics: %+v", m.Runs)
+	}
+}
