@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race race-obs race-pipeline bench chaos report
+.PHONY: ci lint vet build test race race-obs race-pipeline race-served bench bench-snapshot chaos report
 
-ci: lint vet build race-obs race-pipeline race bench chaos
+ci: lint vet build race-obs race-pipeline race-served race bench chaos
 
 # Project-native static analysis: determinism, metric naming, the error
 # contract and the sticky-sink contract, over every package.  Non-zero on
@@ -36,11 +36,25 @@ race-obs:
 race-pipeline:
 	$(GO) test -race -count=2 ./internal/pipeline
 
+# The service layer is all about concurrency — shared run caches, the
+# bounded queue, drain vs submit — so its tests run race-enabled twice to
+# vary the schedule, daemon included.
+race-served:
+	$(GO) test -race -count=2 ./internal/served ./cmd/nvserved
+
 # One pass over the pipeline-throughput and instrumentation-overhead
 # benchmarks: a smoke check that the batched dataflow and its Counted
 # wrappers keep working, not a timing run.
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkPipeline|BenchmarkAblation(ObjectCache|Buffer)' -benchtime=1x -count=1 ./internal/pipeline .
+
+# Record the pipeline performance baseline: run the throughput and
+# instrumentation-overhead benchmarks at full benchtime and write the
+# parsed results to BENCH_PIPELINE.json (committed, so regressions show
+# up as diffs).  Not part of ci — timing runs need a quiet machine.
+bench-snapshot:
+	$(GO) test -run='^$$' -bench='BenchmarkPipeline(Throughput|InstrumentationOverhead)' -count=1 ./internal/pipeline \
+		| $(GO) run ./cmd/nvbench -out BENCH_PIPELINE.json
 
 # Chaos gate: the fault-injection and resilience packages race-enabled,
 # plus one seeded degraded sweep — it must complete (exit 0) with partial

@@ -1,0 +1,162 @@
+// Command nvbench converts `go test -bench` text output into the
+// repository's benchmark-snapshot JSON, so performance baselines can be
+// committed and diffed instead of pasted into commit messages.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkPipeline' ./internal/pipeline | nvbench -out BENCH_PIPELINE.json
+//	nvbench -in bench.txt              # parse a saved run, JSON to stdout
+//
+// When -out is set the raw benchmark text is echoed to stdout, so the
+// tool is transparent in a pipeline.  The snapshot records the run
+// environment (goos/goarch/cpu/packages) and, per benchmark, the
+// iteration count and every reported metric (ns/op, B/op, custom
+// b.ReportMetric units) keyed by unit.  `make bench-snapshot` wires the
+// pipeline benchmarks through it.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"nvscavenger/internal/cli"
+)
+
+// snapshotSchemaVersion versions the BENCH_PIPELINE.json shape; bump it
+// on any incompatible field change so downstream diff tooling can reject
+// snapshots it does not understand.
+const snapshotSchemaVersion = 1
+
+// Snapshot is the serialized form of one benchmark run.
+type Snapshot struct {
+	SchemaVersion int    `json:"schema_version"`
+	Goos          string `json:"goos,omitempty"`
+	Goarch        string `json:"goarch,omitempty"`
+	CPU           string `json:"cpu,omitempty"`
+	// Packages lists every `pkg:` header seen, in input order.
+	Packages   []string    `json:"packages,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line.  Metrics maps unit to value — "ns/op"
+// always, plus "B/op"/"allocs/op" under -benchmem and any custom
+// b.ReportMetric units; encoding/json renders the keys sorted, so the
+// same run serializes to the same bytes.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() { cli.Main("nvbench", run) }
+
+func run(args []string, out io.Writer) error {
+	fs := cli.NewFlagSet("nvbench")
+	in := fs.String("in", "", "read benchmark text from this file instead of stdin")
+	outPath := fs.String("out", "", "write the JSON snapshot to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var data []byte
+	var err error
+	if *in != "" {
+		data, err = os.ReadFile(*in)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+
+	snap, err := Parse(strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return errors.New("no benchmark result lines in input")
+	}
+	if *outPath != "" {
+		// Stay transparent in a pipeline: the bench text the user asked
+		// for still reaches stdout, the snapshot goes to the file.
+		fmt.Fprint(out, string(data))
+		return cli.WriteValueJSONFile(*outPath, snap)
+	}
+	return cli.EncodeJSON(out, snap)
+}
+
+// Parse reads `go test -bench` text and returns the snapshot.  Header
+// lines (goos/goarch/cpu/pkg) fill the environment fields; Benchmark*
+// result lines become entries; a FAIL line fails the parse, because a
+// snapshot of a failed run would record garbage as a baseline.
+func Parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{SchemaVersion: snapshotSchemaVersion}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			snap.Packages = append(snap.Packages, strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "FAIL"):
+			return nil, fmt.Errorf("input records a failed run: %s", line)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseResult(line)
+			if err != nil {
+				return nil, err
+			}
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// parseResult parses one result line:
+//
+//	BenchmarkPipelineThroughput/batched-8   37   31415926 ns/op   524288 tx
+//
+// i.e. name[-procs], iteration count, then value/unit pairs.
+func parseResult(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	b := Benchmark{
+		Name:    strings.TrimPrefix(fields[0], "Benchmark"),
+		Procs:   1,
+		Metrics: make(map[string]float64, (len(fields)-2)/2),
+	}
+	// go test appends -GOMAXPROCS to the name whenever it exceeds 1.
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchmark line %q: bad iteration count: %w", line, err)
+	}
+	b.Iterations = iters
+	for i := 2; i < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchmark line %q: bad metric value %q: %w", line, fields[i], err)
+		}
+		b.Metrics[fields[i+1]] = val
+	}
+	return b, nil
+}

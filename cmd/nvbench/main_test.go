@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: nvscavenger/internal/pipeline
+cpu: AMD EPYC 7B13
+BenchmarkPipelineThroughput/batched-8         	      37	  31415926 ns/op	    524288 tx
+BenchmarkPipelineThroughput/per-transaction-8 	      12	  99999999 ns/op	    524288 tx
+BenchmarkPipelineInstrumentationOverhead/off-8	       5	 200000000 ns/op
+BenchmarkPipelineInstrumentationOverhead/on-8 	       5	 210000000 ns/op
+PASS
+ok  	nvscavenger/internal/pipeline	6.283s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != snapshotSchemaVersion {
+		t.Errorf("schema_version = %d", snap.SchemaVersion)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.CPU != "AMD EPYC 7B13" {
+		t.Errorf("environment = %q/%q/%q", snap.Goos, snap.Goarch, snap.CPU)
+	}
+	if len(snap.Packages) != 1 || snap.Packages[0] != "nvscavenger/internal/pipeline" {
+		t.Errorf("packages = %v", snap.Packages)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("benchmarks = %d, want 4", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "PipelineThroughput/batched" || b.Procs != 8 || b.Iterations != 37 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 31415926 || b.Metrics["tx"] != 524288 {
+		t.Errorf("first benchmark metrics = %v", b.Metrics)
+	}
+	if got := snap.Benchmarks[2].Metrics; len(got) != 1 || got["ns/op"] != 200000000 {
+		t.Errorf("overhead/off metrics = %v", got)
+	}
+}
+
+func TestParseRejectsFailAndGarbage(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 3 1 ns/op\nFAIL\n")); err == nil {
+		t.Error("FAIL line must abort the parse")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 many 1 ns/op\n")); err == nil {
+		t.Error("non-numeric iteration count must error")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 3 fast ns/op\n")); err == nil {
+		t.Error("non-numeric metric value must error")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 3 1\n")); err == nil {
+		t.Error("odd field count must error")
+	}
+}
+
+// TestParseNoProcsSuffix: under GOMAXPROCS=1 go test emits no -N suffix.
+func TestParseNoProcsSuffix(t *testing.T) {
+	snap, err := Parse(strings.NewReader("BenchmarkSolo 100 12 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := snap.Benchmarks[0]; b.Name != "Solo" || b.Procs != 1 {
+		t.Errorf("benchmark = %+v", b)
+	}
+}
+
+func TestRunWritesSnapshotFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "snap.json")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	if err := run([]string{"-in", in, "-out", out}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	// The raw bench text is echoed so the tool is pipeline-transparent.
+	if stdout.String() != sampleBench {
+		t.Errorf("stdout did not echo the input:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != snapshotSchemaVersion || len(snap.Benchmarks) != 4 {
+		t.Errorf("snapshot = version %d, %d benchmarks", snap.SchemaVersion, len(snap.Benchmarks))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", empty}, &out); err == nil {
+		t.Error("input without benchmark lines must error")
+	}
+	if err := run([]string{"-in", filepath.Join(dir, "missing.txt")}, &out); err == nil {
+		t.Error("missing input file must error")
+	}
+	if err := run([]string{"-nonsense"}, &out); err == nil {
+		t.Error("unknown flag must error")
+	}
+}

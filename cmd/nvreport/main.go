@@ -4,6 +4,10 @@
 // bounds the pool and -progress streams per-run wall time and reference
 // throughput to stderr.  Parallel output is byte-identical to -jobs 1.
 //
+// The exhibit registry and report generator live in internal/experiments
+// (Exhibits, Session.WriteReport); this command is the batch frontend and
+// cmd/nvserved is the service frontend over the same generator.
+//
 // Usage:
 //
 //	nvreport                     # everything, calibrated scale
@@ -33,174 +37,6 @@ import (
 )
 
 func main() { cli.Main("nvreport", run) }
-
-// exhibit maps a selector name to its generator.
-type exhibit struct {
-	name string
-	gen  func(*experiments.Session, io.Writer) error
-}
-
-var objectFigures = map[string]struct {
-	app string
-	num int
-}{
-	"fig3": {"nek5000", 3},
-	"fig4": {"cam", 4},
-	"fig5": {"gtc", 5},
-	"fig6": {"s3d", 6},
-}
-
-var varianceFigures = map[string]struct {
-	app string
-	num int
-}{
-	"fig8":  {"nek5000", 8},
-	"fig9":  {"cam", 9},
-	"fig10": {"s3d", 10},
-	"fig11": {"gtc", 11},
-}
-
-func exhibits() []exhibit {
-	out := []exhibit{
-		{"table1", func(s *experiments.Session, w io.Writer) error {
-			rows, err := s.Table1()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatTable1(rows))
-			return err
-		}},
-		{"table5", func(s *experiments.Session, w io.Writer) error {
-			rows, err := s.Table5()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatTable5(rows))
-			return err
-		}},
-		{"fig2", func(s *experiments.Session, w io.Writer) error {
-			recs, fig, err := s.Figure2()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatFigure2(recs, fig))
-			return err
-		}},
-	}
-	for _, key := range []string{"fig3", "fig4", "fig5", "fig6"} {
-		spec := objectFigures[key]
-		out = append(out, exhibit{key, func(s *experiments.Session, w io.Writer) error {
-			recs, err := s.ObjectFigure(spec.app)
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatObjectFigure(spec.app, spec.num, recs))
-			return err
-		}})
-	}
-	out = append(out, exhibit{"fig7", func(s *experiments.Session, w io.Writer) error {
-		cdfs, err := s.Figure7()
-		if err != nil {
-			return err
-		}
-		_, err = fmt.Fprintln(w, experiments.FormatFigure7(cdfs))
-		return err
-	}})
-	for _, key := range []string{"fig8", "fig9", "fig10", "fig11"} {
-		spec := varianceFigures[key]
-		out = append(out, exhibit{key, func(s *experiments.Session, w io.Writer) error {
-			ratio, rate, err := s.VarianceFigure(spec.app)
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatVarianceFigure(spec.app, spec.num, ratio, rate))
-			return err
-		}})
-	}
-	out = append(out,
-		exhibit{"table6", func(s *experiments.Session, w io.Writer) error {
-			rows, err := s.Table6()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatTable6(rows))
-			return err
-		}},
-		exhibit{"fig12", func(s *experiments.Session, w io.Writer) error {
-			rows, err := s.Figure12()
-			if err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintln(w, experiments.FormatFigure12(rows)); err != nil {
-				return err
-			}
-			for _, r := range rows {
-				if _, err := fmt.Fprintf(w, "%s: %s\n", r.App, experiments.FormatSweepShape(r.Results)); err != nil {
-					return err
-				}
-			}
-			_, err = fmt.Fprintln(w)
-			return err
-		}},
-		exhibit{"placement", func(s *experiments.Session, w io.Writer) error {
-			plans, err := s.Placement()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatPlacement(plans))
-			return err
-		}},
-		exhibit{"placementcmp", func(s *experiments.Session, w io.Writer) error {
-			rows, err := s.PlacementComparison()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatPlacementComparison(rows))
-			return err
-		}},
-		exhibit{"hybrid", func(s *experiments.Session, w io.Writer) error {
-			pts, err := s.HybridSweep("nek5000", []int{0, 8, 32, 128, 512, 2048})
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatHybridSweep("nek5000", pts))
-			return err
-		}},
-		exhibit{"checkpoint", func(s *experiments.Session, w io.Writer) error {
-			pts, err := s.CheckpointStudy("nek5000", []int{1000, 10000, 100000, 500000, 1000000})
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatCheckpointStudy("nek5000", pts))
-			return err
-		}},
-		exhibit{"wear", func(s *experiments.Session, w io.Writer) error {
-			rows, err := s.WearStudy("gtc")
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatWearStudy("gtc", rows))
-			return err
-		}},
-		exhibit{"sampling", func(s *experiments.Session, w io.Writer) error {
-			rows, err := s.SamplingStudy("nek5000", []int{1, 16, 64, 256})
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatSamplingStudy("nek5000", rows))
-			return err
-		}},
-		exhibit{"conformance", func(s *experiments.Session, w io.Writer) error {
-			checks, err := s.Conformance()
-			if err != nil {
-				return err
-			}
-			_, err = fmt.Fprintln(w, experiments.FormatConformance(checks))
-			return err
-		}},
-	)
-	return out
-}
 
 // progressPrinter returns a runner progress callback writing one line per
 // run start/completion; it is invoked from worker goroutines, so the
@@ -250,10 +86,10 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	want := map[string]bool{}
+	var onlyNames []string
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(name)] = true
+			onlyNames = append(onlyNames, strings.TrimSpace(name))
 		}
 	}
 
@@ -281,67 +117,16 @@ func run(args []string, out io.Writer) error {
 	}
 	sess := experiments.NewSession(sessOpts...)
 	start := time.Now()
-	fmt.Fprintf(out, "NV-SCAVENGER evaluation reproduction (scale %.2f, %d iterations)\n",
-		sess.Options().Scale, sess.Options().Iterations)
-	fmt.Fprintf(out, "generated %s\n\n", time.Now().Format(time.RFC3339))
 
-	known := map[string]bool{}
-	for _, ex := range exhibits() {
-		known[ex.name] = true
-	}
-	for name := range want {
-		if !known[name] {
-			return fmt.Errorf("unknown exhibit %q", name)
+	reportCfg := experiments.ReportConfig{Only: onlyNames, Now: time.Now}
+	if *outdir != "" {
+		dir := *outdir
+		reportCfg.Tee = func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(dir, name+".txt"))
 		}
 	}
-
-	if len(want) == 0 {
-		// All exhibits requested: warm every instrumented run across the
-		// worker pool before the (ordered) report generation starts.
-		if err := sess.Warm(); err != nil {
-			return err
-		}
-	}
-
-	for _, ex := range exhibits() {
-		if len(want) > 0 && !want[ex.name] {
-			continue
-		}
-		w := out
-		var f *os.File
-		if *outdir != "" {
-			var err error
-			f, err = os.Create(filepath.Join(*outdir, ex.name+".txt"))
-			if err != nil {
-				return err
-			}
-			w = io.MultiWriter(out, f)
-		}
-		err := ex.gen(sess, w)
-		if err != nil && sess.Degraded() {
-			// Chaos/degraded run: an exhibit whose runs were exhausted is
-			// annotated in place and the sweep continues.
-			_, werr := fmt.Fprintf(w, "%s: DEGRADED: %v\n\n", ex.name, err)
-			err = werr
-		}
-		if f != nil {
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			return fmt.Errorf("%s: %w", ex.name, err)
-		}
-	}
-
-	if sess.Degraded() {
-		if runErrs := sess.RunErrors(); len(runErrs) > 0 {
-			fmt.Fprintln(out, "Degraded runs:")
-			for _, re := range runErrs {
-				fmt.Fprintf(out, "  %-36s %s\n", re.Key, re.Err)
-			}
-			fmt.Fprintln(out)
-		}
+	if err := sess.WriteReport(out, reportCfg); err != nil {
+		return err
 	}
 
 	if *metricsOut != "" {

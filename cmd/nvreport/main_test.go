@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"nvscavenger/internal/experiments"
 	"nvscavenger/internal/obs"
 )
 
@@ -113,11 +114,11 @@ func TestRunUnknownExhibit(t *testing.T) {
 
 func TestExhibitNamesUnique(t *testing.T) {
 	seen := map[string]bool{}
-	for _, ex := range exhibits() {
-		if seen[ex.name] {
-			t.Errorf("duplicate exhibit %q", ex.name)
+	for _, ex := range experiments.Exhibits() {
+		if seen[ex.Name] {
+			t.Errorf("duplicate exhibit %q", ex.Name)
 		}
-		seen[ex.name] = true
+		seen[ex.Name] = true
 	}
 	if len(seen) != 21 {
 		t.Errorf("exhibit count = %d, want 21", len(seen))

@@ -26,6 +26,7 @@ import (
 	"nvscavenger/internal/cli"
 	"nvscavenger/internal/core"
 	"nvscavenger/internal/dramsim"
+	"nvscavenger/internal/experiments"
 	"nvscavenger/internal/faults"
 	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
@@ -240,7 +241,18 @@ func run(args []string, out io.Writer) error {
 		snap := core.BuildSnapshot(app.Name(), tr, policyPtr)
 		metrics := reg.Snapshot()
 		snap.Metrics = &metrics
-		if err := cli.WriteJSONFile(*jsonOut, snap.WriteJSON); err != nil {
+		// The analysis travels in the versioned JobResult envelope — the
+		// same wire shape the nvserved jobs API serves — so downstream
+		// tooling reads one schema regardless of the frontend.
+		res := experiments.NewJobResult(experiments.JobSpec{
+			Scale:      *scale,
+			Iterations: *iters,
+			Apps:       []string{app.Name()},
+			Mode:       *mode,
+			Fault:      *faultSpec,
+		}, experiments.StateDone)
+		res.Analysis = &snap
+		if err := cli.WriteValueJSONFile(*jsonOut, res); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "\nwrote analysis snapshot to %s\n", *jsonOut)

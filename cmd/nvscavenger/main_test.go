@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"nvscavenger/internal/core"
+	"nvscavenger/internal/experiments"
 )
 
 func TestRunFastMode(t *testing.T) {
@@ -70,9 +71,22 @@ func TestRunJSONSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	snap, err := core.ReadSnapshot(f)
+	res, err := experiments.DecodeJobResult(f)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if res.SchemaVersion != experiments.SchemaVersion || res.State != experiments.StateDone {
+		t.Fatalf("result envelope = version %d state %q", res.SchemaVersion, res.State)
+	}
+	if res.Spec.Scale != 0.05 || res.Spec.Iterations != 2 || len(res.Spec.Apps) != 1 {
+		t.Fatalf("result spec not echoed: %+v", res.Spec)
+	}
+	if res.Analysis == nil {
+		t.Fatal("-json result must embed the analysis snapshot")
+	}
+	snap := *res.Analysis
+	if snap.SchemaVersion != core.SnapshotSchemaVersion {
+		t.Errorf("snapshot schema_version = %d, want %d", snap.SchemaVersion, core.SnapshotSchemaVersion)
 	}
 	if snap.App != "gtc" || len(snap.Objects) == 0 || snap.Placement == nil {
 		t.Fatalf("snapshot incomplete: %+v", snap)

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nvscavenger/internal/experiments"
+	"nvscavenger/internal/served"
+)
+
+// TestServeEndToEnd drives the daemon the way a client would: submit a
+// sweep job over HTTP, stream its progress events, fetch the finished
+// report, then shut down via context cancellation (the signal path) and
+// check the drain summary and flushed metrics.
+func TestServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := served.NewManager(served.Config{Workers: 1})
+	ctx, stop := context.WithCancel(context.Background())
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.txt")
+
+	var out bytes.Buffer
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve(ctx, ln, m, time.Minute, metricsPath, &out) }()
+
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"exhibits":["table1","table5"],"scale":0.05,"iterations":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res experiments.JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || res.State != experiments.StateQueued {
+		t.Fatalf("submit: status %d, state %q", resp.StatusCode, res.State)
+	}
+
+	// Stream progress until the job completes: the stream must carry at
+	// least one start and one done event.
+	resp, err = http.Get(base + "/jobs/" + res.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, dones := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		switch ev.Kind {
+		case "start":
+			starts++
+		case "done":
+			dones++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if starts == 0 || dones == 0 {
+		t.Fatalf("event stream: %d starts, %d dones", starts, dones)
+	}
+
+	resp, err = http.Get(base + "/jobs/" + res.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d: %s", resp.StatusCode, report)
+	}
+	text := string(report)
+	if !strings.Contains(text, "Table I") || !strings.Contains(text, "Table V") {
+		t.Errorf("served report incomplete:\n%s", text)
+	}
+
+	// Signal-path shutdown: drain and exit clean.
+	stop()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("serve did not shut down")
+	}
+	log := out.String()
+	if !strings.Contains(log, "listening on") || !strings.Contains(log, "drained: 1 jobs (1 done, 0 failed, 0 cancelled)") {
+		t.Errorf("daemon log unexpected:\n%s", log)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics not flushed on shutdown: %v", err)
+	}
+	for _, want := range []string{"served_jobs_submitted_total", "runner_runs_total"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("flushed metrics missing %s", want)
+		}
+	}
+}
+
+// TestRunFlagValidation: bad flags and fault specs fail before listening.
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fault", "writer:bogus=1", "-addr", "127.0.0.1:0"}, &out); err == nil {
+		t.Error("malformed -fault spec must error")
+	}
+	if err := run([]string{"-nonsense"}, &out); err == nil {
+		t.Error("unknown flag must error")
+	}
+}

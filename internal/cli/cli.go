@@ -8,6 +8,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -77,6 +78,38 @@ func WriteJSONFile(path string, write func(io.Writer) error) error {
 		return werr
 	}
 	return cerr
+}
+
+// EncodeJSON writes v to w in the tools' standard JSON rendering:
+// two-space indentation and a trailing newline, the same bytes for the
+// same value on every frontend.  Both the nvserved HTTP responses and the
+// CLI -json files route through it, so the versioned job/result payloads
+// (experiments.JobSpec, experiments.JobResult) are byte-identical across
+// transports.
+func EncodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// EncodeCompactJSON writes v as a single JSON line with a trailing
+// newline — the NDJSON record format of the nvserved event stream.
+func EncodeCompactJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// WriteValueJSONFile writes v to path via EncodeJSON; the -json flag
+// implementation for tools whose payload is a plain value rather than a
+// streaming writer.
+func WriteValueJSONFile(path string, v any) error {
+	return WriteJSONFile(path, func(w io.Writer) error { return EncodeJSON(w, v) })
 }
 
 // WriteMetricsFile writes an observability snapshot to path: the JSON

@@ -10,11 +10,17 @@ import (
 	"nvscavenger/internal/trace"
 )
 
+// SnapshotSchemaVersion is the version of the snapshot JSON shape below.
+// BuildSnapshot stamps it; ReadSnapshot rejects newer versions.  Bump on
+// incompatible change; adding optional fields does not bump.
+const SnapshotSchemaVersion = 1
+
 // Snapshot is a serializable export of one instrumented run's analysis:
 // the per-object records, segment totals and placement plan, in a stable
 // JSON shape for downstream tooling (plotting, regression tracking,
 // co-design loops).
 type Snapshot struct {
+	SchemaVersion int `json:"schema_version"`
 	// App and Iterations identify the run.
 	App        string `json:"app"`
 	Iterations int    `json:"iterations"`
@@ -71,6 +77,7 @@ type PlacementJSON struct {
 // omits placement.
 func BuildSnapshot(appName string, tr *memtrace.Tracer, policy *Policy) Snapshot {
 	snap := Snapshot{
+		SchemaVersion:  SnapshotSchemaVersion,
 		App:            appName,
 		Iterations:     tr.MainLoopIterations(),
 		FootprintBytes: tr.Footprint(),
@@ -148,6 +155,10 @@ func ReadSnapshot(r io.Reader) (Snapshot, error) {
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&s); err != nil {
 		return Snapshot{}, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if s.SchemaVersion > SnapshotSchemaVersion {
+		return Snapshot{}, fmt.Errorf("core: unsupported snapshot schema_version %d (this build speaks %d)",
+			s.SchemaVersion, SnapshotSchemaVersion)
 	}
 	return s, nil
 }

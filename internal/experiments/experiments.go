@@ -109,10 +109,15 @@ func NewSession(opts ...Option) *Session {
 	// through the progress stream, so failure recording hooks there rather
 	// than at each call site.
 	progress := cfg.progress
+	var engOpts []runner.Option
+	if cfg.clock != nil {
+		engOpts = append(engOpts, runner.WithClock(cfg.clock))
+	}
 	s.eng = runner.New(runner.Config{
 		Jobs:    cfg.jobs,
 		Metrics: cfg.metrics,
 		Retry:   cfg.retry,
+		Cache:   cfg.cache,
 		Progress: func(ev runner.Event) {
 			if ev.Kind == runner.EventError {
 				s.noteFailure(ev.Key.String(), ev.Err)
@@ -121,7 +126,7 @@ func NewSession(opts ...Option) *Session {
 				progress(ev)
 			}
 		},
-	})
+	}, engOpts...)
 	return s
 }
 
@@ -140,12 +145,13 @@ func (s *Session) noteFailure(key string, err error) {
 	}
 }
 
-// RunError is one failed run in a degraded sweep.
+// RunError is one failed run in a degraded sweep.  It is part of the
+// versioned JobResult wire shape (see SchemaVersion).
 type RunError struct {
 	// Key is the runner key of the failed run (e.g. "gtc/fast@s0.05@i3").
-	Key string
+	Key string `json:"key"`
 	// Err is the failure message.
-	Err string
+	Err string `json:"error"`
 }
 
 // RunErrors returns the per-run error annotations accumulated so far,

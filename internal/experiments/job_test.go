@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJobSpecNormalizeValidateRoundTrip(t *testing.T) {
+	spec := JobSpec{Scale: 0.25, Iterations: 5, Apps: []string{"cam"}, Exhibits: []string{"table5"}}
+	norm := spec.Normalized()
+	if norm.SchemaVersion != SchemaVersion {
+		t.Errorf("Normalized schema_version = %d", norm.SchemaVersion)
+	}
+	if err := norm.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	// Zero values normalize to the calibrated defaults.
+	def := JobSpec{}.Normalized()
+	if def.Scale != 1.0 || def.Iterations != 10 {
+		t.Errorf("defaults = scale %v, iterations %d", def.Scale, def.Iterations)
+	}
+
+	decoded, err := DecodeJobSpec(strings.NewReader(
+		`{"schema_version":1,"scale":0.25,"iterations":5,"apps":["cam"],"exhibits":["table5"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Scale != spec.Scale || decoded.Apps[0] != "cam" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if _, err := DecodeJobSpec(strings.NewReader(`{"bogus_field":1}`)); err == nil {
+		t.Error("unknown field must be rejected")
+	}
+	if _, err := DecodeJobSpec(strings.NewReader(`{"schema_version":99}`)); err == nil {
+		t.Error("future schema version must be rejected")
+	}
+}
+
+func TestJobSpecRunCacheKeyPartitions(t *testing.T) {
+	healthy := JobSpec{}
+	if healthy.RunCacheKey() != "healthy" {
+		t.Errorf("no-fault key = %q", healthy.RunCacheKey())
+	}
+	a := JobSpec{Fault: "sink:every=3,seed=7"}
+	b := JobSpec{Fault: "sink:seed=7,every=3"}
+	if a.RunCacheKey() != b.RunCacheKey() {
+		t.Errorf("equivalent fault spellings partition differently: %q vs %q",
+			a.RunCacheKey(), b.RunCacheKey())
+	}
+	if a.RunCacheKey() == healthy.RunCacheKey() {
+		t.Error("faulted spec shares the healthy partition")
+	}
+}

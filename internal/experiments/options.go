@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"time"
 
 	"nvscavenger/internal/faults"
 	"nvscavenger/internal/obs"
@@ -38,6 +39,8 @@ type config struct {
 	fault      faults.Spec
 	degrade    bool
 	retry      resilience.RetryPolicy
+	cache      *runner.Cache
+	clock      func() time.Time
 }
 
 func defaultConfig() config {
@@ -143,6 +146,29 @@ func WithFaults(spec faults.Spec) Option {
 // rather than aborting the whole sweep.
 func WithDegraded() Option {
 	return optionFunc(func(c *config) { c.degrade = true })
+}
+
+// WithClock overrides the wall clock of the session's engine (see
+// runner.WithClock): progress-event timestamps and per-run wall metrics
+// read it.  The nvserved daemon passes its service clock through so a
+// job's event stream is deterministic under an injected fake clock; the
+// default (nil) keeps the engine's real clock.
+func WithClock(now func() time.Time) Option {
+	return optionFunc(func(c *config) { c.clock = now })
+}
+
+// WithRunCache shares a single-flight run cache across sessions: engines
+// built over the same cache deduplicate identically keyed runs even when
+// the sessions differ in context, progress sink or metrics registry.  The
+// nvserved daemon gives every job its own session (so per-job cancellation
+// stays isolated) but one shared cache per fault partition, so concurrent
+// clients never recompute a run.  The default (nil) keeps a private cache.
+//
+// The cache keys on app/mode/scale/iterations only, so sessions sharing
+// one must agree on everything else that shapes a run's output — use
+// JobSpec.RunCacheKey to partition.
+func WithRunCache(cache *runner.Cache) Option {
+	return optionFunc(func(c *config) { c.cache = cache })
 }
 
 // WithRetry installs a per-run retry policy on the session's engine: a

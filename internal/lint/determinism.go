@@ -24,6 +24,7 @@ var deterministicRoots = map[string]bool{
 	"experiments": true,
 	"apps":        true,
 	"runner":      true,
+	"served":      true,
 }
 
 //go:embed determinism_allow.txt

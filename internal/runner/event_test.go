@@ -1,0 +1,166 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEventSequenceAndWire drives an engine under a stepped fake clock and
+// checks the streamable event contract: strictly increasing sequence
+// numbers, timestamps from the injected clock, and a stable JSON wire form
+// that round-trips through EventRecord.
+func TestEventSequenceAndWire(t *testing.T) {
+	const step = 250 * time.Millisecond
+	var mu sync.Mutex
+	var events []Event
+	e := New(Config{
+		Jobs:     1,
+		Progress: func(ev Event) { mu.Lock(); events = append(events, ev); mu.Unlock() },
+	}, WithClock(steppedClock(step)))
+
+	fn := func(ctx context.Context) (any, uint64, error) { return "v", 42, nil }
+	for _, app := range []string{"gtc", "s3d"} {
+		if _, err := e.Do(context.Background(), key(app), fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same key again: served from the cache, still stamped and sequenced.
+	if _, err := e.Do(context.Background(), key("gtc"), fn); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// start+done per executed run, then one cached event.
+	kinds := []EventKind{EventStart, EventDone, EventStart, EventDone, EventCached}
+	if len(events) != len(kinds) {
+		t.Fatalf("event count = %d, want %d (%v)", len(events), len(kinds), events)
+	}
+	for i, ev := range events {
+		if ev.Kind != kinds[i] {
+			t.Errorf("event %d kind = %s, want %s", i, ev.Kind, kinds[i])
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d has no timestamp", i)
+		}
+	}
+	// The stepped clock pairs each run's start/done reads one step apart.
+	if got := events[1].Time.Sub(events[0].Time); got != step {
+		t.Errorf("done-start gap = %v, want %v", got, step)
+	}
+	if events[1].Wall != step {
+		t.Errorf("done wall = %v, want %v", events[1].Wall, step)
+	}
+
+	data, err := json.Marshal(events[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec EventRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != "done" || rec.Key != "gtc/fast" || rec.Seq != 2 {
+		t.Errorf("wire record = %+v, want kind=done key=gtc/fast seq=2", rec)
+	}
+	if rec.WallSeconds != step.Seconds() || rec.Refs != 42 {
+		t.Errorf("wire record wall/refs = %v/%d, want %v/42", rec.WallSeconds, rec.Refs, step.Seconds())
+	}
+	if !rec.Time.Equal(events[1].Time) {
+		t.Errorf("wire time = %v, want %v", rec.Time, events[1].Time)
+	}
+}
+
+// TestEventErrorWire pins the failure wire form: error events carry the
+// message, done-only fields stay empty.
+func TestEventErrorWire(t *testing.T) {
+	ev := Event{Kind: EventError, Key: key("cam"), Seq: 7, Err: context.DeadlineExceeded}
+	var rec EventRecord
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != "error" || rec.Error != context.DeadlineExceeded.Error() {
+		t.Errorf("error wire record = %+v", rec)
+	}
+	if rec.Refs != 0 || rec.WallSeconds != 0 {
+		t.Errorf("error record carries done-only fields: %+v", rec)
+	}
+}
+
+// TestSharedCacheSingleFlightAcrossEngines: two engines wired to one Cache
+// — the nvserved topology, one engine per submitted job — must deduplicate
+// concurrent requests for the same key down to a single execution, with the
+// joining engine reporting a hit.
+func TestSharedCacheSingleFlightAcrossEngines(t *testing.T) {
+	cache := NewCache()
+	a := New(Config{Jobs: 2, Cache: cache})
+	b := New(Config{Jobs: 2, Cache: cache})
+
+	var executions atomic.Int32
+	gate := make(chan struct{})
+	fn := func(ctx context.Context) (any, uint64, error) {
+		<-gate
+		executions.Add(1)
+		return "shared", 1, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]any, 2)
+	errs := make([]error, 2)
+	for i, eng := range []*Engine{a, b} {
+		wg.Add(1)
+		go func(i int, eng *Engine) {
+			defer wg.Done()
+			results[i], errs[i] = eng.Do(context.Background(), key("gtc"), fn)
+		}(i, eng)
+	}
+	// Let both engines reach the cache before the run is allowed to finish;
+	// exactly one of them must own the entry.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("engine %d: %v", i, errs[i])
+		}
+		if results[i] != "shared" {
+			t.Fatalf("engine %d result = %v", i, results[i])
+		}
+	}
+	if executions.Load() != 1 {
+		t.Fatalf("executions = %d, want 1 (single-flight across engines)", executions.Load())
+	}
+	am, bm := a.Metrics(), b.Metrics()
+	if am.Misses+bm.Misses != 1 {
+		t.Errorf("misses across engines = %d, want 1", am.Misses+bm.Misses)
+	}
+	if am.Hits+bm.Hits != 1 {
+		t.Errorf("hits across engines = %d, want 1", am.Hits+bm.Hits)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache len = %d, want 1", cache.Len())
+	}
+
+	// A later engine on the same cache is served without executing.
+	c := New(Config{Jobs: 1, Cache: cache})
+	v, err := c.Do(context.Background(), key("gtc"),
+		func(ctx context.Context) (any, uint64, error) {
+			t.Error("third engine re-executed a cached run")
+			return nil, 0, nil
+		})
+	if err != nil || v != "shared" {
+		t.Fatalf("third engine: v=%v err=%v", v, err)
+	}
+}

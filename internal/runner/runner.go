@@ -16,11 +16,13 @@ package runner
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nvscavenger/internal/obs"
@@ -103,15 +105,65 @@ func (k EventKind) String() string {
 
 // Event is one progress notification.  The callback is invoked from worker
 // goroutines and must be safe for concurrent use.
+//
+// Events are the engine's streamable progress contract: they marshal to a
+// stable JSON wire form (see EventRecord) so consumers beyond the process —
+// the nvserved jobs API streams them per job — read the same payloads a
+// local callback sees.  Seq and Time make a stream self-describing: Seq is
+// a per-engine monotonic sequence number (gaps never occur, so a consumer
+// can detect a dropped event), and Time comes from the engine's injected
+// clock (WithClock), so a fake clock yields byte-identical event streams.
 type Event struct {
 	Kind EventKind
 	Key  Key
+	// Seq is the engine-wide monotonic sequence number, starting at 1.
+	Seq uint64
+	// Time is the emission timestamp read from the engine's clock.
+	Time time.Time
 	// Wall is the run's execution time (EventDone and EventError).
 	Wall time.Duration
 	// Refs is the run's observed reference count (EventDone).
 	Refs uint64
 	// Err is the failure (EventError).
 	Err error
+}
+
+// EventRecord is the versionless JSON wire form of an Event: every field
+// is a plain serializable type, the kind is its String name and the key its
+// canonical label, so streams are stable across releases of the internal
+// structs.  It is the line format of the jobs API's event stream.
+type EventRecord struct {
+	Kind string    `json:"kind"`
+	Key  string    `json:"key"`
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// WallSeconds is the run's execution time (done and error events).
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// Refs is the run's observed reference count (done events).
+	Refs uint64 `json:"refs,omitempty"`
+	// Error carries the failure message (error events).
+	Error string `json:"error,omitempty"`
+}
+
+// Record converts the event to its wire form.
+func (ev Event) Record() EventRecord {
+	rec := EventRecord{
+		Kind:        ev.Kind.String(),
+		Key:         ev.Key.String(),
+		Seq:         ev.Seq,
+		Time:        ev.Time,
+		WallSeconds: ev.Wall.Seconds(),
+		Refs:        ev.Refs,
+	}
+	if ev.Err != nil {
+		rec.Error = ev.Err.Error()
+	}
+	return rec
+}
+
+// MarshalJSON renders the event's wire form.
+func (ev Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(ev.Record())
 }
 
 // RunMetrics records one executed (non-cached) run.
@@ -162,6 +214,30 @@ func (m Metrics) WallSummary() stats.Summary {
 	return s
 }
 
+// Cache is the keyed single-flight run store.  It used to be private to
+// one Engine; extracting it lets independent engines — one per submitted
+// job in the nvserved daemon, each with its own context, progress stream
+// and retry policy — share one set of memoized runs, so concurrent clients
+// requesting the same run still trigger exactly one execution.
+//
+// A Cache is safe for concurrent use by any number of engines.  Failed
+// executions are removed, so a later request retries; values are stored
+// forever (runs are deterministic, so a cached value never goes stale).
+type Cache struct {
+	mu sync.Mutex
+	m  map[Key]*entry
+}
+
+// NewCache returns an empty run cache.
+func NewCache() *Cache { return &Cache{m: map[Key]*entry{}} }
+
+// Len returns the number of cached or in-flight entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
 // Config configures an Engine.
 type Config struct {
 	// Jobs bounds concurrently executing runs; <= 0 selects GOMAXPROCS.
@@ -173,6 +249,10 @@ type Config struct {
 	// per-run wall-time histograms into.  Nil gets a private registry;
 	// pass a shared one (the Session's) to aggregate across components.
 	Metrics *obs.Registry
+	// Cache is the single-flight run store.  Nil gets a private cache;
+	// pass a shared one so several engines (concurrent service jobs)
+	// deduplicate runs across engine instances.
+	Cache *Cache
 	// Retry is the per-run retry policy: a failed (or panicked) run is
 	// re-executed up to the policy's attempt bound before the error is
 	// reported.  Cancelled runs are never retried.  The zero value keeps
@@ -203,6 +283,7 @@ type Engine struct {
 	sem chan struct{}
 	reg *obs.Registry
 	now func() time.Time
+	seq atomic.Uint64
 
 	// Engine-level counters live in the registry so that worker
 	// goroutines update them lock-free and snapshots see them next to
@@ -214,9 +295,10 @@ type Engine struct {
 	retries  *obs.Counter
 	panics   *obs.Counter
 
-	mu    sync.Mutex
-	cache map[Key]*entry
-	runs  []RunMetrics
+	cache *Cache
+
+	mu   sync.Mutex
+	runs []RunMetrics
 }
 
 type entry struct {
@@ -234,6 +316,10 @@ func New(cfg Config, opts ...Option) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
 	e := &Engine{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Jobs),
@@ -245,7 +331,7 @@ func New(cfg Config, opts ...Option) *Engine {
 		joinErrs: reg.Counter("runner_joined_failures_total"),
 		retries:  reg.Counter("runner_retries_total"),
 		panics:   reg.Counter("runner_panics_recovered_total"),
-		cache:    map[Key]*entry{},
+		cache:    cache,
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -270,9 +356,10 @@ func (e *Engine) Do(ctx context.Context, key Key, fn Func) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	if ent, ok := e.cache[key]; ok {
-		e.mu.Unlock()
+	c := e.cache
+	c.mu.Lock()
+	if ent, ok := c.m[key]; ok {
+		c.mu.Unlock()
 		// A join is only a cache hit once the execution it joined
 		// resolves successfully; emitting EventCached on entry would
 		// report "cached" for runs that actually failed.
@@ -283,24 +370,24 @@ func (e *Engine) Do(ctx context.Context, key Key, fn Func) (any, error) {
 				return nil, ent.err
 			}
 			e.hits.Inc()
-			e.emit(Event{Kind: EventCached, Key: key})
+			e.emit(Event{Kind: EventCached, Key: key, Time: e.now()})
 			return ent.value, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
 	ent := &entry{done: make(chan struct{})}
-	e.cache[key] = ent
+	c.m[key] = ent
 	e.misses.Inc()
-	e.mu.Unlock()
+	c.mu.Unlock()
 
 	ent.value, ent.err = e.execute(ctx, key, fn)
 	if ent.err != nil {
-		e.mu.Lock()
-		if e.cache[key] == ent {
-			delete(e.cache, key)
+		c.mu.Lock()
+		if c.m[key] == ent {
+			delete(c.m, key)
 		}
-		e.mu.Unlock()
+		c.mu.Unlock()
 		e.errs.Inc()
 	}
 	close(ent.done)
@@ -318,8 +405,8 @@ func (e *Engine) execute(ctx context.Context, key Key, fn Func) (any, error) {
 		return nil, err
 	}
 
-	e.emit(Event{Kind: EventStart, Key: key})
 	start := e.now()
+	e.emit(Event{Kind: EventStart, Key: key, Time: start})
 	v, refs, err := e.attempt(ctx, fn)
 	// Retry transient failures per the engine policy.  Cancellation is
 	// never transient, and events fire only for the final outcome so
@@ -332,9 +419,10 @@ func (e *Engine) execute(ctx context.Context, key Key, fn Func) (any, error) {
 		e.cfg.Retry.Wait(i)
 		v, refs, err = e.attempt(ctx, fn)
 	}
-	wall := e.now().Sub(start)
+	end := e.now()
+	wall := end.Sub(start)
 	if err != nil {
-		e.emit(Event{Kind: EventError, Key: key, Wall: wall, Err: err})
+		e.emit(Event{Kind: EventError, Key: key, Time: end, Wall: wall, Err: err})
 		return nil, fmt.Errorf("runner: %s: %w", key, err)
 	}
 	e.mu.Lock()
@@ -344,7 +432,7 @@ func (e *Engine) execute(ctx context.Context, key Key, fn Func) (any, error) {
 	e.reg.Counter("runner_refs_total").Add(refs)
 	e.reg.Histogram("runner_run_wall_seconds", obs.SecondsBuckets,
 		obs.L("key", key.String())).Observe(wall.Seconds())
-	e.emit(Event{Kind: EventDone, Key: key, Wall: wall, Refs: refs})
+	e.emit(Event{Kind: EventDone, Key: key, Time: end, Wall: wall, Refs: refs})
 	return v, nil
 }
 
@@ -366,7 +454,11 @@ func (e *Engine) attempt(ctx context.Context, fn Func) (v any, refs uint64, err 
 	return v, refs, err
 }
 
+// emit stamps the event with the engine's next sequence number and hands it
+// to the progress callback.  Seq advances even without a subscriber, so a
+// consumer attached mid-run still sees strictly increasing numbers.
 func (e *Engine) emit(ev Event) {
+	ev.Seq = e.seq.Add(1)
 	if e.cfg.Progress != nil {
 		e.cfg.Progress(ev)
 	}
