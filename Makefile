@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race race-obs race-pipeline race-served bench bench-snapshot chaos report
+.PHONY: ci lint vet build test race race-obs race-pipeline race-sampling race-served bench bench-snapshot chaos report
 
-ci: lint vet build race-obs race-pipeline race-served race bench chaos
+ci: lint vet build race-obs race-pipeline race-sampling race-served race bench chaos
 
 # Project-native static analysis: determinism, metric naming, the error
 # contract and the sticky-sink contract, over every package.  Non-zero on
@@ -36,6 +36,12 @@ race-obs:
 race-pipeline:
 	$(GO) test -race -count=2 ./internal/pipeline
 
+# Sampled tracing promises byte-identical output at any -jobs count (the
+# PRNG is seeded and per-tracer); run the sampling, estimator and
+# profiler-error tests race-enabled twice so the worker schedule varies.
+race-sampling:
+	$(GO) test -race -count=2 -run 'Sampl|Estimat|ProfilerError' ./internal/memtrace ./internal/experiments
+
 # The service layer is all about concurrency — shared run caches, the
 # bounded queue, drain vs submit — so its tests run race-enabled twice to
 # vary the schedule, daemon included.
@@ -53,7 +59,7 @@ bench:
 # parsed results to BENCH_PIPELINE.json (committed, so regressions show
 # up as diffs).  Not part of ci — timing runs need a quiet machine.
 bench-snapshot:
-	$(GO) test -run='^$$' -bench='BenchmarkPipeline(Throughput|InstrumentationOverhead)' -count=1 ./internal/pipeline \
+	$(GO) test -run='^$$' -bench='BenchmarkPipeline(Throughput|InstrumentationOverhead|SampledTracing)' -count=1 ./internal/pipeline \
 		| $(GO) run ./cmd/nvbench -out BENCH_PIPELINE.json
 
 # Chaos gate: the fault-injection and resilience packages race-enabled,

@@ -120,8 +120,8 @@ func TestExhibitNamesUnique(t *testing.T) {
 		}
 		seen[ex.Name] = true
 	}
-	if len(seen) != 21 {
-		t.Errorf("exhibit count = %d, want 21", len(seen))
+	if len(seen) != 22 {
+		t.Errorf("exhibit count = %d, want 22", len(seen))
 	}
 }
 

@@ -63,6 +63,7 @@ func run(args []string, out io.Writer) error {
 	metricsOut := fs.String("metrics", "", "write the run's observability snapshot to this file (.json for JSON, text otherwise)")
 	timeout := fs.Duration("timeout", 0, "abort the instrumented run after this long (0 = no limit)")
 	faultSpec := fs.String("fault", "", "chaos run: deterministic fault spec, e.g. access:every=50,seed=7 or worker:every=1")
+	sampleSpec := fs.String("sample", "", "seeded sampled tracing, e.g. bernoulli:rate=64,seed=7 or bytes:rate=4096 (default: observe every reference)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,9 +96,19 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	sample, err := memtrace.ParseSampleSpec(*sampleSpec)
+	if err != nil {
+		return err
+	}
+
 	reg := obs.NewRegistry()
 	eng := runner.New(runner.Config{Jobs: 1, Metrics: reg})
 	key := runner.Key{App: *appName, Mode: *mode, Scale: *scale, Iterations: *iters}
+	if sample.Enabled() {
+		// Sampled runs are keyed apart from full runs (same contract as
+		// the session-level WithSample option).
+		key.Profile = "sample=" + sample.String()
+	}
 	fn := func(ctx context.Context) (any, uint64, error) {
 		app, err := apps.New(*appName, *scale)
 		if err != nil {
@@ -111,6 +122,7 @@ func run(args []string, out io.Writer) error {
 		}
 		stack, err := pipeline.Build(pipeline.Config{
 			StackMode:  stackMode,
+			Sample:     sample,
 			AccessTaps: []trace.Sink{tap},
 			Metrics:    reg,
 			Labels:     []obs.Label{obs.L("app", *appName), obs.L("mode", *mode)},
@@ -146,7 +158,47 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out)
 	fmt.Fprintf(out, "memory footprint: %.1f MB (stack high water %.1f KB)\n",
 		float64(tr.Footprint())/(1<<20), float64(tr.StackHighWater())/1024)
-	fmt.Fprintf(out, "instructions retired: %d\n\n", tr.Instructions())
+	fmt.Fprintf(out, "instructions retired: %d\n", tr.Instructions())
+	if sample.Enabled() {
+		total := tr.Sampled + tr.SampledOut
+		pct := 0.0
+		if total > 0 {
+			pct = float64(tr.Sampled) / float64(total) * 100
+		}
+		fmt.Fprintf(out, "sampled tracing: %s — observed %d of %d references (%.2f%%)\n",
+			sample, tr.Sampled, total, pct)
+		est := tr.Estimator()
+		type estRow struct {
+			obj  *memtrace.Object
+			loop memtrace.EstStats
+		}
+		var rows []estRow
+		for _, o := range tr.Objects() {
+			if s := est.Loop(o); s.Refs() > 0 {
+				rows = append(rows, estRow{obj: o, loop: s})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].loop.Refs() != rows[j].loop.Refs() {
+				return rows[i].loop.Refs() > rows[j].loop.Refs()
+			}
+			return rows[i].obj.ID < rows[j].obj.ID
+		})
+		fmt.Fprintf(out, "estimated true main-loop counts (top %d of %d observed objects):\n", *topN, len(rows))
+		etbl := cli.NewTable(out)
+		etbl.Row("object", "segment", "est reads", "est writes", "factor")
+		for i, r := range rows {
+			if i >= *topN {
+				break
+			}
+			etbl.Rowf("  %s\t%s\t%.0f\t%.0f\t%.1f",
+				r.obj.Name, r.obj.Segment, r.loop.Reads, r.loop.Writes, est.Factor(r.obj))
+		}
+		if err := etbl.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(out)
 
 	// Segment summary (Table V style).
 	row := core.StackAnalysis(tr)
@@ -250,6 +302,7 @@ func run(args []string, out io.Writer) error {
 			Apps:       []string{app.Name()},
 			Mode:       *mode,
 			Fault:      *faultSpec,
+			Sample:     *sampleSpec,
 		}, experiments.StateDone)
 		res.Analysis = &snap
 		if err := cli.WriteValueJSONFile(*jsonOut, res); err != nil {

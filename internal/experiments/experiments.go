@@ -242,6 +242,18 @@ func (s *Session) subset(fixed []string) []string {
 }
 
 func (s *Session) key(app, mode, profile string) runner.Key {
+	// A session-wide sampling spec changes what every instrumented run
+	// produces, so it becomes part of the run identity: sampled runs never
+	// exchange cached products with full runs (or with runs sampled
+	// differently), even across sessions sharing one run cache.
+	if s.cfg.sample.Enabled() {
+		suffix := "sample=" + s.cfg.sample.String()
+		if profile == "" {
+			profile = suffix
+		} else {
+			profile += "@" + suffix
+		}
+	}
 	return runner.Key{
 		App:        app,
 		Mode:       mode,
@@ -303,6 +315,7 @@ func (s *Session) runFast(ctx context.Context, name string) (*Run, error) {
 	cacheCfg := cachesim.PaperConfig()
 	pcfg := pipeline.Config{
 		StackMode: memtrace.FastStack,
+		Sample:    s.cfg.sample,
 		Cache:     &cacheCfg,
 		CaptureTx: true,
 		Metrics:   s.cfg.metrics,
@@ -346,7 +359,7 @@ func (s *Session) runSlow(ctx context.Context, name string) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	pcfg := pipeline.Config{StackMode: memtrace.SlowStack}
+	pcfg := pipeline.Config{StackMode: memtrace.SlowStack, Sample: s.cfg.sample}
 	s.chaos(&pcfg)
 	stack, err := pipeline.Build(pcfg)
 	if err != nil {

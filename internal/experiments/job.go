@@ -11,6 +11,7 @@ import (
 	"nvscavenger/internal/apps"
 	"nvscavenger/internal/core"
 	"nvscavenger/internal/faults"
+	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
 )
 
@@ -18,11 +19,19 @@ import (
 // and JobResult shapes below, shared verbatim by the nvserved HTTP API and
 // the CLI tools' -json outputs.  A decoder rejects payloads claiming a
 // newer version than it speaks; version 0 (the field absent) is read as
-// the current version so hand-written specs stay terse.
+// the current version so hand-written specs stay terse, and every older
+// version is accepted (the contract only grows optional fields within a
+// major shape).
 //
 // Bump it when a field changes meaning or is removed; adding optional
 // fields is compatible and does not bump.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1: initial jobs-API contract (PR 6).
+//	2: adds the optional "sample" spec (seeded sampled tracing,
+//	   mode:rate=N[,seed=S]).  Version-1 payloads decode unchanged.
+const SchemaVersion = 2
 
 // Job lifecycle states, the vocabulary of JobResult.State.  A job moves
 // queued → running → one of the three terminal states.
@@ -42,7 +51,7 @@ const (
 // JSON schema (version 1):
 //
 //	{
-//	  "schema_version": 1,          // optional; 0 means "current"
+//	  "schema_version": 2,          // optional; 0 means "current"
 //	  "scale": 0.25,                // problem scale, default 1.0
 //	  "iterations": 10,             // main-loop iterations, default 10
 //	  "apps": ["gtc", "cam"],       // app subset, default all registered
@@ -50,7 +59,8 @@ const (
 //	  "exhibits": ["table5"],       // exhibit subset, default all
 //	  "jobs": 4,                    // worker-pool bound, 0 = GOMAXPROCS
 //	  "fault": "sink:every=50,seed=7", // chaos spec, default none
-//	  "retries": 2                  // per-run retry attempts
+//	  "retries": 2,                 // per-run retry attempts
+//	  "sample": "bernoulli:rate=64,seed=7" // sampled tracing, default off (v2)
 //	}
 type JobSpec struct {
 	SchemaVersion int      `json:"schema_version"`
@@ -62,6 +72,10 @@ type JobSpec struct {
 	Jobs          int      `json:"jobs,omitempty"`
 	Fault         string   `json:"fault,omitempty"`
 	Retries       int      `json:"retries,omitempty"`
+	// Sample is a memtrace sample spec ("mode:rate=N[,seed=S]") switching
+	// every instrumented run of the job to seeded sampled tracing.  Empty
+	// (the default) observes every reference.  Schema version 2.
+	Sample string `json:"sample,omitempty"`
 }
 
 // Normalized returns the spec with defaults made explicit: the schema
@@ -76,6 +90,15 @@ func (s JobSpec) Normalized() JobSpec {
 	if s.Iterations <= 0 {
 		s.Iterations = 10
 	}
+	// Canonicalize the sample spec (fixed parameter order, "off" elided)
+	// so equal configurations serialize and key identically.
+	if spec, err := memtrace.ParseSampleSpec(s.Sample); err == nil {
+		if spec.Enabled() {
+			s.Sample = spec.String()
+		} else {
+			s.Sample = ""
+		}
+	}
 	return s
 }
 
@@ -83,7 +106,7 @@ func (s JobSpec) Normalized() JobSpec {
 // version, positive scale/iterations, registered app names, known exhibit
 // names, a parsable fault spec and a known stack mode.
 func (s JobSpec) Validate() error {
-	if s.SchemaVersion != 0 && s.SchemaVersion != SchemaVersion {
+	if s.SchemaVersion < 0 || s.SchemaVersion > SchemaVersion {
 		return fmt.Errorf("experiments: unsupported schema_version %d (this build speaks %d)",
 			s.SchemaVersion, SchemaVersion)
 	}
@@ -111,6 +134,11 @@ func (s JobSpec) Validate() error {
 	}
 	if s.Fault != "" {
 		if _, err := faults.Parse(s.Fault); err != nil {
+			return err
+		}
+	}
+	if s.Sample != "" {
+		if _, err := memtrace.ParseSampleSpec(s.Sample); err != nil {
 			return err
 		}
 	}
@@ -146,6 +174,13 @@ func (s JobSpec) SessionOptions() ([]Option, error) {
 	if n.Retries > 1 {
 		opts = append(opts, WithRetry(n.Retries))
 	}
+	if n.Sample != "" {
+		spec, err := memtrace.ParseSampleSpec(n.Sample)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithSample(spec))
+	}
 	return opts, nil
 }
 
@@ -170,12 +205,16 @@ func (s JobSpec) RunCacheKey() string {
 // exhibit selection may differ).  Used for logging and job-list grouping.
 func (s JobSpec) SessionKey() string {
 	n := s.Normalized()
-	return "scale=" + strconv.FormatFloat(n.Scale, 'g', -1, 64) +
+	key := "scale=" + strconv.FormatFloat(n.Scale, 'g', -1, 64) +
 		",iterations=" + strconv.Itoa(n.Iterations) +
 		",apps=" + strings.Join(n.Apps, "+") +
 		",jobs=" + strconv.Itoa(n.Jobs) +
 		",fault=" + n.RunCacheKey() +
 		",retries=" + strconv.Itoa(n.Retries)
+	if n.Sample != "" {
+		key += ",sample=" + n.Sample
+	}
+	return key
 }
 
 // JobResult is the serializable outcome of one experiment job: the

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nvscavenger/internal/faults"
+	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
 	"nvscavenger/internal/resilience"
 	"nvscavenger/internal/runner"
@@ -41,6 +42,7 @@ type config struct {
 	retry      resilience.RetryPolicy
 	cache      *runner.Cache
 	clock      func() time.Time
+	sample     memtrace.SampleSpec
 }
 
 func defaultConfig() config {
@@ -169,6 +171,22 @@ func WithClock(now func() time.Time) Option {
 // JobSpec.RunCacheKey to partition.
 func WithRunCache(cache *runner.Cache) Option {
 	return optionFunc(func(c *config) { c.cache = cache })
+}
+
+// WithSample switches every instrumented run of the session to seeded
+// sampled tracing (see memtrace.SampleSpec): the tracer observes a
+// deterministic subset of the reference stream and exhibits compute over
+// the observed counters.  Sampled runs are keyed separately from full
+// runs, so a shared run cache never serves a sampled product to a full
+// session or vice versa.  The §III-D caveat applies: sampling loses
+// access information for rarely touched objects — ProfilerErrorStudy
+// quantifies exactly how much at any rate.  A disabled spec is ignored.
+func WithSample(spec memtrace.SampleSpec) Option {
+	return optionFunc(func(c *config) {
+		if spec.Enabled() {
+			c.sample = spec
+		}
+	})
 }
 
 // WithRetry installs a per-run retry policy on the session's engine: a

@@ -167,6 +167,14 @@ func Exhibits() []Exhibit {
 			_, err = fmt.Fprintln(w, FormatSamplingStudy("nek5000", rows))
 			return err
 		}},
+		Exhibit{"profilererror", func(s *Session, w io.Writer) error {
+			rows, err := s.ProfilerErrorStudy("nek5000", DefaultProfilerErrorSpecs)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, FormatProfilerErrorStudy("nek5000", rows))
+			return err
+		}},
 		Exhibit{"conformance", func(s *Session, w io.Writer) error {
 			checks, err := s.Conformance()
 			if err != nil {

@@ -108,13 +108,10 @@ func (s *Session) SamplingStudy(app string, periods []int) ([]SamplingRow, error
 				row.PlacementDiffs++
 			}
 		}
-		if full.ratio > 0 {
-			rel := (res.ratio - full.ratio) / full.ratio
-			if rel < 0 {
-				rel = -rel
-			}
-			row.StackRatioError = rel
-		}
+		// relErr falls back to the absolute error when the full run's ratio
+		// is 0, so a sampled run that reports stack activity the full run
+		// did not see scores its own magnitude instead of a silent 0.
+		row.StackRatioError = relErr(res.ratio, full.ratio)
 		return row, nil
 	})
 }
@@ -126,7 +123,7 @@ func FormatSamplingStudy(app string, rows []SamplingRow) string {
 	fmt.Fprintf(&b, "%8s %14s %18s %18s %16s\n",
 		"period", "observed refs", "objects lost", "stack-ratio err", "placement diffs")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%8d %14d %11d of %-4d %17.1f%% %16d\n",
+		fmt.Fprintf(&b, "%8d %14d %10d of %-4d %17.1f%% %16d\n",
 			r.Period, r.ObservedRefs, r.LostObjects, r.TotalObjects,
 			r.StackRatioError*100, r.PlacementDiffs)
 	}

@@ -56,7 +56,19 @@ type Config struct {
 	// placement.  The option exists so that the loss is measurable — see
 	// the sampling tests and the ablation benchmark.  Instructions still
 	// retire for every reference; only the observation is sampled.
+	//
+	// Deprecated: SamplePeriod is the legacy spelling of
+	// Sample = SampleSpec{Mode: SamplePeriodic, Rate: N}.  It is ignored
+	// when Sample is enabled.
 	SamplePeriod int
+	// Sample selects the sampled-tracing discipline: periodic, Bernoulli
+	// or byte-threshold selection over a seeded PRNG (see SampleSpec).
+	// The zero value observes every reference.  Sampled-out references
+	// still retire an instruction and accumulate into the performance-event
+	// gap, so perf-event streams sum to true retired instructions at any
+	// rate; use Estimator to rescale the observed per-object counters into
+	// estimates of the true values.
+	Sample SampleSpec
 }
 
 // PerfSink is the batched performance-event consumer contract; it is
@@ -108,11 +120,20 @@ type Tracer struct {
 	// perfGap accumulates Compute instructions since the last reference.
 	perfGap uint64
 
-	// sampleTick counts references for the sampling gate.
+	// sampleTick counts references for the periodic sampling gate.
 	sampleTick uint64
+	// sampler holds the seeded gate state of the randomized modes.
+	sampler sampler
+	// sampleBytes accumulates observed access bytes per object under byte
+	// sampling; the Estimator reads it to convert byte weights back into
+	// reference counts.
+	sampleBytes map[ObjectID]uint64
 	// Sampled counts references actually observed (== all references when
 	// sampling is off).
 	Sampled uint64
+	// SampledOut counts references the gate skipped (retired but
+	// unobserved); Sampled+SampledOut is the true reference count.
+	SampledOut uint64
 
 	closed bool
 }
@@ -130,6 +151,10 @@ func New(cfg Config) *Tracer {
 	if reserve == 0 {
 		reserve = 256 << 20
 	}
+	spec := cfg.Sample
+	if !spec.Enabled() && cfg.SamplePeriod > 1 {
+		spec = SampleSpec{Mode: SamplePeriodic, Rate: uint64(cfg.SamplePeriod)}
+	}
 	t := &Tracer{
 		cfg:        cfg,
 		reg:        newRegistry(cacheSize),
@@ -142,6 +167,10 @@ func New(cfg Config) *Tracer {
 		globals:    newGlobalState(),
 		segIter:    map[trace.Segment][]trace.Stats{},
 		iterInstrs: []uint64{0},
+		sampler:    newSampler(spec),
+	}
+	if spec.Mode == SampleBytes && spec.Enabled() {
+		t.sampleBytes = map[ObjectID]uint64{}
 	}
 	if cfg.StackMode == FastStack {
 		t.stackObj = t.reg.newObject(Object{
@@ -239,11 +268,15 @@ func (t *Tracer) IterationInstructions(i int) uint64 {
 func (t *Tracer) access(addr uint64, size uint8, op trace.Op) {
 	t.instrs++ // a reference is one retired instruction
 
-	if t.cfg.SamplePeriod > 1 {
-		t.sampleTick++
-		if t.sampleTick%uint64(t.cfg.SamplePeriod) != 0 {
-			return
-		}
+	if t.sampler.spec.Enabled() && !t.sampler.observe(&t.sampleTick, size) {
+		// The reference retired but is not observed: it belongs in the
+		// instruction gap of the next observed perf event, so gap sums
+		// still add up to true retired instructions at any rate (a
+		// sampled-out reference used to vanish from the perf stream,
+		// silently drifting the CPU timing study).
+		t.perfGap++
+		t.SampledOut++
+		return
 	}
 	t.Sampled++
 
@@ -265,6 +298,9 @@ func (t *Tracer) access(addr uint64, size uint8, op trace.Op) {
 	if obj != nil {
 		obj.record(t.iter, op == trace.Write, 1)
 		obj.notePattern(addr)
+		if t.sampleBytes != nil {
+			t.sampleBytes[obj.ID] += uint64(size)
+		}
 	} else if seg == trace.SegUnknown {
 		t.Unknown++
 	}
@@ -280,6 +316,16 @@ func (t *Tracer) access(addr uint64, size uint8, op trace.Op) {
 		}
 	}
 }
+
+// Sample returns the tracer's effective sampling configuration (the
+// disabled spec for full runs).
+func (t *Tracer) Sample() SampleSpec { return t.sampler.spec }
+
+// PendingPerfGap returns the instructions retired since the last observed
+// reference that have not yet been attached to a perf event (the tail of
+// the stream).  sum(event gaps) + observed events + PendingPerfGap equals
+// total retired instructions at any sampling rate.
+func (t *Tracer) PendingPerfGap() uint64 { return t.perfGap }
 
 // flushPerf drains the staged performance events to the perf sink; errors
 // are sticky and short-circuit further delivery.

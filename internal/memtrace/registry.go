@@ -213,3 +213,11 @@ func (r *registry) cacheInsert(o *Object) {
 
 // allObjects returns every object ever registered.
 func (r *registry) allObjects() []*Object { return r.objects }
+
+// object returns the object with the given ID, or nil.
+func (r *registry) object(id ObjectID) *Object {
+	if int(id) < len(r.objects) {
+		return r.objects[id]
+	}
+	return nil
+}

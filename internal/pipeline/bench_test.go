@@ -5,6 +5,7 @@ import (
 
 	"nvscavenger/internal/apps"
 	"nvscavenger/internal/cachesim"
+	"nvscavenger/internal/memtrace"
 	"nvscavenger/internal/obs"
 	"nvscavenger/internal/trace"
 
@@ -99,4 +100,40 @@ func BenchmarkPipelineInstrumentationOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, Config{}) })
 	b.Run("on", func(b *testing.B) { run(b, Config{Metrics: obs.NewRegistry()}) })
+}
+
+// BenchmarkPipelineSampledTracing measures what sampled tracing buys at the
+// pipeline level: the full-instrumentation gtc run against seeded sampled
+// runs of each discipline at a common rate.  The app always executes every
+// reference (instructions retire regardless), so the delta is the cost the
+// observation path — attribution, cache simulation, transaction capture —
+// no longer pays for sampled-out references.
+func BenchmarkPipelineSampledTracing(b *testing.B) {
+	run := func(b *testing.B, spec memtrace.SampleSpec) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			app, err := apps.New("gtc", 0.1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cacheCfg := cachesim.PaperConfig()
+			st := MustBuild(Config{Sample: spec, Cache: &cacheCfg, CaptureTx: true})
+			if err := apps.Run(app, st.Tracer, 3); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("full", func(b *testing.B) { run(b, memtrace.SampleSpec{}) })
+	b.Run("period-64", func(b *testing.B) {
+		run(b, memtrace.SampleSpec{Mode: memtrace.SamplePeriodic, Rate: 64})
+	})
+	b.Run("bernoulli-64", func(b *testing.B) {
+		run(b, memtrace.SampleSpec{Mode: memtrace.SampleBernoulli, Rate: 64, Seed: 7})
+	})
+	b.Run("bytes-4096", func(b *testing.B) {
+		run(b, memtrace.SampleSpec{Mode: memtrace.SampleBytes, Rate: 4096, Seed: 7})
+	})
 }

@@ -230,7 +230,15 @@ type Config struct {
 	StackMode memtrace.StackMode
 	// SamplePeriod observes only every N-th reference when > 1 (the §III-D
 	// sampling study; the default of every reference is the paper's choice).
+	//
+	// Deprecated: SamplePeriod is the legacy spelling of
+	// Sample = memtrace.SampleSpec{Mode: SamplePeriodic, Rate: N}; it is
+	// ignored when Sample is enabled.
 	SamplePeriod int
+	// Sample selects seeded sampled tracing in the tracer (periodic,
+	// Bernoulli or byte-threshold selection; see memtrace.SampleSpec).
+	// The zero value observes every reference.
+	Sample memtrace.SampleSpec
 	// BufferSize is the tracer's staging-buffer capacity (accesses and
 	// performance events).  Zero selects trace.DefaultBufferSize.
 	BufferSize int
@@ -325,6 +333,7 @@ func Build(cfg Config) (*Stack, error) {
 	st.Tracer = memtrace.New(memtrace.Config{
 		StackMode:    cfg.StackMode,
 		SamplePeriod: cfg.SamplePeriod,
+		Sample:       cfg.Sample,
 		BufferSize:   cfg.BufferSize,
 		Sink:         sink,
 		Perf:         perf,
