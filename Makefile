@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race race-obs race-pipeline race-sampling race-served bench bench-snapshot chaos report
+.PHONY: ci lint vet build test race race-obs race-pipeline race-sampling race-served race-shard bench bench-snapshot bench-compare chaos report
 
-ci: lint vet build race-obs race-pipeline race-sampling race-served race bench chaos
+ci: lint vet build race-obs race-pipeline race-sampling race-served race-shard race bench chaos
 
 # Project-native static analysis: determinism, metric naming, the error
 # contract and the sticky-sink contract, over every package.  Non-zero on
@@ -48,6 +48,12 @@ race-sampling:
 race-served:
 	$(GO) test -race -count=2 ./internal/served ./cmd/nvserved
 
+# Intra-run sharding promises byte-identical merged output at any shard
+# count; run the shards-1-vs-K identity tests race-enabled twice so the
+# merge and arena hand-off paths stay clean under a varying schedule.
+race-shard:
+	$(GO) test -race -count=2 -run 'TestSharded|TestShards' ./internal/pipeline ./internal/experiments ./internal/served
+
 # One pass over the pipeline-throughput and instrumentation-overhead
 # benchmarks: a smoke check that the batched dataflow and its Counted
 # wrappers keep working, not a timing run.
@@ -59,8 +65,17 @@ bench:
 # parsed results to BENCH_PIPELINE.json (committed, so regressions show
 # up as diffs).  Not part of ci — timing runs need a quiet machine.
 bench-snapshot:
-	$(GO) test -run='^$$' -bench='BenchmarkPipeline(Throughput|InstrumentationOverhead|SampledTracing)' -count=1 ./internal/pipeline \
+	$(GO) test -run='^$$' -bench='BenchmarkPipeline(Throughput|InstrumentationOverhead|SampledTracing|Sharded)' -count=1 ./internal/pipeline \
 		| $(GO) run ./cmd/nvbench -out BENCH_PIPELINE.json
+
+# Compare a fresh timing run against the committed baseline: one row per
+# benchmark and metric with the relative delta.  Report-only — timing
+# noise on a shared machine is not a CI failure; pass a threshold by hand
+# (`go run ./cmd/nvbench -compare BENCH_PIPELINE.json -threshold 20`) to
+# gate.
+bench-compare:
+	$(GO) test -run='^$$' -bench='BenchmarkPipeline(Throughput|InstrumentationOverhead|SampledTracing|Sharded)' -count=1 ./internal/pipeline \
+		| $(GO) run ./cmd/nvbench -compare BENCH_PIPELINE.json
 
 # Chaos gate: the fault-injection and resilience packages race-enabled,
 # plus one seeded degraded sweep — it must complete (exit 0) with partial

@@ -379,5 +379,5 @@ func BenchmarkAblationSamplingFull(b *testing.B) {
 }
 
 func BenchmarkAblationSampling64(b *testing.B) {
-	runInstrumented(b, memtrace.Config{SamplePeriod: 64})
+	runInstrumented(b, memtrace.Config{Sample: memtrace.SampleSpec{Mode: memtrace.SamplePeriodic, Rate: 64}})
 }

@@ -6,6 +6,7 @@
 //
 //	go test -bench 'BenchmarkPipeline' ./internal/pipeline | nvbench -out BENCH_PIPELINE.json
 //	nvbench -in bench.txt              # parse a saved run, JSON to stdout
+//	go test -bench ... | nvbench -compare BENCH_PIPELINE.json
 //
 // When -out is set the raw benchmark text is echoed to stdout, so the
 // tool is transparent in a pipeline.  The snapshot records the run
@@ -13,14 +14,25 @@
 // iteration count and every reported metric (ns/op, B/op, custom
 // b.ReportMetric units) keyed by unit.  `make bench-snapshot` wires the
 // pipeline benchmarks through it.
+//
+// -compare diffs a fresh run against a committed baseline snapshot: one
+// row per benchmark and metric with the relative delta, plus benchmarks
+// present on only one side.  It is report-only by default (timing noise
+// on a shared machine is not a failure); -threshold N makes it exit
+// non-zero when ns/op regresses by more than N percent or allocs/op
+// grows at all.  `make bench-compare` wires the pipeline benchmarks
+// through it.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -60,8 +72,13 @@ func run(args []string, out io.Writer) error {
 	fs := cli.NewFlagSet("nvbench")
 	in := fs.String("in", "", "read benchmark text from this file instead of stdin")
 	outPath := fs.String("out", "", "write the JSON snapshot to this file instead of stdout")
+	comparePath := fs.String("compare", "", "diff the run against this committed baseline snapshot instead of emitting JSON")
+	threshold := fs.Float64("threshold", 0, "with -compare: fail when ns/op regresses more than this percent or allocs/op grows at all (0 = report only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *outPath != "" && *comparePath != "" {
+		return errors.New("-out and -compare are mutually exclusive")
 	}
 
 	var data []byte
@@ -82,6 +99,13 @@ func run(args []string, out io.Writer) error {
 	if len(snap.Benchmarks) == 0 {
 		return errors.New("no benchmark result lines in input")
 	}
+	if *comparePath != "" {
+		base, err := readSnapshot(*comparePath)
+		if err != nil {
+			return err
+		}
+		return Compare(out, base, snap, *threshold)
+	}
 	if *outPath != "" {
 		// Stay transparent in a pipeline: the bench text the user asked
 		// for still reaches stdout, the snapshot goes to the file.
@@ -89,6 +113,106 @@ func run(args []string, out io.Writer) error {
 		return cli.WriteValueJSONFile(*outPath, snap)
 	}
 	return cli.EncodeJSON(out, snap)
+}
+
+// readSnapshot loads a committed baseline, rejecting snapshots written by
+// a newer schema than this build speaks.
+func readSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//nvlint:ignore errcontract read-only file; Decode surfaces any read error
+	defer f.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if snap.SchemaVersion > snapshotSchemaVersion {
+		return nil, fmt.Errorf("baseline %s: unsupported schema_version %d (this build speaks %d)",
+			path, snap.SchemaVersion, snapshotSchemaVersion)
+	}
+	return &snap, nil
+}
+
+// Compare renders the per-benchmark, per-metric deltas of cur against
+// base: negative ns/op deltas are speedups, positive are regressions.
+// Benchmarks present on only one side are listed as added/removed rather
+// than silently skipped.  With threshold > 0 the comparison becomes a
+// gate: any ns/op regression beyond threshold percent, or any allocs/op
+// growth, fails with a summarizing error.
+func Compare(out io.Writer, base, cur *Snapshot, threshold float64) error {
+	baseByName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+	var regressions []string
+	tbl := cli.NewTable(out)
+	tbl.Row("benchmark", "metric", "baseline", "current", "delta")
+	for _, c := range cur.Benchmarks {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			tbl.Rowf("%s\t-\t(absent)\t(new)\t-", c.Name)
+			continue
+		}
+		delete(baseByName, c.Name)
+		units := make([]string, 0, len(c.Metrics))
+		for unit := range c.Metrics {
+			if _, shared := b.Metrics[unit]; shared {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			was, now := b.Metrics[unit], c.Metrics[unit]
+			tbl.Rowf("%s\t%s\t%s\t%s\t%s", c.Name, unit, formatValue(was), formatValue(now), formatDelta(was, now))
+			switch unit {
+			case "ns/op":
+				if threshold > 0 && was > 0 && (now-was)/was*100 > threshold {
+					regressions = append(regressions,
+						fmt.Sprintf("%s ns/op %s (threshold %+.1f%%)", c.Name, formatDelta(was, now), threshold))
+				}
+			case "allocs/op":
+				if threshold > 0 && now > was {
+					regressions = append(regressions,
+						fmt.Sprintf("%s allocs/op grew %g -> %g", c.Name, was, now))
+				}
+			}
+		}
+	}
+	// Baseline entries the fresh run no longer exercises, in input order.
+	for _, b := range base.Benchmarks {
+		if _, removed := baseByName[b.Name]; removed {
+			tbl.Rowf("%s\t-\t(present)\t(removed)\t-", b.Name)
+		}
+	}
+	if err := tbl.Flush(); err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// formatValue renders a metric value without float noise: integral values
+// print as integers, the rest keep two decimals.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// formatDelta renders the relative change from was to now.
+func formatDelta(was, now float64) string {
+	if was == 0 {
+		if now == 0 {
+			return "+0.0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (now-was)/was*100)
 }
 
 // Parse reads `go test -bench` text and returns the snapshot.  Header

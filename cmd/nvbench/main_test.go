@@ -104,6 +104,114 @@ func TestRunWritesSnapshotFile(t *testing.T) {
 	}
 }
 
+// compareBaseline is sampleBench's parse with shifted timings, saved as a
+// baseline file by the compare tests.
+const compareBaselineJSON = `{
+  "schema_version": 1,
+  "benchmarks": [
+    {"name": "PipelineThroughput/batched", "procs": 8, "iterations": 10,
+     "metrics": {"ns/op": 62831852, "tx": 524288, "allocs/op": 0}},
+    {"name": "PipelineThroughput/per-transaction", "procs": 8, "iterations": 10,
+     "metrics": {"ns/op": 99999999, "tx": 524288}},
+    {"name": "PipelineRetired/old", "procs": 8, "iterations": 1,
+     "metrics": {"ns/op": 1}}
+  ]
+}`
+
+func writeCompareFixtures(t *testing.T) (benchTxt, baseline string) {
+	t.Helper()
+	dir := t.TempDir()
+	benchTxt = filepath.Join(dir, "bench.txt")
+	baseline = filepath.Join(dir, "base.json")
+	if err := os.WriteFile(benchTxt, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, []byte(compareBaselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return benchTxt, baseline
+}
+
+// TestCompareReportsDeltas: every shared metric gets a delta row, one-sided
+// benchmarks are listed as new/removed, and report-only mode never fails.
+func TestCompareReportsDeltas(t *testing.T) {
+	benchTxt, baseline := writeCompareFixtures(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", benchTxt, "-compare", baseline}, &out); err != nil {
+		t.Fatalf("report-only compare failed: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"PipelineThroughput/batched",
+		"ns/op",
+		"-50.0%", // 62831852 -> 31415926
+		"+0.0%",  // per-transaction unchanged
+		"(new)",  // InstrumentationOverhead absent from the baseline
+		"(removed)",
+		"PipelineRetired/old",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+	// allocs/op exists only in the baseline for batched: not a shared
+	// metric, so no row (and no false regression).
+	if strings.Contains(got, "allocs/op") {
+		t.Errorf("unshared metric leaked into the diff:\n%s", got)
+	}
+}
+
+// TestCompareThresholdGates: a regression beyond the threshold fails, a
+// speedup never does.
+func TestCompareThresholdGates(t *testing.T) {
+	dir := t.TempDir()
+	benchTxt := filepath.Join(dir, "bench.txt")
+	baseline := filepath.Join(dir, "base.json")
+	// Fresh run is 2x slower than the recorded baseline and allocates.
+	if err := os.WriteFile(benchTxt, []byte("BenchmarkSlow-8 5 200 ns/op 3 allocs/op\nPASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, []byte(`{"schema_version":1,"benchmarks":[
+		{"name":"Slow","procs":8,"iterations":5,"metrics":{"ns/op":100,"allocs/op":0}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-in", benchTxt, "-compare", baseline, "-threshold", "10"}, &out)
+	if err == nil {
+		t.Fatal("2x ns/op regression plus alloc growth must fail a 10% threshold")
+	}
+	if !strings.Contains(err.Error(), "ns/op") || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("gate error does not name both regressions: %v", err)
+	}
+	if err := run([]string{"-in", benchTxt, "-compare", baseline}, &out); err != nil {
+		t.Errorf("threshold 0 must stay report-only: %v", err)
+	}
+	// Swap roles: the fresh run is the faster one.
+	if err := os.WriteFile(baseline, []byte(`{"schema_version":1,"benchmarks":[
+		{"name":"Slow","procs":8,"iterations":5,"metrics":{"ns/op":400,"allocs/op":3}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", benchTxt, "-compare", baseline, "-threshold", "10"}, &out); err != nil {
+		t.Errorf("speedup must pass the gate: %v", err)
+	}
+}
+
+// TestCompareRejectsBadBaseline: future schemas and -out/-compare together
+// are refused.
+func TestCompareRejectsBadBaseline(t *testing.T) {
+	benchTxt, baseline := writeCompareFixtures(t)
+	if err := os.WriteFile(baseline, []byte(`{"schema_version":99,"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", benchTxt, "-compare", baseline}, &out); err == nil {
+		t.Error("future-schema baseline must be rejected")
+	}
+	if err := run([]string{"-in", benchTxt, "-compare", baseline, "-out", "x.json"}, &out); err == nil {
+		t.Error("-out with -compare must be rejected")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	empty := filepath.Join(dir, "empty.txt")

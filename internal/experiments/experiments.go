@@ -306,11 +306,47 @@ func (s *Session) fast(ctx context.Context, name string) (*Run, error) {
 	return v.(*Run), nil
 }
 
-func (s *Session) runFast(ctx context.Context, name string) (*Run, error) {
-	app, err := apps.New(name, s.opts.Scale)
-	if err != nil {
-		return nil, err
+// shards returns the effective shard count for instrumented runs: sessions
+// with armed faults stay on the single-stack path (fault injection targets
+// the one live pipeline of a run, which selective replay would multiply).
+func (s *Session) shards() int {
+	if s.cfg.fault.Enabled() {
+		return 1
 	}
+	return s.cfg.shards
+}
+
+// runSharded executes one run as a sharded replay: every shard replays the
+// app from the start (apps are deterministic in (name, scale)), records its
+// owned iteration span, and Merge folds the shards into a stack
+// byte-identical to the single-stack run.  The returned app is the last
+// shard's — the one that replayed the whole program.
+func (s *Session) runSharded(ctx context.Context, name string, pcfg pipeline.Config, shards int) (*pipeline.Stack, apps.App, error) {
+	ss, err := pipeline.BuildSharded(pcfg, s.opts.Iterations, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	var app apps.App
+	for k := 0; k < ss.Shards(); k++ {
+		a, err := apps.New(name, s.opts.Scale)
+		if err == nil {
+			err = apps.RunContext(ctx, a, ss.Stack(k).Tracer, ss.RunIterations(k))
+		}
+		if err != nil {
+			//nvlint:ignore errcontract best-effort cleanup; the run error is reported
+			_ = ss.Close()
+			return nil, nil, err
+		}
+		app = a
+	}
+	merged, err := ss.Merge()
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, app, nil
+}
+
+func (s *Session) runFast(ctx context.Context, name string) (*Run, error) {
 	labels := []obs.Label{obs.L("app", name), obs.L("mode", "fast")}
 	cacheCfg := cachesim.PaperConfig()
 	pcfg := pipeline.Config{
@@ -322,15 +358,30 @@ func (s *Session) runFast(ctx context.Context, name string) (*Run, error) {
 		Labels:    labels,
 	}
 	s.chaos(&pcfg)
-	stack, err := pipeline.Build(pcfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := apps.RunContext(ctx, app, stack.Tracer, s.opts.Iterations); err != nil {
-		return nil, err
-	}
-	if err := stack.Close(); err != nil {
-		return nil, err
+	var stack *pipeline.Stack
+	var app apps.App
+	if k := s.shards(); k > 1 {
+		var err error
+		stack, app, err = s.runSharded(ctx, name, pcfg, k)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		app, err = apps.New(name, s.opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		stack, err = pipeline.Build(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := apps.RunContext(ctx, app, stack.Tracer, s.opts.Iterations); err != nil {
+			return nil, err
+		}
+		if err := stack.Close(); err != nil {
+			return nil, err
+		}
 	}
 	stack.Hierarchy.ExportMetrics(s.cfg.metrics, labels...)
 	stack.Tracer.ExportMetrics(s.cfg.metrics, labels...)
@@ -355,21 +406,32 @@ func (s *Session) slow(ctx context.Context, name string) (*Run, error) {
 }
 
 func (s *Session) runSlow(ctx context.Context, name string) (*Run, error) {
-	app, err := apps.New(name, s.opts.Scale)
-	if err != nil {
-		return nil, err
-	}
 	pcfg := pipeline.Config{StackMode: memtrace.SlowStack, Sample: s.cfg.sample}
 	s.chaos(&pcfg)
-	stack, err := pipeline.Build(pcfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := apps.RunContext(ctx, app, stack.Tracer, s.opts.Iterations); err != nil {
-		return nil, err
-	}
-	if err := stack.Close(); err != nil {
-		return nil, err
+	var stack *pipeline.Stack
+	var app apps.App
+	if k := s.shards(); k > 1 && len(pcfg.AccessTaps) == 0 {
+		var err error
+		stack, app, err = s.runSharded(ctx, name, pcfg, k)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		app, err = apps.New(name, s.opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		stack, err = pipeline.Build(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := apps.RunContext(ctx, app, stack.Tracer, s.opts.Iterations); err != nil {
+			return nil, err
+		}
+		if err := stack.Close(); err != nil {
+			return nil, err
+		}
 	}
 	stack.Tracer.ExportMetrics(s.cfg.metrics, obs.L("app", name), obs.L("mode", "slow"))
 	return &Run{App: app, Tracer: stack.Tracer}, nil

@@ -31,7 +31,10 @@ import (
 //	1: initial jobs-API contract (PR 6).
 //	2: adds the optional "sample" spec (seeded sampled tracing,
 //	   mode:rate=N[,seed=S]).  Version-1 payloads decode unchanged.
-const SchemaVersion = 2
+//	3: adds the optional "shards" count (deterministic intra-run
+//	   sharding; the merged result is byte-identical to shards=1).
+//	   Version-1 and -2 payloads decode unchanged.
+const SchemaVersion = 3
 
 // Job lifecycle states, the vocabulary of JobResult.State.  A job moves
 // queued → running → one of the three terminal states.
@@ -48,10 +51,10 @@ const (
 // generator and the analysis tools.  The zero value of every field selects
 // the calibrated default, so `{"exhibits":["table5"]}` is a complete spec.
 //
-// JSON schema (version 1):
+// JSON schema (version 3):
 //
 //	{
-//	  "schema_version": 2,          // optional; 0 means "current"
+//	  "schema_version": 3,          // optional; 0 means "current"
 //	  "scale": 0.25,                // problem scale, default 1.0
 //	  "iterations": 10,             // main-loop iterations, default 10
 //	  "apps": ["gtc", "cam"],       // app subset, default all registered
@@ -60,7 +63,8 @@ const (
 //	  "jobs": 4,                    // worker-pool bound, 0 = GOMAXPROCS
 //	  "fault": "sink:every=50,seed=7", // chaos spec, default none
 //	  "retries": 2,                 // per-run retry attempts
-//	  "sample": "bernoulli:rate=64,seed=7" // sampled tracing, default off (v2)
+//	  "sample": "bernoulli:rate=64,seed=7", // sampled tracing, default off (v2)
+//	  "shards": 4                   // intra-run sharding, default 1 (v3)
 //	}
 type JobSpec struct {
 	SchemaVersion int      `json:"schema_version"`
@@ -76,6 +80,11 @@ type JobSpec struct {
 	// every instrumented run of the job to seeded sampled tracing.  Empty
 	// (the default) observes every reference.  Schema version 2.
 	Sample string `json:"sample,omitempty"`
+	// Shards splits every instrumented run's iteration space across this
+	// many per-shard stacks, merged deterministically (see WithShards); the
+	// results are byte-identical to an unsharded run.  0 or 1 keep the
+	// single-stack path.  Incompatible with "fault".  Schema version 3.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Normalized returns the spec with defaults made explicit: the schema
@@ -98,6 +107,11 @@ func (s JobSpec) Normalized() JobSpec {
 		} else {
 			s.Sample = ""
 		}
+	}
+	// shards=1 is the single-stack default; canonicalize it away so equal
+	// configurations serialize and key identically.
+	if s.Shards == 1 {
+		s.Shards = 0
 	}
 	return s
 }
@@ -145,6 +159,12 @@ func (s JobSpec) Validate() error {
 	if s.Retries < 0 {
 		return fmt.Errorf("experiments: retries %d must be non-negative", s.Retries)
 	}
+	if s.Shards < 0 {
+		return fmt.Errorf("experiments: shards %d must be non-negative", s.Shards)
+	}
+	if s.Shards > 1 && s.Fault != "" {
+		return fmt.Errorf("experiments: shards and fault are incompatible (fault injection targets the one live pipeline of a run)")
+	}
 	return nil
 }
 
@@ -181,6 +201,9 @@ func (s JobSpec) SessionOptions() ([]Option, error) {
 		}
 		opts = append(opts, WithSample(spec))
 	}
+	if n.Shards > 1 {
+		opts = append(opts, WithShards(n.Shards))
+	}
 	return opts, nil
 }
 
@@ -213,6 +236,9 @@ func (s JobSpec) SessionKey() string {
 		",retries=" + strconv.Itoa(n.Retries)
 	if n.Sample != "" {
 		key += ",sample=" + n.Sample
+	}
+	if n.Shards > 1 {
+		key += ",shards=" + strconv.Itoa(n.Shards)
 	}
 	return key
 }

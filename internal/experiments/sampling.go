@@ -51,7 +51,10 @@ func (s *Session) SamplingStudy(app string, periods []int) ([]SamplingRow, error
 				if err != nil {
 					return nil, 0, err
 				}
-				stack, err := pipeline.Build(pipeline.Config{StackMode: memtrace.FastStack, SamplePeriod: period})
+				stack, err := pipeline.Build(pipeline.Config{
+					StackMode: memtrace.FastStack,
+					Sample:    memtrace.SampleSpec{Mode: memtrace.SamplePeriodic, Rate: uint64(period)},
+				})
 				if err != nil {
 					return nil, 0, err
 				}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/obs"
+)
+
+// shardReport renders a report and captures the session's metrics snapshot
+// for one option set.
+func shardReport(t *testing.T, only []string, opts ...Option) (string, obs.Snapshot) {
+	t.Helper()
+	base := []Option{WithScale(0.05), WithIterations(4)}
+	s := NewSession(append(base, opts...)...)
+	var b bytes.Buffer
+	if err := s.WriteReport(&b, ReportConfig{Only: only}); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), s.MetricsSnapshot()
+}
+
+// sameDeterministicMetrics asserts two snapshots expose the same series and
+// agree on every deterministic value (counters and gauges; histograms hold
+// wall-clock timings, so only their identity is compared).
+func sameDeterministicMetrics(t *testing.T, label string, want, got obs.Snapshot) {
+	t.Helper()
+	wantIDs, gotIDs := want.SeriesIDs(), got.SeriesIDs()
+	if len(wantIDs) != len(gotIDs) {
+		t.Errorf("%s: series count differs: %d vs %d", label, len(wantIDs), len(gotIDs))
+		return
+	}
+	for i := range wantIDs {
+		if wantIDs[i] != gotIDs[i] {
+			t.Errorf("%s: series %d differs: %q vs %q", label, i, wantIDs[i], gotIDs[i])
+			return
+		}
+	}
+	for i := range want.Counters {
+		a, b := want.Counters[i], got.Counters[i]
+		if a.Value != b.Value {
+			t.Errorf("%s: counter %s%v: %d vs %d", label, a.Name, a.Labels, a.Value, b.Value)
+		}
+	}
+	for i := range want.Gauges {
+		a, b := want.Gauges[i], got.Gauges[i]
+		if a.Value != b.Value {
+			t.Errorf("%s: gauge %s%v: %g vs %g", label, a.Name, a.Labels, a.Value, b.Value)
+		}
+	}
+}
+
+// TestShardedSessionByteIdentical is the session-level sharding contract:
+// the full default report AND every deterministic metric of a sharded
+// session are byte-identical to the unsharded session, at any shard count
+// and any jobs count.
+func TestShardedSessionByteIdentical(t *testing.T) {
+	want, wantSnap := shardReport(t, nil)
+	for _, tc := range []struct {
+		label string
+		opts  []Option
+	}{
+		{"shards=3", []Option{WithShards(3)}},
+		{"shards=2,jobs=4", []Option{WithShards(2), WithJobs(4)}},
+	} {
+		got, gotSnap := shardReport(t, nil, tc.opts...)
+		if got != want {
+			t.Errorf("%s: report bytes diverge from unsharded session", tc.label)
+		}
+		sameDeterministicMetrics(t, tc.label, wantSnap, gotSnap)
+	}
+}
+
+// TestShardedSessionComposesWithSampling: sharding preserves the sampled
+// products too — the per-shard samplers replay the same seeded decision
+// stream, so a sampled sharded report equals the sampled unsharded one.
+func TestShardedSessionComposesWithSampling(t *testing.T) {
+	only := []string{"table5", "fig7", "placement"}
+	sample := WithSample(memtrace.SampleSpec{Mode: memtrace.SampleBernoulli, Rate: 8, Seed: 7})
+	want, _ := shardReport(t, only, sample)
+	got, _ := shardReport(t, only, sample, WithShards(3))
+	if got != want {
+		t.Error("sampled sharded report diverges from sampled unsharded report")
+	}
+}
+
+// TestShardsIgnoredUnderFaults: JobSpec.Validate rejects the combination,
+// and a session armed directly stays on the single-stack path rather than
+// multiplying the injected fault across replayed shards.
+func TestShardsIgnoredUnderFaults(t *testing.T) {
+	spec := JobSpec{Shards: 2, Fault: "sink:every=50,seed=7"}
+	if err := spec.Validate(); err == nil {
+		t.Error("JobSpec must reject shards combined with fault")
+	}
+	if err := (JobSpec{Shards: 2}).Validate(); err != nil {
+		t.Errorf("shards alone must validate: %v", err)
+	}
+}

@@ -43,7 +43,7 @@ func TestSamplingGateKeepsPerfGapAccounting(t *testing.T) {
 	var want uint64
 	for _, period := range []int{1, 2, 4, 8, 16, 64} {
 		sink := &perfCapture{}
-		tr := New(Config{Perf: sink, SamplePeriod: period})
+		tr := New(Config{Perf: sink, Sample: SampleSpec{Mode: SamplePeriodic, Rate: uint64(period)}})
 		perfWorkload(tr)
 		if err := tr.Close(); err != nil {
 			t.Fatal(err)
@@ -254,21 +254,6 @@ func TestSampleSpecParseRoundTrip(t *testing.T) {
 		if _, err := ParseSampleSpec(bad); err == nil {
 			t.Errorf("%q must not parse", bad)
 		}
-	}
-}
-
-// TestLegacySamplePeriodMapsToPeriodicMode: Config.SamplePeriod keeps its
-// exact pre-SampleSpec behaviour.
-func TestLegacySamplePeriodMapsToPeriodicMode(t *testing.T) {
-	legacy := New(Config{SamplePeriod: 16})
-	estimatorWorkload(legacy)
-	spec := New(Config{Sample: SampleSpec{Mode: SamplePeriodic, Rate: 16}})
-	estimatorWorkload(spec)
-	if legacy.Sampled != spec.Sampled {
-		t.Fatalf("legacy SamplePeriod observed %d, SampleSpec %d", legacy.Sampled, spec.Sampled)
-	}
-	if got := legacy.Sample(); got.Mode != SamplePeriodic || got.Rate != 16 {
-		t.Fatalf("legacy Sample() = %v", got)
 	}
 }
 

@@ -48,7 +48,7 @@ func TestSamplingOffObservesEverything(t *testing.T) {
 }
 
 func TestSamplingLosesRareObjects(t *testing.T) {
-	tr := New(Config{SamplePeriod: 64})
+	tr := New(Config{Sample: SampleSpec{Mode: SamplePeriodic, Rate: 64}})
 	_, cold := rareObjectWorkload(tr)
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
@@ -79,7 +79,7 @@ func TestSamplingLosesRareObjects(t *testing.T) {
 func TestSamplingReducesObservedCount(t *testing.T) {
 	full := New(Config{})
 	rareObjectWorkload(full)
-	sampled := New(Config{SamplePeriod: 16})
+	sampled := New(Config{Sample: SampleSpec{Mode: SamplePeriodic, Rate: 16}})
 	rareObjectWorkload(sampled)
 	if sampled.Sampled*8 > full.Sampled {
 		t.Fatalf("1/16 sampling observed %d of %d references", sampled.Sampled, full.Sampled)
@@ -91,7 +91,7 @@ func TestSamplingReducesObservedCount(t *testing.T) {
 }
 
 func TestSamplingPeriodOneIsFull(t *testing.T) {
-	a := New(Config{SamplePeriod: 1})
+	a := New(Config{Sample: SampleSpec{Mode: SamplePeriodic, Rate: 1}})
 	rareObjectWorkload(a)
 	b := New(Config{})
 	rareObjectWorkload(b)

@@ -62,6 +62,7 @@ type filter[T any] struct {
 	pred    func(T) bool
 	next    Stage[T]
 	scratch []T
+	arena   *trace.Arena[T]
 }
 
 // Filter returns a stage forwarding only events for which pred is true.
@@ -82,6 +83,15 @@ func (f *filter[T]) Flush(batch []T) error {
 		return nil
 	}
 	return f.next.Flush(f.scratch)
+}
+
+// Release hands an arena-drawn scratch slab back; the filter must not be
+// flushed afterwards.  No-op for lazily-grown scratch.
+func (f *filter[T]) Release() {
+	if f.arena != nil && f.scratch != nil {
+		f.arena.Put(f.scratch)
+		f.scratch = nil
+	}
 }
 
 // counted instruments a stage boundary with obs counters.
@@ -228,13 +238,6 @@ type Config struct {
 	// StackMode selects whole-stack (fast) or per-frame (slow) stack
 	// attribution in the tracer.
 	StackMode memtrace.StackMode
-	// SamplePeriod observes only every N-th reference when > 1 (the §III-D
-	// sampling study; the default of every reference is the paper's choice).
-	//
-	// Deprecated: SamplePeriod is the legacy spelling of
-	// Sample = memtrace.SampleSpec{Mode: SamplePeriodic, Rate: N}; it is
-	// ignored when Sample is enabled.
-	SamplePeriod int
 	// Sample selects seeded sampled tracing in the tracer (periodic,
 	// Bernoulli or byte-threshold selection; see memtrace.SampleSpec).
 	// The zero value observes every reference.
@@ -260,10 +263,22 @@ type Config struct {
 	// model).
 	Perf trace.PerfSink
 	// Metrics, when set, wraps each stage boundary in Counted
-	// instrumentation (stages: accesses, transactions, perf).
+	// instrumentation (stages: accesses, transactions, perf).  Metrics also
+	// selects the wiring: a nil registry lets Build fuse linear
+	// single-consumer topologies into direct concrete calls (see Build).
 	Metrics *obs.Registry
 	// Labels are attached to every pipeline metric series.
 	Labels []obs.Label
+	// Arenas, when set, supplies every staging slab in the stack (tracer
+	// access buffer, hierarchy transaction buffer) from shared batch arenas
+	// instead of private allocations; Close hands the slabs back.  Sharded
+	// stacks share one Arenas across their shards.
+	Arenas *Arenas
+
+	// window restricts recording to an owned slice of the iteration space;
+	// only BuildSharded sets it (Config is copied by value, so callers
+	// outside the package cannot).
+	window *memtrace.Window
 }
 
 // Stack is an assembled dataflow: the tracer the instrumented application
@@ -275,69 +290,118 @@ type Stack struct {
 	Hierarchy *cachesim.Hierarchy
 
 	capture  *Capture[trace.Transaction]
+	arenas   *Arenas
 	closed   bool
 	closeErr error
 }
 
 // Build assembles the stack declared by cfg.
+//
+// With Metrics unset, Build detects linear single-consumer topologies and
+// fuses them: the tracer's staging buffer flushes straight into the concrete
+// *cachesim.Hierarchy, the hierarchy's transaction buffer flushes straight
+// into the one configured consumer (or the concrete capture), and the perf
+// buffer flushes straight into the configured PerfSink — one devirtualized
+// call per batch at every hop instead of a chain of StageFunc closures.
+// Metrics-instrumented builds and fan-out topologies (several TxSinks,
+// capture plus sinks, access taps next to the cache) keep the generic
+// combinator wiring.
 func Build(cfg Config) (*Stack, error) {
 	if cfg.Cache == nil && (len(cfg.TxSinks) > 0 || cfg.CaptureTx) {
 		return nil, fmt.Errorf("pipeline: transaction consumers configured without a Cache stage")
 	}
-	st := &Stack{}
+	st := &Stack{arenas: cfg.Arenas}
+	fused := cfg.Metrics == nil
 
-	var accessStages []Stage[trace.Access]
 	if cfg.Cache != nil {
-		txStages := make([]Stage[trace.Transaction], 0, len(cfg.TxSinks)+1)
-		for _, s := range cfg.TxSinks {
-			txStages = append(txStages, TxStage(s))
-		}
-		if cfg.CaptureTx {
-			st.capture = &Capture[trace.Transaction]{}
-			txStages = append(txStages, st.capture)
-		}
 		var txSink trace.TxSink
-		switch len(txStages) {
-		case 0:
+		switch {
+		case len(cfg.TxSinks) == 0 && !cfg.CaptureTx:
 			// Statistics-only hierarchy: no transaction stage.
-		case 1:
-			txSink = ToTxSink(Counted(cfg.Metrics, "transactions", txStages[0], cfg.Labels...))
+		case fused && len(cfg.TxSinks) == 0:
+			tc := &TxCapture{}
+			st.capture = &tc.Capture
+			txSink = tc
+		case fused && len(cfg.TxSinks) == 1 && !cfg.CaptureTx:
+			txSink = cfg.TxSinks[0]
 		default:
-			txSink = ToTxSink(Counted(cfg.Metrics, "transactions", Tee(txStages...), cfg.Labels...))
+			txStages := make([]Stage[trace.Transaction], 0, len(cfg.TxSinks)+1)
+			for _, s := range cfg.TxSinks {
+				txStages = append(txStages, TxStage(s))
+			}
+			if cfg.CaptureTx {
+				tc := &TxCapture{}
+				st.capture = &tc.Capture
+				txStages = append(txStages, tc)
+			}
+			if len(txStages) == 1 {
+				txSink = ToTxSink(Counted(cfg.Metrics, "transactions", txStages[0], cfg.Labels...))
+			} else {
+				txSink = ToTxSink(Counted(cfg.Metrics, "transactions", Tee(txStages...), cfg.Labels...))
+			}
 		}
-		hier, err := cachesim.New(*cfg.Cache, txSink)
+		var hier *cachesim.Hierarchy
+		var err error
+		if cfg.Arenas != nil {
+			hier, err = cachesim.NewWithArena(*cfg.Cache, txSink, cfg.Arenas.Tx)
+		} else {
+			hier, err = cachesim.New(*cfg.Cache, txSink)
+		}
 		if err != nil {
 			return nil, err
 		}
 		st.Hierarchy = hier
-		accessStages = append(accessStages, Stage[trace.Access](hier))
-	}
-	for _, tap := range cfg.AccessTaps {
-		accessStages = append(accessStages, Stage[trace.Access](tap))
 	}
 
 	var sink trace.Sink
-	switch len(accessStages) {
-	case 0:
-	case 1:
-		sink = trace.SinkFunc(Counted(cfg.Metrics, "accesses", accessStages[0], cfg.Labels...).Flush)
+	switch {
+	case st.Hierarchy == nil && len(cfg.AccessTaps) == 0:
+	case fused && st.Hierarchy != nil && len(cfg.AccessTaps) == 0:
+		sink = st.Hierarchy
+	case fused && st.Hierarchy == nil && len(cfg.AccessTaps) == 1:
+		sink = cfg.AccessTaps[0]
 	default:
-		sink = trace.SinkFunc(Counted(cfg.Metrics, "accesses", Tee(accessStages...), cfg.Labels...).Flush)
+		accessStages := make([]Stage[trace.Access], 0, len(cfg.AccessTaps)+1)
+		if st.Hierarchy != nil {
+			accessStages = append(accessStages, Stage[trace.Access](st.Hierarchy))
+		}
+		for _, tap := range cfg.AccessTaps {
+			accessStages = append(accessStages, Stage[trace.Access](tap))
+		}
+		if len(accessStages) == 1 {
+			sink = trace.SinkFunc(Counted(cfg.Metrics, "accesses", accessStages[0], cfg.Labels...).Flush)
+		} else {
+			sink = trace.SinkFunc(Counted(cfg.Metrics, "accesses", Tee(accessStages...), cfg.Labels...).Flush)
+		}
 	}
 
 	var perf trace.PerfSink
 	if cfg.Perf != nil {
-		perf = ToPerfSink(Counted(cfg.Metrics, "perf", PerfStage(cfg.Perf), cfg.Labels...))
+		if fused {
+			perf = cfg.Perf
+		} else {
+			perf = ToPerfSink(Counted(cfg.Metrics, "perf", PerfStage(cfg.Perf), cfg.Labels...))
+		}
 	}
 
-	st.Tracer = memtrace.New(memtrace.Config{
-		StackMode:    cfg.StackMode,
-		SamplePeriod: cfg.SamplePeriod,
-		Sample:       cfg.Sample,
-		BufferSize:   cfg.BufferSize,
-		Sink:         sink,
-		Perf:         perf,
-	})
+	if cfg.window != nil && st.Hierarchy != nil {
+		h := st.Hierarchy
+		cfg.window.OnOwnership = func(owned bool) { h.SetMuted(!owned) }
+		h.SetMuted(!cfg.window.First)
+	}
+
+	mcfg := memtrace.Config{
+		StackMode:  cfg.StackMode,
+		Sample:     cfg.Sample,
+		BufferSize: cfg.BufferSize,
+		Sink:       sink,
+		Perf:       perf,
+		Window:     cfg.window,
+	}
+	if cfg.Arenas != nil {
+		mcfg.Arena = cfg.Arenas.Access
+	}
+	st.Tracer = memtrace.New(mcfg)
 	return st, nil
 }
 
@@ -377,6 +441,12 @@ func (s *Stack) Close() error {
 		}
 		if err == nil {
 			err = s.Hierarchy.Err()
+		}
+	}
+	if s.arenas != nil {
+		s.Tracer.ReleaseBuffers()
+		if s.Hierarchy != nil {
+			s.Hierarchy.ReleaseBuffers()
 		}
 	}
 	s.closeErr = err

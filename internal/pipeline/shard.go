@@ -1,0 +1,248 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"nvscavenger/internal/cachesim"
+	"nvscavenger/internal/memtrace"
+	"nvscavenger/internal/obs"
+	"nvscavenger/internal/trace"
+)
+
+// ShardedStack partitions one application run's iteration space across K
+// per-shard stacks — each with its own tracer, cache hierarchy and seeded
+// sampler — and deterministically merges their per-object statistics, cache
+// counters, transaction traces and performance streams so the result is
+// byte-identical to the K=1 stack at any shard count.
+//
+// The execution model is selective replay: every shard replays the
+// application deterministically from the start up to the end of its owned
+// span, so all simulator state (cache lines, sampler PRNG, attribution
+// index) evolves exactly as in a full run, but recording and emission are
+// gated to the contiguous iteration span the shard owns (memtrace.Window).
+// Shard 0 owns the pre-computing phase, the last shard owns the
+// post-processing phase and replays to the end.  Emitted transaction and
+// perf streams are captured per shard in arena chunks and concatenated in
+// (shard, sequence) order at Merge.
+//
+// Replay is what buys exactness: sharding trades total work (shard k replays
+// e_k iterations to record e_k - s_k + 1) for per-shard independence, so K
+// shards can run on K cores with no cross-shard synchronization at all.
+type ShardedStack struct {
+	cfg        Config
+	iterations int
+	stacks     []*Stack
+	windows    []*memtrace.Window
+	txCaps     []*TxChunkCapture
+	perfCaps   []*PerfChunkCapture
+	merged     *Stack
+}
+
+// BuildSharded assembles shards per-shard stacks over cfg for a run of the
+// given main-loop iteration count.  The shard count is clamped to
+// [1, iterations].  Access taps are not supported in sharded mode (a tap
+// would observe every shard's replayed prefix, not the run's stream once);
+// per-shard stacks are always built fused and uninstrumented — when
+// cfg.Metrics is set, Merge publishes the exact pipeline counters a K=1
+// instrumented run would have recorded.
+func BuildSharded(cfg Config, iterations, shards int) (*ShardedStack, error) {
+	if len(cfg.AccessTaps) > 0 {
+		return nil, fmt.Errorf("pipeline: sharded stacks do not support access taps")
+	}
+	if iterations < 1 {
+		return nil, fmt.Errorf("pipeline: sharded stack needs at least one main-loop iteration, got %d", iterations)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > iterations {
+		shards = iterations
+	}
+	if cfg.Arenas == nil {
+		cfg.Arenas = NewArenas(cfg.BufferSize)
+	}
+	ss := &ShardedStack{cfg: cfg, iterations: iterations}
+	for k := 0; k < shards; k++ {
+		win := &memtrace.Window{
+			Start: k*iterations/shards + 1,
+			End:   (k + 1) * iterations / shards,
+			First: k == 0,
+			Last:  k == shards-1,
+		}
+		scfg := cfg
+		scfg.Metrics = nil
+		scfg.Labels = nil
+		scfg.window = win
+		scfg.CaptureTx = false
+		scfg.TxSinks = nil
+		scfg.Perf = nil
+		if cfg.CaptureTx || len(cfg.TxSinks) > 0 {
+			tc := NewTxChunkCapture(cfg.Arenas.Tx)
+			ss.txCaps = append(ss.txCaps, tc)
+			scfg.TxSinks = []trace.TxSink{tc}
+		}
+		if cfg.Perf != nil {
+			pc := NewPerfChunkCapture(cfg.Arenas.Perf)
+			ss.perfCaps = append(ss.perfCaps, pc)
+			scfg.Perf = pc
+		}
+		st, err := Build(scfg)
+		if err != nil {
+			return nil, err
+		}
+		ss.stacks = append(ss.stacks, st)
+		ss.windows = append(ss.windows, win)
+	}
+	return ss, nil
+}
+
+// Shards returns the effective shard count (after clamping).
+func (s *ShardedStack) Shards() int { return len(s.stacks) }
+
+// Stack returns shard k's stack; drive its Tracer with the application.
+func (s *ShardedStack) Stack(k int) *Stack { return s.stacks[k] }
+
+// RunIterations returns how many main-loop iterations shard k must replay:
+// selective replay runs the application from the start to the end of the
+// shard's owned span.
+func (s *ShardedStack) RunIterations(k int) int { return s.windows[k].End }
+
+// Merge closes every shard and folds them into one stack equivalent to a
+// K=1 run: merged per-object and per-segment statistics, merged cache
+// counters, the captured transaction trace concatenated in (shard, seq)
+// order, and the configured TxSinks/Perf consumers fed the merged streams.
+// Arena chunks are handed back as they are delivered.  Merge is idempotent;
+// the shards must not be used afterwards.
+func (s *ShardedStack) Merge() (*Stack, error) {
+	if s.merged != nil {
+		return s.merged, nil
+	}
+	var err error
+	for _, st := range s.stacks {
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	tracers := make([]*memtrace.Tracer, len(s.stacks))
+	for i, st := range s.stacks {
+		tracers[i] = st.Tracer
+	}
+	merged := &Stack{Tracer: memtrace.MergeShards(tracers), closed: true}
+	if s.stacks[len(s.stacks)-1].Hierarchy != nil {
+		hiers := make([]*cachesim.Hierarchy, len(s.stacks))
+		for i, st := range s.stacks {
+			hiers[i] = st.Hierarchy
+		}
+		merged.Hierarchy = cachesim.MergeShards(hiers)
+	}
+
+	if len(s.txCaps) > 0 {
+		var capture *Capture[trace.Transaction]
+		if s.cfg.CaptureTx {
+			total := 0
+			for _, c := range s.txCaps {
+				total += c.Len()
+			}
+			capture = &Capture[trace.Transaction]{Items: make([]trace.Transaction, 0, total)}
+			merged.capture = capture
+		}
+		for _, c := range s.txCaps {
+			err := c.Deliver(func(batch []trace.Transaction) error {
+				for _, sink := range s.cfg.TxSinks {
+					if err := sink.FlushTx(batch); err != nil {
+						return err
+					}
+				}
+				if capture != nil {
+					capture.Items = append(capture.Items, batch...)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.Release()
+		}
+	}
+	if s.cfg.Perf != nil {
+		for _, c := range s.perfCaps {
+			if err := c.Deliver(s.cfg.Perf.FlushEvents); err != nil {
+				return nil, err
+			}
+			c.Release()
+		}
+	}
+
+	if s.cfg.Metrics != nil {
+		s.publishPipelineMetrics(merged)
+	}
+	s.merged = merged
+	return merged, nil
+}
+
+// Close aborts a sharded run, closing every shard; Merge closes them itself,
+// so Close is only needed on error paths.
+func (s *ShardedStack) Close() error {
+	var err error
+	for _, st := range s.stacks {
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// publishPipelineMetrics records the pipeline_* series a K=1 Counted-
+// instrumented run would have produced.  The per-shard stacks run fused and
+// uninstrumented (per-batch counting on the hot path would cost what fusion
+// saved), but the counts are fully determined by the merged event totals:
+// the legacy buffers flush full batches plus one final partial, so batch
+// counts are exact ceilings.  Publishing after the merge keeps -metrics
+// output byte-identical to an unsharded run at any shard count.
+func (s *ShardedStack) publishPipelineMetrics(merged *Stack) {
+	// Publication order mirrors Build's Counted registration order
+	// (transactions, accesses, perf) so rendered metrics snapshots list the
+	// series exactly as an instrumented K=1 build would.
+	if merged.Hierarchy != nil {
+		if len(s.txCaps) > 0 {
+			txs := merged.Hierarchy.MemReads + merged.Hierarchy.MemWrites
+			PublishStageMetrics(s.cfg.Metrics, "transactions", txs, trace.DefaultTxBufferSize, s.cfg.Labels...)
+		}
+		PublishStageMetrics(s.cfg.Metrics, "accesses", merged.Tracer.Sampled, s.cfg.BufferSize, s.cfg.Labels...)
+	}
+	if s.cfg.Perf != nil {
+		PublishStageMetrics(s.cfg.Metrics, "perf", merged.Tracer.Sampled, s.cfg.BufferSize, s.cfg.Labels...)
+	}
+}
+
+// PublishStageMetrics records the Counted series for one stage boundary
+// retroactively: the events that crossed it and the exact batch count the
+// legacy staging buffers would have flushed (full batches plus one final
+// partial, so an exact ceiling).  Sharded frontends use it to restore stage
+// counters for consumers — like a raw-access tap — that sharded stacks
+// cannot drive live.  A zero or negative bufSize selects the default
+// staging-buffer capacity; a nil registry is a no-op.
+func PublishStageMetrics(reg *obs.Registry, stage string, events uint64, bufSize int, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	if bufSize <= 0 {
+		bufSize = trace.DefaultBufferSize
+	}
+	ls := append(append([]obs.Label{}, labels...), obs.L("stage", stage))
+	reg.Counter("pipeline_batches_total", ls...).Add(ceilDiv(events, uint64(bufSize)))
+	reg.Counter("pipeline_events_total", ls...).Add(events)
+	reg.Counter("pipeline_errors_total", ls...).Add(0)
+}
+
+// ceilDiv returns ceil(n/d) with ceilDiv(0, d) == 0.
+func ceilDiv(n, d uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return (n + d - 1) / d
+}

@@ -2,6 +2,7 @@ package served
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -103,6 +104,52 @@ func TestConcurrentSubmissionSingleFlight(t *testing.T) {
 	}
 	if err := m.Drain(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShardedJobByteIdentical: a sharded job served over the jobs API
+// produces the same report bytes as the unsharded job.  Each spec runs in
+// its own manager: sharded and unsharded jobs deliberately share the
+// healthy run cache (the merged products are byte-identical), so a single
+// manager would memoize the first job's runs and never execute the second
+// path.
+func TestShardedJobByteIdentical(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	plain := quickSpec()
+	sharded := quickSpec()
+	sharded.Shards = 2
+
+	var reports []string
+	for _, spec := range []experiments.JobSpec{plain, sharded} {
+		m := NewManager(Config{Workers: 1})
+		job, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.State != experiments.StateDone {
+			t.Fatalf("state = %s (%s)", res.State, res.Error)
+		}
+		// The "generated <timestamp>" header is wall-clock; everything
+		// below it must match byte for byte.
+		report := res.Report
+		if i := strings.Index(report, "\n"); i >= 0 {
+			if j := strings.Index(report[i+1:], "\n"); j >= 0 && strings.HasPrefix(report[i+1:], "generated ") {
+				report = report[:i+1] + report[i+1+j+1:]
+			}
+		}
+		reports = append(reports, report)
+		if err := m.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reports[0] != reports[1] {
+		t.Error("sharded job report diverges from unsharded job")
 	}
 }
 

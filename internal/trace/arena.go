@@ -1,0 +1,83 @@
+package trace
+
+import "sync"
+
+// Arena hands out fixed-size event batches and takes them back, so the hot
+// path of the dataflow (staging buffers, captures, filter scratch) reuses a
+// small ring of slabs instead of allocating per stage or per run.  Ownership
+// is explicit: a batch obtained from Get belongs to the caller until it is
+// returned with Put, after which the caller must not touch it again.  Arenas
+// are safe for concurrent use — per-shard stacks of a sharded run draw from
+// one shared arena.
+type Arena[T any] struct {
+	mu   sync.Mutex
+	size int
+	free [][]T
+
+	gets   uint64
+	reuses uint64
+}
+
+// NewArena returns an arena handing out batches of batchSize elements.
+// A non-positive batchSize selects DefaultBufferSize.
+func NewArena[T any](batchSize int) *Arena[T] {
+	if batchSize <= 0 {
+		batchSize = DefaultBufferSize
+	}
+	return &Arena[T]{size: batchSize}
+}
+
+// BatchSize returns the fixed length of every batch the arena hands out.
+func (a *Arena[T]) BatchSize() int { return a.size }
+
+// Get transfers ownership of one full-length batch to the caller, reusing a
+// returned slab when one is free and allocating otherwise.
+func (a *Arena[T]) Get() []T {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.gets++
+	if n := len(a.free); n > 0 {
+		b := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		a.reuses++
+		return b
+	}
+	return make([]T, a.size)
+}
+
+// Put returns ownership of a batch to the arena.  The batch must have come
+// from Get on an arena of the same batch size (its capacity is the contract);
+// nil and foreign-sized slices are dropped so double-bookkeeping bugs degrade
+// to garbage, not corruption.
+func (a *Arena[T]) Put(b []T) {
+	if cap(b) < a.size {
+		return
+	}
+	b = b[:a.size]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.free = append(a.free, b)
+}
+
+// Gets returns how many batches have been handed out.
+func (a *Arena[T]) Gets() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gets
+}
+
+// Reuses returns how many Gets were satisfied from returned slabs instead of
+// fresh allocations; steady state is Reuses == Gets.
+func (a *Arena[T]) Reuses() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reuses
+}
+
+// Free returns how many slabs are currently parked in the arena.
+func (a *Arena[T]) Free() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
+}
