@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race race-obs race-pipeline race-sampling race-served race-shard bench bench-snapshot bench-compare chaos report
+.PHONY: ci lint vet build test race race-obs race-pipeline race-sampling race-served race-shard race-journal bench bench-snapshot bench-compare chaos report
 
-ci: lint vet build race-obs race-pipeline race-sampling race-served race-shard race bench chaos
+ci: lint vet build race-obs race-pipeline race-sampling race-served race-shard race-journal race bench chaos
 
 # Project-native static analysis: determinism, metric naming, the error
 # contract and the sticky-sink contract, over every package.  Non-zero on
@@ -47,6 +47,15 @@ race-sampling:
 # vary the schedule, daemon included.
 race-served:
 	$(GO) test -race -count=2 ./internal/served ./cmd/nvserved
+
+# Durability gate: the write-ahead-log package race-enabled twice, then
+# the seeded crash-point sweep — kill the journal at every journaled
+# transition, restart from the state dir, and require byte-identical
+# reports (internal/served/crash_test.go) — plus the daemon's state-dir
+# restart test.
+race-journal:
+	$(GO) test -race -count=2 ./internal/journal
+	$(GO) test -race -run 'Crash|Recovery|Journal|CleanRestart|Healthz|StateDir' ./internal/served ./cmd/nvserved
 
 # Intra-run sharding promises byte-identical merged output at any shard
 # count; run the shards-1-vs-K identity tests race-enabled twice so the

@@ -10,6 +10,7 @@
 //	nvserved                        # listen on :8337
 //	nvserved -addr 127.0.0.1:9000   # explicit listen address
 //	nvserved -queue 64 -workers 4   # deeper queue, more concurrent jobs
+//	nvserved -state-dir /var/lib/nvserved   # crash-safe job journal
 //	nvserved -fault writer:every=100,seed=7   # chaos on the serving path
 //
 // A typical session:
@@ -22,6 +23,13 @@
 // On SIGINT/SIGTERM the daemon drains: intake stops (503), in-flight jobs
 // finish until -drain-timeout, stragglers are cancelled, and the final
 // metrics snapshot is flushed (-metrics) before exit.
+//
+// With -state-dir the daemon is crash-safe: every job transition is
+// committed to a write-ahead journal (<state-dir>/journal.wal) before it
+// is acknowledged, and a restart replays the log — finished jobs come
+// back with their reports, queued and mid-run jobs are re-enqueued and
+// re-run deterministically.  Startup prints a recovery summary, and
+// /healthz reports it (recovered=true after a crash restart).
 package main
 
 import (
@@ -52,6 +60,7 @@ func run(args []string, out io.Writer) error {
 	jobs := fs.Int("jobs", 0, "per-job run worker pool bound when the spec leaves it unset (0 = GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown drain waits before cancelling in-flight jobs")
 	metricsOut := fs.String("metrics", "", "flush the final observability snapshot to this file on shutdown (.json for JSON, text otherwise)")
+	stateDir := fs.String("state-dir", "", "directory for the crash-safe job journal; empty keeps jobs in memory only")
 	faultSpec := fs.String("fault", "", "chaos on the serving path: writer-target fault spec, e.g. writer:every=100,seed=7")
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failed jobs that trip the intake breaker (0 = disabled)")
 	breakerCooldown := fs.Int("breaker-cooldown", 4, "submissions rejected while the breaker is open before a probe is allowed")
@@ -59,7 +68,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	cfg := served.Config{Queue: *queue, Workers: *workers, Jobs: *jobs}
+	cfg := served.Config{Queue: *queue, Workers: *workers, Jobs: *jobs, StateDir: *stateDir}
 	if *faultSpec != "" {
 		spec, err := faults.Parse(*faultSpec)
 		if err != nil {
@@ -73,7 +82,10 @@ func run(args []string, out io.Writer) error {
 			Cooldown:         *breakerCooldown,
 		}
 	}
-	m := served.NewManager(cfg)
+	m, _, err := served.Open(cfg)
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -90,6 +102,14 @@ func run(args []string, out io.Writer) error {
 func serve(ctx context.Context, ln net.Listener, m *served.Manager, drainTimeout time.Duration, metricsOut string, out io.Writer) error {
 	srv := &http.Server{Handler: served.NewServer(m)}
 	fmt.Fprintf(out, "nvserved: listening on %s\n", ln.Addr())
+	if rec, ok := m.RecoveryInfo(); ok {
+		fmt.Fprintf(out, "nvserved: journal: %d records replayed, %d jobs restored, %d requeued (%d mid-run), %d torn bytes truncated",
+			rec.Records, rec.Restored, rec.Requeued, rec.Rerun, rec.TruncatedBytes)
+		if rec.Recovered {
+			fmt.Fprint(out, " — recovered from unclean shutdown")
+		}
+		fmt.Fprintln(out)
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -129,6 +129,137 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestStateDirRestartRecovery drives the daemon's durability path end to
+// end: serve with -state-dir semantics (served.Open), run a job, drain,
+// then start a second daemon over the same state dir and require the job
+// back — same report bytes over HTTP — plus the recovery summary in the
+// log and the replay summary on /healthz.
+func TestStateDirRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	stateDir := filepath.Join(dir, "state")
+	spec := `{"exhibits":["table1"],"scale":0.05,"iterations":2}`
+
+	// First daemon: submit one job, wait for its report, drain.
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _, err := served.Open(served.Config{Workers: 1, StateDir: stateDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, stop1 := context.WithCancel(context.Background())
+	var out1 bytes.Buffer
+	done1 := make(chan error, 1)
+	go func() { done1 <- serve(ctx1, ln1, m1, time.Minute, "", &out1) }()
+
+	base1 := "http://" + ln1.Addr().String()
+	resp, err := http.Post(base1+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res experiments.JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	job, err := m1.Get(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer wcancel()
+	if _, err := job.Wait(wctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(base1 + "/jobs/" + res.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d: %s", resp.StatusCode, want)
+	}
+	stop1()
+	if err := <-done1; err != nil {
+		t.Fatalf("first serve returned %v", err)
+	}
+	if !strings.Contains(out1.String(), "journal: 0 records replayed") {
+		t.Errorf("first daemon log missing fresh-journal summary:\n%s", out1.String())
+	}
+
+	// Second daemon over the same state dir: the job must come back with
+	// identical report bytes, and the log must say so.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, rec, err := served.Open(served.Config{Workers: 1, StateDir: stateDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Restored != 1 || !rec.CleanShutdown {
+		t.Fatalf("recovery = %+v, want 1 restored from a clean shutdown", rec)
+	}
+	ctx2, stop2 := context.WithCancel(context.Background())
+	var out2 bytes.Buffer
+	done2 := make(chan error, 1)
+	go func() { done2 <- serve(ctx2, ln2, m2, time.Minute, "", &out2) }()
+
+	base2 := "http://" + ln2.Addr().String()
+	resp, err = http.Get(base2 + "/jobs/" + res.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restored report status = %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("restored report diverged: got %d bytes, want %d", len(got), len(want))
+	}
+
+	resp, err = http.Get(base2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string           `json:"status"`
+		Recovery *served.Recovery `json:"recovery"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Recovery == nil || health.Recovery.Restored != 1 {
+		t.Errorf("healthz after restart = %+v, want the replay summary", health)
+	}
+
+	stop2()
+	if err := <-done2; err != nil {
+		t.Fatalf("second serve returned %v", err)
+	}
+	if !strings.Contains(out2.String(), "1 jobs restored") {
+		t.Errorf("second daemon log missing recovery summary:\n%s", out2.String())
+	}
+}
+
 // TestRunFlagValidation: bad flags and fault specs fail before listening.
 func TestRunFlagValidation(t *testing.T) {
 	var out bytes.Buffer

@@ -1,9 +1,66 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
 	"strings"
 	"testing"
 )
+
+var updateJobSpecGolden = flag.Bool("update", false, "rewrite testdata/jobspec_normalized.golden")
+
+// TestDecodeJobSpecCrossVersion pins the cross-version decoding contract
+// journal replay depends on: specs written at schema versions 1, 2 and 3
+// all decode and normalize to the same spec, byte-for-byte against the
+// committed golden — so a WAL of old records keeps replaying after
+// future schema bumps.
+func TestDecodeJobSpecCrossVersion(t *testing.T) {
+	var first []byte
+	for _, version := range []int{1, 2, 3} {
+		name := fmt.Sprintf("testdata/jobspec_v%d.json", version)
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		spec, err := DecodeJobSpec(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s did not decode: %v", name, err)
+		}
+		if spec.SchemaVersion != version {
+			t.Errorf("%s claims schema_version %d, want %d", name, spec.SchemaVersion, version)
+		}
+		norm := spec.Normalized()
+		if err := norm.Validate(); err != nil {
+			t.Fatalf("%s normalized spec invalid: %v", name, err)
+		}
+		got, err := json.MarshalIndent(norm, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, '\n')
+		if first == nil {
+			first = got
+		} else if !bytes.Equal(first, got) {
+			t.Errorf("v%d normalized spec diverges from v1's:\n%s", version, got)
+		}
+	}
+	golden := "testdata/jobspec_normalized.golden"
+	if *updateJobSpecGolden {
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("normalized spec drifted from golden:\ngot:\n%swant:\n%s", first, want)
+	}
+}
 
 func TestJobSpecNormalizeValidateRoundTrip(t *testing.T) {
 	spec := JobSpec{Scale: 0.25, Iterations: 5, Apps: []string{"cam"}, Exhibits: []string{"table5"}}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"nvscavenger/internal/pipeline"
 	"nvscavenger/internal/runner"
@@ -56,6 +57,25 @@ var validTargets = map[string]bool{
 // errors.Is.
 var ErrInjected = errors.New("faults: injected fault")
 
+// ErrNoSpace is the disk-full shape of a short write: the error a
+// mode=short writer fault wraps alongside ErrInjected, mirroring ENOSPC
+// so callers can exercise their out-of-space handling.
+var ErrNoSpace = errors.New("no space left on device")
+
+// Fault modes: how a tripped fault manifests.  The zero value ("",
+// spelled mode=error in specs) returns an injected error.
+const (
+	// ModePanic makes worker faults panic instead of returning an error.
+	ModePanic = "panic"
+	// ModeShort makes writer faults write a prefix of the buffer and then
+	// fail with an ErrNoSpace-wrapped error — the disk-full shape.
+	ModeShort = "short"
+	// ModeTorn makes writer faults write a prefix of the buffer and
+	// silently drop the rest while reporting full success — the
+	// torn-record shape of a crash mid-write, visible only on recovery.
+	ModeTorn = "torn"
+)
+
 // Spec is a parsed fault specification.  The zero value injects nothing.
 type Spec struct {
 	// Target names the attacked layer (Target* constants).
@@ -68,8 +88,9 @@ type Spec struct {
 	// Seed drives the probabilistic stream and the per-key worker
 	// decision.  Defaults to 1 so "prob=0.5" alone is valid.
 	Seed uint64
-	// Panic makes worker faults panic instead of returning an error.
-	Panic bool
+	// Mode selects how a tripped fault manifests (Mode* constants);
+	// empty is the plain error mode.
+	Mode string
 }
 
 // Enabled reports whether the spec injects anything.
@@ -80,8 +101,9 @@ func (s Spec) Is(target string) bool { return s.Target == target }
 
 // Parse reads a "target:key=value,key=value" fault specification, e.g.
 // "sink:every=50,seed=7" or "worker:prob=0.5,seed=3,mode=panic".  Keys:
-// every=N, prob=P, seed=S, mode=error|panic.  Exactly one of every/prob is
-// required.
+// every=N, prob=P, seed=S, mode=error|panic|short|torn.  Exactly one of
+// every/prob is required; short and torn are disk-fault shapes and only
+// apply to writer targets.
 func Parse(text string) (Spec, error) {
 	target, params, ok := strings.Cut(text, ":")
 	if !ok {
@@ -119,11 +141,11 @@ func Parse(text string) (Spec, error) {
 		case "mode":
 			switch val {
 			case "error":
-				spec.Panic = false
-			case "panic":
-				spec.Panic = true
+				spec.Mode = "" // canonical: the zero mode is the error mode
+			case ModePanic, ModeShort, ModeTorn:
+				spec.Mode = val
 			default:
-				return Spec{}, fmt.Errorf("faults: spec %q: mode=%q must be error or panic", text, val)
+				return Spec{}, fmt.Errorf("faults: spec %q: mode=%q must be error, panic, short or torn", text, val)
 			}
 		default:
 			return Spec{}, fmt.Errorf("faults: spec %q: unknown parameter %q", text, key)
@@ -131,6 +153,9 @@ func Parse(text string) (Spec, error) {
 	}
 	if (spec.Every == 0) == (spec.Prob == 0) {
 		return Spec{}, fmt.Errorf("faults: spec %q: exactly one of every=N or prob=P is required", text)
+	}
+	if (spec.Mode == ModeShort || spec.Mode == ModeTorn) && spec.Target != TargetWriter {
+		return Spec{}, fmt.Errorf("faults: spec %q: mode=%s only applies to writer targets", text, spec.Mode)
 	}
 	return spec, nil
 }
@@ -148,8 +173,8 @@ func (s Spec) String() string {
 		parts = append(parts, "prob="+strconv.FormatFloat(s.Prob, 'g', -1, 64))
 	}
 	parts = append(parts, "seed="+strconv.FormatUint(s.Seed, 10))
-	if s.Panic {
-		parts = append(parts, "mode=panic")
+	if s.Mode != "" {
+		parts = append(parts, "mode="+s.Mode)
 	}
 	sort.Strings(parts)
 	return s.Target + ":" + strings.Join(parts, ",")
@@ -255,8 +280,13 @@ func Stage[T any](spec Spec, next pipeline.Stage[T]) pipeline.Stage[T] {
 	})
 }
 
-// Writer wraps w with an injector failing writes — the error-injection path
-// for trace.Writer and other io.Writer outputs.
+// Writer wraps w with an injector failing writes — the disk-fault path
+// for trace.Writer, the served response path and the job journal.  A
+// tripped call fails by the spec's mode: the default returns an injected
+// error without touching w, mode=short writes a prefix and fails with an
+// ErrNoSpace-wrapped error (disk full), and mode=torn writes a prefix,
+// silently drops the rest and reports full success — the on-disk shape
+// of a crash mid-write, which only recovery can detect.
 func Writer(spec Spec, w io.Writer) io.Writer {
 	return &faultWriter{in: spec.NewInjector(), w: w}
 }
@@ -267,10 +297,25 @@ type faultWriter struct {
 }
 
 func (fw *faultWriter) Write(p []byte) (int, error) {
-	if err := fw.in.errf("write"); err != nil {
-		return 0, err
+	call, trip := fw.in.Trip()
+	if !trip {
+		return fw.w.Write(p)
 	}
-	return fw.w.Write(p)
+	spec := fw.in.spec
+	switch spec.Mode {
+	case ModeShort:
+		n, err := fw.w.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: writer short write call %d (%s): %w", ErrInjected, call, spec, ErrNoSpace)
+	case ModeTorn:
+		if _, err := fw.w.Write(p[:len(p)/2]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return 0, fmt.Errorf("%w: writer write call %d (%s)", ErrInjected, call, spec)
 }
 
 // Worker decorates a runner.Func with a crash fault.  Unlike the flush
@@ -297,12 +342,39 @@ func Worker(spec Spec, key string, fn runner.Func) runner.Func {
 	}
 	return func(ctx context.Context) (any, uint64, error) {
 		err := fmt.Errorf("%w: worker crash for run %s (%s)", ErrInjected, key, spec)
-		if spec.Panic {
+		if spec.Mode == ModePanic {
 			panic(err)
 		}
 		return nil, 0, err
 	}
 }
+
+// CrashPlan is the crash-point injector for the restart-recovery
+// harness: a deterministic kill switch armed at the Nth guarded call.
+// Unlike the per-call injectors above, a crash is terminal — every
+// guarded call from the crash point on reports crashed, modelling a
+// process that dies at one journaled transition and never comes back.
+// Safe for concurrent use: the guarded calls come from whatever
+// goroutine holds the journal at that moment.
+type CrashPlan struct {
+	at    uint64
+	calls atomic.Uint64
+}
+
+// NewCrashPlan arms a crash at the at-th guarded call (1-based); 0
+// never crashes but still counts calls, which is how a harness sizes
+// its sweep (run once uncrashed, read Calls, then kill at 1..Calls).
+func NewCrashPlan(at uint64) *CrashPlan { return &CrashPlan{at: at} }
+
+// Crashed counts one guarded call and reports whether the crash point
+// has been reached.
+func (c *CrashPlan) Crashed() bool {
+	n := c.calls.Add(1)
+	return c.at > 0 && n >= c.at
+}
+
+// Calls returns how many guarded calls have been counted so far.
+func (c *CrashPlan) Calls() uint64 { return c.calls.Load() }
 
 // hashString is FNV-1a, inlined so the package stays free of hash/fnv's
 // allocation on every run-key decision.

@@ -16,7 +16,7 @@ func TestParseEverySpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if spec.Target != TargetSink || spec.Every != 50 || spec.Seed != 7 || spec.Prob != 0 || spec.Panic {
+	if spec.Target != TargetSink || spec.Every != 50 || spec.Seed != 7 || spec.Prob != 0 || spec.Mode != "" {
 		t.Fatalf("spec = %+v", spec)
 	}
 	if !spec.Enabled() || !spec.Is(TargetSink) {
@@ -29,7 +29,7 @@ func TestParseProbPanicSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if spec.Target != TargetWorker || spec.Prob != 0.25 || spec.Seed != 3 || !spec.Panic {
+	if spec.Target != TargetWorker || spec.Prob != 0.25 || spec.Seed != 3 || spec.Mode != ModePanic {
 		t.Fatalf("spec = %+v", spec)
 	}
 }
@@ -57,6 +57,8 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 		"sink:every=5,mode=explode", // unknown mode
 		"sink:every=5,magic=1",      // unknown key
 		"sink:every",                // not key=value
+		"sink:every=5,mode=short",   // short is writer-only
+		"worker:every=5,mode=torn",  // torn is writer-only
 	} {
 		if _, err := Parse(text); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", text)
@@ -68,6 +70,8 @@ func TestSpecStringRoundTrips(t *testing.T) {
 	for _, text := range []string{
 		"sink:every=50,seed=7",
 		"worker:mode=panic,prob=0.25,seed=3",
+		"writer:every=3,mode=short,seed=5",
+		"writer:every=3,mode=torn,seed=5",
 	} {
 		spec := MustParse(text)
 		again, err := Parse(spec.String())
@@ -203,6 +207,71 @@ func TestWriterDecorator(t *testing.T) {
 	}
 }
 
+// TestWriterShortMode: a tripped short write delivers a prefix to the
+// underlying writer, reports the short count, and fails with an error
+// carrying both ErrInjected and ErrNoSpace; untripped calls pass through
+// whole.
+func TestWriterShortMode(t *testing.T) {
+	var sb strings.Builder
+	w := Writer(Spec{Target: TargetWriter, Every: 2, Mode: ModeShort}, &sb)
+	if _, err := w.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Write([]byte("efgh"))
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("short write err = %v, want ErrInjected and ErrNoSpace", err)
+	}
+	if n != 2 {
+		t.Fatalf("short write n = %d, want 2 (half the buffer)", n)
+	}
+	if sb.String() != "abcdef" {
+		t.Fatalf("underlying writer got %q, want %q", sb.String(), "abcdef")
+	}
+}
+
+// TestWriterTornMode: a tripped torn write delivers a prefix but lies
+// about it — full length, nil error — so the data loss is invisible
+// until someone re-reads what was written.
+func TestWriterTornMode(t *testing.T) {
+	var sb strings.Builder
+	w := Writer(Spec{Target: TargetWriter, Every: 2, Mode: ModeTorn}, &sb)
+	if _, err := w.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Write([]byte("efgh"))
+	if err != nil || n != 4 {
+		t.Fatalf("torn write reported n=%d err=%v, want full success 4/nil", n, err)
+	}
+	if sb.String() != "abcdef" {
+		t.Fatalf("underlying writer got %q, want %q (suffix silently dropped)", sb.String(), "abcdef")
+	}
+}
+
+// TestCrashPlan: the crash point is terminal — calls before it pass,
+// every call from it on reports crashed — and an unarmed plan only
+// counts.
+func TestCrashPlan(t *testing.T) {
+	plan := NewCrashPlan(3)
+	want := []bool{false, false, true, true, true}
+	for i, w := range want {
+		if got := plan.Crashed(); got != w {
+			t.Fatalf("call %d: Crashed() = %v, want %v", i+1, got, w)
+		}
+	}
+	if plan.Calls() != 5 {
+		t.Fatalf("Calls() = %d, want 5", plan.Calls())
+	}
+	sizing := NewCrashPlan(0)
+	for i := 0; i < 4; i++ {
+		if sizing.Crashed() {
+			t.Fatal("unarmed plan must never crash")
+		}
+	}
+	if sizing.Calls() != 4 {
+		t.Fatalf("unarmed Calls() = %d, want 4", sizing.Calls())
+	}
+}
+
 // TestWorkerDecisionIsPerKey: the worker fault is a pure function of
 // (seed, key) — the same key always gets the same verdict regardless of
 // invocation order, and prob=1 / prob-threshold extremes behave sanely.
@@ -247,7 +316,7 @@ func TestWorkerEveryOneFailsAll(t *testing.T) {
 }
 
 func TestWorkerPanicMode(t *testing.T) {
-	spec := Spec{Target: TargetWorker, Every: 1, Seed: 7, Panic: true}
+	spec := Spec{Target: TargetWorker, Every: 1, Seed: 7, Mode: ModePanic}
 	fn := Worker(spec, "k", func(context.Context) (any, uint64, error) { return nil, 0, nil })
 	defer func() {
 		v := recover()

@@ -25,6 +25,7 @@ var deterministicRoots = map[string]bool{
 	"apps":        true,
 	"runner":      true,
 	"served":      true,
+	"journal":     true,
 }
 
 //go:embed determinism_allow.txt

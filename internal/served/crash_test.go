@@ -1,0 +1,409 @@
+package served
+
+// The seeded crash/disk-fault harness: kill the manager's journal at
+// every journaled transition, restart from the state dir, and assert the
+// recovered service converges on exactly the reports an uncrashed run
+// produces.  Determinism is what makes this provable — the single-flight
+// run cache plus the fixed clock mean a re-run of the same spec renders
+// byte-identical report bytes, so recovery correctness reduces to byte
+// equality.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nvscavenger/internal/experiments"
+	"nvscavenger/internal/faults"
+	"nvscavenger/internal/obs"
+)
+
+// crashSpecs is the harness workload: two different exhibits so the two
+// reports are distinguishable, at the given session worker count.
+func crashSpecs(jobs int) []experiments.JobSpec {
+	return []experiments.JobSpec{
+		{Exhibits: []string{"table1"}, Scale: 0.05, Iterations: 2, Jobs: jobs},
+		{Exhibits: []string{"table5"}, Scale: 0.05, Iterations: 2, Jobs: jobs},
+	}
+}
+
+func drain(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// reportBytes fetches /jobs/{id}/report through the real HTTP frontend,
+// so the comparison covers the full serving path, not just the stored
+// result.
+func reportBytes(t *testing.T, m *Manager, id string) []byte {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	code, body := get(t, ts, "/jobs/"+id+"/report")
+	if code != 200 {
+		t.Fatalf("report %s = %d %q", id, code, body)
+	}
+	return body
+}
+
+// baselineReports runs the workload to completion with no faults and
+// returns each job's report bytes by submission index, plus how many
+// journal commits the clean run performs — the crash-point count the
+// sweep iterates over.
+func baselineReports(t *testing.T, jobs int) ([][]byte, uint64) {
+	t.Helper()
+	plan := faults.NewCrashPlan(0) // unarmed: counts commits, never crashes
+	cfg := Config{
+		Workers:      2,
+		Clock:        fixedClock(),
+		StateDir:     t.TempDir(),
+		journalCrash: plan.Crashed,
+	}
+	m, rec, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open baseline: %v", err)
+	}
+	if rec.Records != 0 || rec.Recovered {
+		t.Fatalf("baseline recovery = %+v, want empty", rec)
+	}
+	var ids []string
+	for _, spec := range crashSpecs(jobs) {
+		job, err := m.Submit(spec)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ids = append(ids, job.ID())
+	}
+	reports := make([][]byte, len(ids))
+	for i, id := range ids {
+		res := await(t, m, id)
+		if res.State != experiments.StateDone {
+			t.Fatalf("baseline job %s state = %s (%s)", id, res.State, res.Error)
+		}
+		reports[i] = reportBytes(t, m, id)
+	}
+	drain(t, m)
+	return reports, plan.Calls()
+}
+
+// TestCrashRecoveryIdentity is the acceptance sweep: for every journal
+// commit a clean run performs, kill the journal at exactly that commit,
+// restart from the state dir, and require every acknowledged job to come
+// back and finish with report bytes identical to the uncrashed run's.
+func TestCrashRecoveryIdentity(t *testing.T) {
+	for _, jobs := range []int{1, 8} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			t.Parallel()
+			want, commits := baselineReports(t, jobs)
+			if commits < 5 {
+				t.Fatalf("baseline made %d journal commits, want at least submits+terminals+drain", commits)
+			}
+			specs := crashSpecs(jobs)
+			for at := uint64(1); at <= commits; at++ {
+				dir := t.TempDir()
+				plan := faults.NewCrashPlan(at)
+				m1, _, err := Open(Config{
+					Workers:      2,
+					Clock:        fixedClock(),
+					StateDir:     dir,
+					journalCrash: plan.Crashed,
+				})
+				if err != nil {
+					t.Fatalf("at=%d: Open: %v", at, err)
+				}
+				// Submit until the dying journal refuses an ack; the acked
+				// prefix is exactly what recovery must preserve.
+				var acked []string
+				for _, spec := range specs {
+					job, err := m1.Submit(spec)
+					if err != nil {
+						break
+					}
+					acked = append(acked, job.ID())
+				}
+				for _, id := range acked {
+					await(t, m1, id)
+				}
+				// The crashed journal wrote nothing after the crash point;
+				// draining just stops the goroutines, like the process dying.
+				drain(t, m1)
+
+				m2, rec, err := Open(Config{Workers: 2, Clock: fixedClock(), StateDir: dir})
+				if err != nil {
+					t.Fatalf("at=%d: reopen: %v", at, err)
+				}
+				if len(acked) > 0 && !rec.Recovered {
+					t.Errorf("at=%d: recovery = %+v, want Recovered with %d acked jobs", at, rec, len(acked))
+				}
+				for i, id := range acked {
+					res := await(t, m2, id)
+					if res.State != experiments.StateDone {
+						t.Fatalf("at=%d: recovered job %s state = %s (%s)", at, id, res.State, res.Error)
+					}
+					got := reportBytes(t, m2, id)
+					if string(got) != string(want[i]) {
+						t.Errorf("at=%d: job %s report diverged after recovery:\n got %d bytes\nwant %d bytes", at, id, len(got), len(want[i]))
+					}
+				}
+				drain(t, m2)
+			}
+		})
+	}
+}
+
+// TestCleanRestartRestoresEverything: a drained manager reopens with all
+// terminal jobs, their reports intact, and no crash flag.
+func TestCleanRestartRestoresEverything(t *testing.T) {
+	dir := t.TempDir()
+	m1, _, err := Open(Config{Workers: 2, Clock: fixedClock(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := m1.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := await(t, m1, job.ID())
+	want := reportBytes(t, m1, job.ID())
+	drain(t, m1)
+
+	m2, rec, err := Open(Config{Workers: 2, Clock: fixedClock(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m2)
+	if !rec.CleanShutdown || rec.Recovered {
+		t.Errorf("recovery = %+v, want clean shutdown and no crash flag", rec)
+	}
+	if rec.Restored != 1 || rec.Requeued != 0 {
+		t.Errorf("recovery = %+v, want 1 restored, 0 requeued", rec)
+	}
+	got, err := m2.Get(job.ID())
+	if err != nil {
+		t.Fatalf("restored job missing: %v", err)
+	}
+	if got.State() != experiments.StateDone {
+		t.Fatalf("restored state = %s", got.State())
+	}
+	res2 := got.Result()
+	if res2.Report != res1.Report {
+		t.Error("restored report diverged from the original")
+	}
+	if string(reportBytes(t, m2, job.ID())) != string(want) {
+		t.Error("served report bytes diverged after clean restart")
+	}
+}
+
+// TestRecoveryRequeuesInSubmissionOrder: jobs acked but never run come
+// back queued, in order, and run to completion on the restarted manager
+// — even when the configured queue is smaller than the backlog.
+func TestRecoveryRequeuesInSubmissionOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Workers gated shut: every job stays queued while we "crash".
+	gate := make(chan struct{})
+	reg := obs.NewRegistry()
+	m1, _, err := Open(Config{Workers: 1, Queue: 8, Clock: fixedClock(), Metrics: reg, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.beforeRun = func(*Job) { <-gate }
+	var ids []string
+	for i := 0; i < 4; i++ {
+		job, err := m1.Submit(quickSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID())
+	}
+	// Wait for the worker's started record to commit (4 submits + 1
+	// started = 5), then abandon m1 without draining: the journal has a
+	// backlog and one job caught mid-run — a crash with work in flight.
+	waitFor(t, func() bool {
+		n, _ := reg.Snapshot().Counter("served_journal_commits_total")
+		return n >= 5
+	})
+	m2, rec, err := Open(Config{Workers: 1, Queue: 2, Clock: fixedClock(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Recovered || rec.Requeued != 4 {
+		t.Fatalf("recovery = %+v, want 4 requeued after crash", rec)
+	}
+	if rec.Rerun == 0 {
+		t.Fatalf("recovery = %+v, want the started job counted as rerun", rec)
+	}
+	var jobs []string
+	for _, j := range m2.Jobs() {
+		jobs = append(jobs, j.ID())
+	}
+	for i, id := range ids {
+		if jobs[i] != id {
+			t.Fatalf("recovered order = %v, want %v", jobs, ids)
+		}
+	}
+	for _, id := range ids {
+		if res := await(t, m2, id); res.State != experiments.StateDone {
+			t.Fatalf("requeued job %s state = %s (%s)", id, res.State, res.Error)
+		}
+	}
+	// New submissions continue the ID sequence past the recovered ones.
+	job, err := m2.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID() != "job-5" {
+		t.Errorf("post-recovery ID = %s, want job-5", job.ID())
+	}
+	await(t, m2, job.ID())
+	drain(t, m2)
+	close(gate)
+	drainDeadline(t, m1)
+}
+
+// drainDeadline drains a manager whose workers may be parked, accepting
+// the deadline-forced path.
+func drainDeadline(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil && ctx.Err() == nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestRecoveryTruncatesTornTail: garbage after the last committed record
+// (a torn tail from a mid-write crash) is dropped on open without losing
+// any committed job.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	m1, _, err := Open(Config{Workers: 2, Clock: fixedClock(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := m1.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, m1, job.ID())
+	drain(t, m1)
+
+	wal := filepath.Join(dir, "journal.wal")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xba, 0xad, 0xf0, 0x0d, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, rec, err := Open(Config{Workers: 2, Clock: fixedClock(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m2)
+	if rec.TruncatedBytes == 0 {
+		t.Fatalf("recovery = %+v, want torn tail truncated", rec)
+	}
+	if rec.Restored != 1 {
+		t.Fatalf("recovery = %+v, want the committed job intact", rec)
+	}
+}
+
+// TestJournalSurvivesShortWrites: a disk that periodically short-writes
+// (then errors ErrNoSpace) is repaired by the bounded commit retry — no
+// submission is refused and a restart sees every job.
+func TestJournalSurvivesShortWrites(t *testing.T) {
+	dir := t.TempDir()
+	spec := faults.MustParse("writer:every=4,mode=short,seed=11")
+	reg := obs.NewRegistry()
+	m1, _, err := Open(Config{
+		Workers:     2,
+		Clock:       fixedClock(),
+		Metrics:     reg,
+		StateDir:    dir,
+		journalWrap: func(w io.Writer) io.Writer { return faults.Writer(spec, w) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		job, err := m1.Submit(quickSpec())
+		if err != nil {
+			t.Fatalf("Submit %d: %v (short writes must be repaired, not surfaced)", i, err)
+		}
+		ids = append(ids, job.ID())
+	}
+	for _, id := range ids {
+		await(t, m1, id)
+	}
+	drain(t, m1)
+	if got, _ := reg.Snapshot().Counter("served_journal_commit_retries_total"); got == 0 {
+		t.Fatal("retries = 0: the every=4 short-write fault never tripped")
+	}
+
+	m2, rec, err := Open(Config{Workers: 2, Clock: fixedClock(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m2)
+	if rec.Restored != 3 || !rec.CleanShutdown {
+		t.Fatalf("recovery = %+v, want all 3 jobs restored from a clean log", rec)
+	}
+}
+
+// TestHealthzReportsRecovery pins the /healthz JSON shape after a crash
+// restart: recovered=true plus the replay summary.
+func TestHealthzReportsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	plan := faults.NewCrashPlan(3) // die journaling the first terminal record
+	m1, _, err := Open(Config{Workers: 1, Clock: fixedClock(), StateDir: dir, journalCrash: plan.Crashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := m1.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, m1, job.ID())
+	drain(t, m1)
+
+	m2, _, err := Open(Config{Workers: 1, Clock: fixedClock(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, m2)
+	ts := httptest.NewServer(NewServer(m2))
+	defer ts.Close()
+	code, body := get(t, ts, "/healthz")
+	if code != 200 {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	var health struct {
+		Status    string    `json:"status"`
+		Recovered bool      `json:"recovered"`
+		Recovery  *Recovery `json:"recovery"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz did not parse: %v (%q)", err, body)
+	}
+	if health.Status != "ok" || !health.Recovered || health.Recovery == nil {
+		t.Fatalf("healthz = %+v, want ok + recovered + summary", health)
+	}
+	if health.Recovery.Records == 0 || !health.Recovery.Recovered || health.Recovery.CleanShutdown {
+		t.Errorf("recovery summary = %+v, want replayed records from an unclean shutdown", health.Recovery)
+	}
+}

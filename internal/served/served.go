@@ -26,11 +26,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"nvscavenger/internal/experiments"
 	"nvscavenger/internal/faults"
+	"nvscavenger/internal/journal"
 	"nvscavenger/internal/obs"
 	"nvscavenger/internal/resilience"
 	"nvscavenger/internal/runner"
@@ -80,6 +86,38 @@ type Config struct {
 	// submissions are rejected with ErrOverloaded for Cooldown calls.
 	// The zero value disables the breaker.
 	Breaker resilience.BreakerConfig
+	// StateDir, when set and the manager is constructed with Open, arms
+	// the crash-safe write-ahead journal: every job lifecycle transition
+	// is logged to StateDir/journal.wal before it is acknowledged, and
+	// Open replays the log on startup.  Empty means no durability.
+	StateDir string
+
+	// journalWrap and journalCrash are the crash-harness hooks (tests):
+	// they thread straight into journal.Options as the disk-fault writer
+	// decorator and the crash-point injector.
+	journalWrap  func(io.Writer) io.Writer
+	journalCrash func() bool
+}
+
+// Recovery summarizes what Open replayed from the journal: the healthz
+// payload operators read to see that a crash happened and what came back.
+type Recovery struct {
+	// Records is how many committed journal records were replayed.
+	Records int `json:"records"`
+	// Restored counts terminal jobs that came back with their results.
+	Restored int `json:"restored"`
+	// Requeued counts non-terminal jobs re-enqueued in submission order.
+	Requeued int `json:"requeued"`
+	// Rerun is the subset of Requeued that were mid-run at the crash;
+	// deterministic re-execution makes rerunning them byte-identical.
+	Rerun int `json:"rerun"`
+	// TruncatedBytes is the torn tail dropped by the journal on open.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// CleanShutdown reports the previous process drained gracefully.
+	CleanShutdown bool `json:"clean_shutdown"`
+	// Recovered means the journal held state from a process that did NOT
+	// shut down cleanly — the restart recovered from a crash.
+	Recovered bool `json:"recovered"`
 }
 
 // Manager owns the job queue, the worker pool and the finished-job store.
@@ -98,6 +136,16 @@ type Manager struct {
 
 	breaker *resilience.Breaker
 
+	// jmu serializes journal access and orders it against intake: Submit
+	// and Drain hold it across their state flips, so the journal's record
+	// order always matches the queue's.  Lock hierarchy: jmu → mu →
+	// Job.mu; never the reverse.
+	jmu           sync.Mutex
+	journal       *journal.Journal
+	journalErrors *obs.Counter
+	recovery      Recovery
+	hasRecovery   bool
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string
@@ -114,8 +162,52 @@ type Manager struct {
 	beforeRun func(*Job)
 }
 
-// NewManager starts a manager and its worker pool.
+// NewManager starts an in-memory manager and its worker pool; jobs do
+// not survive a restart.  Use Open with Config.StateDir for durability.
 func NewManager(cfg Config) *Manager {
+	m := newManager(cfg)
+	m.queue = make(chan *Job, m.cfg.Queue)
+	m.startWorkers()
+	return m
+}
+
+// Open starts a crash-safe manager: it opens (creating if needed) the
+// write-ahead journal under cfg.StateDir, replays it — terminal jobs
+// restore with their results, queued jobs requeue in original submission
+// order, jobs caught mid-run are re-enqueued for deterministic re-runs —
+// and only then starts the worker pool.  The returned Recovery is also
+// retained for /healthz.  An empty StateDir degrades to NewManager.
+func Open(cfg Config) (*Manager, Recovery, error) {
+	if cfg.StateDir == "" {
+		return NewManager(cfg), Recovery{}, nil
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, Recovery{}, fmt.Errorf("served: creating state dir: %w", err)
+	}
+	j, rep, err := journal.Open(filepath.Join(cfg.StateDir, "journal.wal"), journal.Options{
+		Metrics: cfg.Metrics,
+		Wrap:    cfg.journalWrap,
+		Crash:   cfg.journalCrash,
+	})
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("served: opening journal: %w", err)
+	}
+	m := newManager(cfg)
+	m.journal = j
+	rec := m.restore(rep)
+	m.recovery = rec
+	m.hasRecovery = true
+	m.startWorkers()
+	return m, rec, nil
+}
+
+// newManager builds the manager core: config defaults, registry and
+// counters, but no queue and no workers — NewManager and Open finish the
+// job (Open must restore journaled jobs into the queue first).
+func newManager(cfg Config) *Manager {
 	if cfg.Queue <= 0 {
 		cfg.Queue = 16
 	}
@@ -127,18 +219,18 @@ func NewManager(cfg Config) *Manager {
 		reg = obs.NewRegistry()
 	}
 	m := &Manager{
-		cfg:       cfg,
-		now:       time.Now,
-		reg:       reg,
-		submitted: reg.Counter("served_jobs_submitted_total"),
-		rejected:  reg.Counter("served_jobs_rejected_total"),
-		finished:  reg.Counter("served_jobs_finished_total"),
-		depth:     reg.Gauge("served_queue_depth"),
-		running:   reg.Gauge("served_jobs_running"),
-		wall:      reg.Histogram("served_job_wall_seconds", obs.SecondsBuckets),
-		jobs:      map[string]*Job{},
-		queue:     make(chan *Job, cfg.Queue),
-		caches:    map[string]*runner.Cache{},
+		cfg:           cfg,
+		now:           time.Now,
+		reg:           reg,
+		submitted:     reg.Counter("served_jobs_submitted_total"),
+		rejected:      reg.Counter("served_jobs_rejected_total"),
+		finished:      reg.Counter("served_jobs_finished_total"),
+		journalErrors: reg.Counter("served_journal_append_errors_total"),
+		depth:         reg.Gauge("served_queue_depth"),
+		running:       reg.Gauge("served_jobs_running"),
+		wall:          reg.Histogram("served_job_wall_seconds", obs.SecondsBuckets),
+		jobs:          map[string]*Job{},
+		caches:        map[string]*runner.Cache{},
 	}
 	if cfg.Clock != nil {
 		m.now = cfg.Clock
@@ -146,11 +238,179 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Breaker != (resilience.BreakerConfig{}) {
 		m.breaker = resilience.NewBreaker(cfg.Breaker)
 	}
-	for i := 0; i < cfg.Workers; i++ {
+	return m
+}
+
+func (m *Manager) startWorkers() {
+	for i := 0; i < m.cfg.Workers; i++ {
 		m.workers.Add(1)
 		go m.worker()
 	}
-	return m
+}
+
+// replayedJob is one job's folded journal history: the last state wins,
+// terminal records carry the stored result.
+type replayedJob struct {
+	spec   experiments.JobSpec
+	state  string
+	result *experiments.JobResult
+}
+
+// restore folds the replayed journal into live manager state.  Workers
+// are not running yet, so no locks are needed.
+func (m *Manager) restore(rep journal.Replay) Recovery {
+	byID := map[string]*replayedJob{}
+	var order []string
+	for _, rec := range rep.Records {
+		switch rec.Kind {
+		case journal.KindSubmitted:
+			if rec.Job == "" || rec.Spec == nil || byID[rec.Job] != nil {
+				continue // malformed or duplicate; replay is best-effort
+			}
+			byID[rec.Job] = &replayedJob{spec: *rec.Spec, state: experiments.StateQueued}
+			order = append(order, rec.Job)
+		case journal.KindStarted:
+			if rj := byID[rec.Job]; rj != nil && !terminal(rj.state) {
+				rj.state = experiments.StateRunning
+			}
+		case experiments.StateDone, experiments.StateFailed, experiments.StateCancelled:
+			if rj := byID[rec.Job]; rj != nil {
+				rj.state = rec.Kind
+				rj.result = rec.Result
+			}
+		}
+	}
+
+	pending := 0
+	for _, rj := range byID {
+		if !terminal(rj.state) {
+			pending++
+		}
+	}
+	// The queue must hold every requeued job even if the configured bound
+	// shrank across the restart: recovery never drops an acknowledged job.
+	queueCap := m.cfg.Queue
+	if pending > queueCap {
+		queueCap = pending
+	}
+	m.queue = make(chan *Job, queueCap)
+
+	rec := Recovery{
+		Records:        len(rep.Records),
+		TruncatedBytes: rep.Truncated,
+		CleanShutdown:  rep.CleanShutdown,
+		Recovered:      len(rep.Records) > 0 && !rep.CleanShutdown,
+	}
+	for _, id := range order {
+		rj := byID[id]
+		ctx, cancel := context.WithCancel(context.Background())
+		job := &Job{id: id, spec: rj.spec, ctx: ctx, cancel: cancel}
+		job.cond = sync.NewCond(&job.mu)
+		if terminal(rj.state) {
+			res := experiments.NewJobResult(rj.spec, rj.state)
+			res.ID = id
+			if rj.result != nil {
+				res = *rj.result
+			}
+			job.state = rj.state
+			job.result = res
+			cancel()
+			rec.Restored++
+		} else {
+			job.state = experiments.StateQueued
+			m.queue <- job
+			rec.Requeued++
+			if rj.state == experiments.StateRunning {
+				rec.Rerun++
+			}
+		}
+		m.jobs[id] = job
+		m.order = append(m.order, id)
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+	}
+	m.depth.Set(float64(len(m.queue)))
+	return rec
+}
+
+// RecoveryInfo returns what Open replayed; ok is false for a manager
+// built with NewManager (no journal).
+func (m *Manager) RecoveryInfo() (Recovery, bool) {
+	return m.recovery, m.hasRecovery
+}
+
+// jlog appends lifecycle records to the journal, if one is armed.
+// Transition logging after submission is best-effort: a failed append is
+// counted (served_journal_append_errors_total) but does not kill the job
+// — recovery re-runs anything whose terminal record is missing, and
+// deterministic re-execution makes that safe.
+func (m *Manager) jlog(recs ...journal.Record) {
+	if m.journal == nil {
+		return
+	}
+	m.jmu.Lock()
+	defer m.jmu.Unlock()
+	if err := m.journal.Append(recs...); err != nil {
+		m.journalErrors.Inc()
+	}
+}
+
+// Compaction policy: rewrite the log once it holds a meaningful number
+// of records and most of them are superseded by later transitions.
+const (
+	compactMinRecords = 64
+	compactFactor     = 4
+)
+
+// maybeCompact rotates the journal down to the live record set when the
+// log has grown well past it.
+func (m *Manager) maybeCompact() {
+	if m.journal == nil {
+		return
+	}
+	m.jmu.Lock()
+	defer m.jmu.Unlock()
+	records, _ := m.journal.Stats()
+	if records < compactMinRecords {
+		return
+	}
+	live := m.snapshotRecords()
+	if records <= compactFactor*len(live) {
+		return
+	}
+	if err := m.journal.Compact(live); err != nil {
+		m.journalErrors.Inc()
+	}
+}
+
+// snapshotRecords renders the manager's current state as the minimal
+// record sequence that replays to it: submitted for every job, plus
+// started for running jobs and the terminal record for finished ones.
+// Callers hold jmu; mu and Job.mu are taken below it per the hierarchy.
+func (m *Manager) snapshotRecords() []journal.Record {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	recs := make([]journal.Record, 0, 2*len(jobs))
+	for _, job := range jobs {
+		spec := job.spec
+		recs = append(recs, journal.Record{Kind: journal.KindSubmitted, Job: job.id, Spec: &spec})
+		job.mu.Lock()
+		state := job.state
+		res := job.result
+		job.mu.Unlock()
+		switch {
+		case terminal(state):
+			recs = append(recs, journal.Record{Kind: state, Job: job.id, Result: &res})
+		case state == experiments.StateRunning:
+			recs = append(recs, journal.Record{Kind: journal.KindStarted, Job: job.id})
+		}
+	}
+	return recs
 }
 
 // Registry returns the registry the manager publishes into.
@@ -158,6 +418,8 @@ func (m *Manager) Registry() *obs.Registry { return m.reg }
 
 // Submit validates spec and enqueues a job for it.  It returns the queued
 // job, or ErrDraining / ErrOverloaded / ErrQueueFull / a validation error.
+// With a journal armed, the submission is acknowledged only after its
+// record is durable: a crash after Submit returns can never lose the job.
 func (m *Manager) Submit(spec experiments.JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -166,11 +428,21 @@ func (m *Manager) Submit(spec experiments.JobSpec) (*Job, error) {
 		m.rejected.Inc()
 		return nil, ErrOverloaded
 	}
+	// jmu is held across the whole admission so the journal's submitted
+	// order matches the queue's, and so draining cannot flip (Drain takes
+	// jmu) between the capacity check and the enqueue.
+	m.jmu.Lock()
+	defer m.jmu.Unlock()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.draining {
+		m.mu.Unlock()
 		m.rejected.Inc()
 		return nil, ErrDraining
+	}
+	if len(m.queue) == cap(m.queue) {
+		m.mu.Unlock()
+		m.rejected.Inc()
+		return nil, ErrQueueFull
 	}
 	m.nextID++
 	ctx, cancel := context.WithCancel(context.Background())
@@ -182,18 +454,32 @@ func (m *Manager) Submit(spec experiments.JobSpec) (*Job, error) {
 		cancel: cancel,
 	}
 	job.cond = sync.NewCond(&job.mu)
-	select {
-	case m.queue <- job:
-	default:
-		m.nextID--
-		cancel()
-		m.rejected.Inc()
-		return nil, ErrQueueFull
+	m.mu.Unlock()
+
+	if m.journal != nil {
+		// Durable-ack: the write-ahead record commits (one fsync) before
+		// the job exists anywhere the client can observe it.
+		jspec := job.spec
+		if err := m.journal.Append(journal.Record{Kind: journal.KindSubmitted, Job: job.id, Spec: &jspec}); err != nil {
+			m.journalErrors.Inc()
+			cancel()
+			m.mu.Lock()
+			m.nextID--
+			m.mu.Unlock()
+			m.rejected.Inc()
+			return nil, fmt.Errorf("served: journaling submission: %w", err)
+		}
 	}
+
+	m.mu.Lock()
+	// Guaranteed room: jmu serializes admissions, capacity was checked
+	// above, and workers only ever drain the queue.
+	m.queue <- job
 	m.jobs[job.id] = job
 	m.order = append(m.order, job.id)
 	m.submitted.Inc()
 	m.depth.Set(float64(len(m.queue)))
+	m.mu.Unlock()
 	return job, nil
 }
 
@@ -238,6 +524,8 @@ func (m *Manager) Cancel(id string) error {
 		m.finished.Inc()
 		m.reg.Counter("served_job_states_total", obs.L("state", experiments.StateCancelled)).Inc()
 		job.cancel()
+		m.jlog(journal.Record{Kind: experiments.StateCancelled, Job: job.id, Result: &res})
+		m.maybeCompact()
 		return nil
 	}
 	job.mu.Unlock()
@@ -253,14 +541,21 @@ func (m *Manager) Cancel(id string) error {
 // cancellations, nil if everything finished on its own.  After Drain
 // returns no job is running and Submit permanently rejects.
 func (m *Manager) Drain(ctx context.Context) error {
+	// jmu first: Submit holds it across its admission, so once we flip
+	// draining under it no admission can be mid-flight against the
+	// closing queue.  It is released before waiting — workers still need
+	// it to journal their terminal records.
+	m.jmu.Lock()
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
+		m.jmu.Unlock()
 		return errors.New("served: drain already in progress")
 	}
 	m.draining = true
 	close(m.queue)
 	m.mu.Unlock()
+	m.jmu.Unlock()
 
 	idle := make(chan struct{})
 	go func() {
@@ -281,6 +576,18 @@ func (m *Manager) Drain(ctx context.Context) error {
 		<-idle
 	}
 	m.depth.Set(0)
+	if m.journal != nil {
+		// Clean-shutdown marker: its presence at the log tail tells the
+		// next Open this was a drain, not a crash.
+		m.jmu.Lock()
+		if aerr := m.journal.Append(journal.Record{Kind: journal.KindDrained}); aerr != nil {
+			m.journalErrors.Inc()
+		}
+		if cerr := m.journal.Close(); cerr != nil {
+			m.journalErrors.Inc()
+		}
+		m.jmu.Unlock()
+	}
 	return err
 }
 
@@ -317,6 +624,7 @@ func (m *Manager) runJob(job *Job) {
 	}
 	job.state = experiments.StateRunning
 	job.mu.Unlock()
+	m.jlog(journal.Record{Kind: journal.KindStarted, Job: job.id})
 	if m.beforeRun != nil {
 		m.beforeRun(job)
 	}
@@ -333,6 +641,8 @@ func (m *Manager) runJob(job *Job) {
 	job.finishLocked(state, res)
 	job.mu.Unlock()
 	job.cancel()
+	m.jlog(journal.Record{Kind: state, Job: job.id, Result: &res})
+	m.maybeCompact()
 
 	if m.breaker != nil {
 		if state == experiments.StateFailed {

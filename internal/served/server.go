@@ -2,7 +2,6 @@ package served
 
 import (
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -33,7 +32,9 @@ import (
 //	POST   /jobs/{id}/cancel request cancellation; 202 + status JobResult.
 //	GET    /metrics          observability snapshot (text; ?format=json
 //	                         for JSON).
-//	GET    /healthz          liveness probe, "ok".
+//	GET    /healthz          liveness probe: JSON {status, recovered,
+//	                         recovery} — recovery is the journal replay
+//	                         summary when the manager was built with Open.
 type Server struct {
 	m        *Manager
 	mux      *http.ServeMux
@@ -238,8 +239,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// healthBody is the /healthz payload.  Recovered is hoisted to the top
+// level so probes can alert on a crash-restart without digging into the
+// nested summary.
+type healthBody struct {
+	Status    string    `json:"status"`
+	Recovered bool      `json:"recovered"`
+	Recovery  *Recovery `json:"recovery,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.requests("healthz").Inc()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	body := healthBody{Status: "ok"}
+	if rec, ok := s.m.RecoveryInfo(); ok {
+		body.Recovered = rec.Recovered
+		body.Recovery = &rec
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }

@@ -502,8 +502,19 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 
 	code, body = get(t, ts, "/healthz")
-	if code != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
-		t.Errorf("healthz = %d %q", code, body)
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	var health struct {
+		Status    string           `json:"status"`
+		Recovered bool             `json:"recovered"`
+		Recovery  *json.RawMessage `json:"recovery"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz did not parse: %v (%q)", err, body)
+	}
+	if health.Status != "ok" || health.Recovered || health.Recovery != nil {
+		t.Errorf("healthz = %+v, want status ok and no recovery for an in-memory manager", health)
 	}
 }
 
