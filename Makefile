@@ -4,11 +4,13 @@ GO ?= go
 
 ci: lint vet build race-obs race-pipeline race-sampling race-served race-shard race-journal race bench chaos
 
-# Project-native static analysis: determinism, metric naming, the error
-# contract and the sticky-sink contract, over every package.  Non-zero on
-# any finding; suppress at the site with //nvlint:ignore <pass> <reason>.
+# Project-native static analysis: the syntactic passes (determinism,
+# metric naming, the error contract, the sticky-sink contract) plus the
+# flow-sensitive tier (arenaown, lockorder, ctxflow), over every package.
+# -stats prints per-pass wall time and finding counts; non-zero on any
+# finding; suppress at the site with //nvlint:ignore <pass> <reason>.
 lint:
-	$(GO) run ./cmd/nvlint ./...
+	$(GO) run ./cmd/nvlint -stats ./...
 
 # go vet does not walk cmd/nvlint's testdata fixtures, so also prove the
 # lint tool itself builds.

@@ -9,6 +9,8 @@
 //	nvlint ./...                        # everything, all passes
 //	nvlint -passes determinism ./...    # a subset of passes
 //	nvlint -json ./internal/trace       # machine-readable diagnostics
+//	nvlint -diff main ./...             # only findings in files changed vs a ref
+//	nvlint -stats ./...                 # per-pass wall time and finding counts
 //	nvlint -list                        # describe the registered passes
 //
 // Diagnostics print one per line as file:line:col: [pass] message; the
@@ -23,6 +25,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"nvscavenger/internal/cli"
 	"nvscavenger/internal/lint"
@@ -35,6 +38,8 @@ func run(args []string, out io.Writer) error {
 	passes := fs.String("passes", "", "comma-separated pass subset (default: all of "+strings.Join(lint.PassNames(), ", ")+")")
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
 	list := fs.Bool("list", false, "list the registered passes and exit")
+	diff := fs.String("diff", "", "restrict findings to files changed vs this git ref (git diff --name-only)")
+	stats := fs.Bool("stats", false, "print per-pass wall time and finding counts after the diagnostics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,7 +75,20 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	diags := suite.Run(pkgs)
+	diags, passStats := suite.RunStats(pkgs)
+	if *diff != "" {
+		changed, err := lint.ChangedFiles(loader.Root, *diff)
+		if err != nil {
+			return err
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			if changed[d.File] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -85,6 +103,15 @@ func run(args []string, out io.Writer) error {
 			if _, err := fmt.Fprintln(out, d); err != nil {
 				return err
 			}
+		}
+	}
+	if *stats {
+		t := cli.NewTable(out)
+		for _, s := range passStats {
+			t.Row(s.Name, s.Duration.Round(time.Microsecond).String(), fmt.Sprintf("%d finding(s)", s.Findings))
+		}
+		if err := t.Flush(); err != nil {
+			return err
 		}
 	}
 	if n := len(diags); n > 0 {

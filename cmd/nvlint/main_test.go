@@ -75,3 +75,35 @@ func TestCleanPackageExitsZero(t *testing.T) {
 		t.Errorf("clean run should print nothing, got:\n%s", buf.String())
 	}
 }
+
+func TestStatsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-stats", "."}, &buf); err != nil {
+		t.Fatalf("run -stats: %v\n%s", err, buf.String())
+	}
+	for _, name := range lint.PassNames() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-stats output missing pass %q:\n%s", name, buf.String())
+		}
+	}
+	if !strings.Contains(buf.String(), "finding(s)") {
+		t.Errorf("-stats output should count findings:\n%s", buf.String())
+	}
+}
+
+// TestDiffFiltersUnchangedFiles pins the -diff contract: the bad fixture
+// is committed and untouched, so its finding is filtered out against
+// HEAD and the run exits clean.
+func TestDiffFiltersUnchangedFiles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-diff", "HEAD", "testdata/bad"}, &buf); err != nil {
+		t.Fatalf("-diff HEAD should filter the unchanged fixture's finding: %v\n%s", err, buf.String())
+	}
+}
+
+func TestDiffBadRefErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-diff", "no-such-ref", "testdata/bad"}, &buf); err == nil {
+		t.Fatal("want error for an unknown -diff base ref")
+	}
+}

@@ -1,0 +1,637 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// arenaown proves the arena slab-ownership protocol at compile time: a
+// batch obtained from trace.Arena[T].Get must reach exactly one hand-off
+// on every path — Put back to the arena, storage into an owning type
+// (one with a Release method), a return to the caller, or a call
+// annotated `//nvlint:arenaown transfer` — and must not be touched again
+// after the hand-off.  Deliver/Release pairs on captures get the same
+// treatment: a Deliver whose capture is not released on some path to
+// return leaks its chunks out of the arena accounting, which is exactly
+// the aliasing class the runtime poison harness exists to catch.
+type arenaown struct {
+	nopFinish
+}
+
+func init() {
+	registerPass("arenaown", func() Pass { return &arenaown{} })
+}
+
+func (*arenaown) Name() string { return "arenaown" }
+func (*arenaown) Doc() string {
+	return "arena batches reach exactly one hand-off (Put/owning type/transfer call) on every path and are not aliased after it"
+}
+
+const arenaTransferDirective = "//nvlint:arenaown transfer"
+
+const (
+	bitOwned  uint8 = 1 << iota // batch is live and this function is responsible for it
+	bitHanded                   // batch has been handed off on some path
+)
+
+// arenaToken is one tracked Get acquisition bound to a local variable.
+type arenaToken struct {
+	call *ast.CallExpr
+	obj  types.Object
+}
+
+func (a *arenaown) Check(p *Package, r *Reporter) {
+	transfers := collectTransferFuncs(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkFunc(p, r, fd, transfers)
+		}
+	}
+}
+
+// collectTransferFuncs gathers same-package functions annotated as
+// documented ownership-transfer points.
+func collectTransferFuncs(p *Package) map[*types.Func]bool {
+	transfers := map[*types.Func]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, arenaTransferDirective) {
+					if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						transfers[fn] = true
+					}
+				}
+			}
+		}
+	}
+	return transfers
+}
+
+func (a *arenaown) checkFunc(p *Package, r *Reporter, fd *ast.FuncDecl, transfers map[*types.Func]bool) {
+	parents := buildParents(fd.Body)
+	var tokens []arenaToken
+	hasWork := false
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isArenaMethod(p, call, "Get") {
+			hasWork = true
+			if tok, ok := a.classifyGet(p, r, call, parents, transfers); ok {
+				tokens = append(tokens, tok)
+			}
+		}
+		if isDeliverCall(p, call) {
+			hasWork = true
+		}
+		return true
+	})
+	if !hasWork {
+		return
+	}
+
+	g := buildCFG(fd.Body)
+	a.flowTokens(p, r, g, tokens, transfers)
+	a.checkDelivers(p, r, g)
+}
+
+// classifyGet decides the disposition of one Get call from its syntactic
+// context.  Bindings to local variables become tracked tokens; direct
+// hand-offs (owning composite literal, owner-field store, return,
+// transfer call) are fine as-is; everything else is reported here.
+func (a *arenaown) classifyGet(p *Package, r *Reporter, call *ast.CallExpr, parents map[ast.Node]ast.Node, transfers map[*types.Func]bool) (arenaToken, bool) {
+	par, child := skipWrappers(parents, call)
+	switch par := par.(type) {
+	case *ast.AssignStmt:
+		lhs := assignTarget(par, child)
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				r.Report(call.Pos(), "arenaown", "arena batch from Get is discarded; Put it back or hand it to an owner")
+				return arenaToken{}, false
+			}
+			obj := p.Info.Defs[lhs]
+			if obj == nil {
+				obj = p.Info.Uses[lhs]
+			}
+			if obj == nil {
+				return arenaToken{}, false
+			}
+			if obj.Parent() == p.Pkg.Scope() {
+				r.Report(call.Pos(), "arenaown", "arena batch from Get stored in package-level var %s: slabs must stay function- or owner-scoped", lhs.Name)
+				return arenaToken{}, false
+			}
+			return arenaToken{call: call, obj: obj}, true
+		case *ast.SelectorExpr:
+			if !ownsArenaBatches(p, p.Info.TypeOf(lhs.X)) {
+				r.Report(call.Pos(), "arenaown",
+					"arena batch from Get stored in field %s of a type with no Release method: the slab can never be handed back", lhs.Sel.Name)
+			}
+			return arenaToken{}, false
+		default:
+			r.Report(call.Pos(), "arenaown", "arena batch from Get has no trackable owner at this store")
+			return arenaToken{}, false
+		}
+	case *ast.ValueSpec:
+		if len(par.Names) == 1 {
+			if obj := p.Info.Defs[par.Names[0]]; obj != nil {
+				return arenaToken{call: call, obj: obj}, true
+			}
+		}
+		return arenaToken{}, false
+	case *ast.CallExpr:
+		if isAppendCall(p, par) {
+			gp, _ := skipWrappers(parents, par)
+			if as, ok := gp.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+				if sel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr); ok && ownsArenaBatches(p, p.Info.TypeOf(sel.X)) {
+					return arenaToken{}, false
+				}
+			}
+			r.Report(call.Pos(), "arenaown", "arena batch appended to a collection that is not an owning field (owner types expose Release)")
+			return arenaToken{}, false
+		}
+		if isArenaMethod(p, par, "Put") {
+			return arenaToken{}, false
+		}
+		if f := funcObject(p, par.Fun); f != nil {
+			if transfers[originFunc(f)] {
+				return arenaToken{}, false
+			}
+			r.Report(call.Pos(), "arenaown",
+				"arena batch passed to %s, which is not a documented ownership-transfer point (annotate it with %s)", f.Name(), arenaTransferDirective)
+		}
+		return arenaToken{}, false
+	case *ast.KeyValueExpr:
+		gp, _ := skipWrappers(parents, par)
+		if cl, ok := gp.(*ast.CompositeLit); ok && ownsArenaBatches(p, p.Info.TypeOf(cl)) {
+			return arenaToken{}, false
+		}
+		r.Report(call.Pos(), "arenaown", "arena batch stored in a composite literal whose type has no Release method")
+		return arenaToken{}, false
+	case *ast.CompositeLit:
+		if !ownsArenaBatches(p, p.Info.TypeOf(par)) {
+			r.Report(call.Pos(), "arenaown", "arena batch stored in a composite literal whose type has no Release method")
+		}
+		return arenaToken{}, false
+	case *ast.ReturnStmt:
+		return arenaToken{}, false
+	case *ast.ExprStmt:
+		r.Report(call.Pos(), "arenaown", "arena batch from Get is discarded; Put it back or hand it to an owner")
+		return arenaToken{}, false
+	default:
+		r.Report(call.Pos(), "arenaown", "arena batch from Get has no provable single owner here")
+		return arenaToken{}, false
+	}
+}
+
+// flowTokens runs the may-analysis over tracked tokens: owned-at-exit is
+// a leak, any use after the handed bit is set is a retained alias.
+func (a *arenaown) flowTokens(p *Package, r *Reporter, g *CFG, tokens []arenaToken, transfers map[*types.Func]bool) {
+	if len(tokens) == 0 {
+		return
+	}
+	deferHanded := map[types.Object]bool{}
+	for _, d := range g.Defers {
+		for _, t := range tokens {
+			if callHandsOff(p, d.Call, t.obj, transfers) {
+				deferHanded[t.obj] = true
+			}
+		}
+	}
+
+	transfer := func(b *Block, in factBits[*ast.CallExpr]) factBits[*ast.CallExpr] {
+		out := in.clone()
+		for _, n := range b.Nodes {
+			a.stepNode(p, n, tokens, transfers, out, nil)
+		}
+		return out
+	}
+	in := solveForward(g, transfer)
+
+	reported := map[token.Pos]bool{}
+	for _, blk := range g.Blocks {
+		state := in[blk].clone()
+		for _, n := range blk.Nodes {
+			a.stepNode(p, n, tokens, transfers, state, func(pos token.Pos, format string, args ...any) {
+				if !reported[pos] {
+					reported[pos] = true
+					r.Report(pos, "arenaown", format, args...)
+				}
+			})
+		}
+	}
+
+	exitState := in[g.Exit]
+	for _, t := range tokens {
+		if exitState[t.call]&bitOwned != 0 && !deferHanded[t.obj] {
+			r.Report(t.call.Pos(), "arenaown",
+				"arena batch obtained here is not handed back (Put, owning store, or transfer call) on every path to return")
+		}
+	}
+}
+
+// stepNode advances the token state across one CFG node; report is nil
+// during fixpoint solving and non-nil during the reporting walk.
+func (a *arenaown) stepNode(p *Package, n ast.Node, tokens []arenaToken, transfers map[*types.Func]bool, state factBits[*ast.CallExpr], report func(token.Pos, string, ...any)) {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return
+	}
+	for _, t := range tokens {
+		// Retained alias: the batch was handed off on some path and this
+		// statement still touches the binding.
+		if state[t.call]&bitHanded != 0 && report != nil && usesObject(p, n, t.obj) {
+			report(n.Pos(),
+				"arena batch %s is used after its hand-off: the slab may already be reissued (this aliasing is what the poison harness traps at runtime)", t.obj.Name())
+		}
+		if nodeAcquires(n, t.call) {
+			state[t.call] = bitOwned
+			continue
+		}
+		if state[t.call]&bitOwned != 0 && stmtHandsOff(p, n, t.obj, transfers) {
+			state[t.call] = bitHanded
+		}
+	}
+}
+
+// nodeAcquires reports whether node n contains token call as its
+// acquisition site.
+func nodeAcquires(n ast.Node, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// stmtHandsOff reports whether statement n hands the tracked batch off:
+// a Put or transfer call taking it, a store/append into an owning field,
+// a return of it, or an owning composite literal absorbing it.  Function
+// literals are skipped (a closure capture is not a hand-off) and defers
+// are handled separately.
+func stmtHandsOff(p *Package, n ast.Node, obj types.Object, transfers map[*types.Func]bool) bool {
+	handed := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if handed {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if callHandsOff(p, x, obj, transfers) {
+				handed = true
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if !exprRootedAt(p, rhs, obj) {
+					continue
+				}
+				lhs := x.Lhs[min(i, len(x.Lhs)-1)]
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && ownsArenaBatches(p, p.Info.TypeOf(sel.X)) {
+					handed = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if exprRootedAt(p, res, obj) {
+					handed = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if !ownsArenaBatches(p, p.Info.TypeOf(x)) {
+				return true
+			}
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if exprRootedAt(p, el, obj) {
+					handed = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return handed
+}
+
+// callHandsOff reports whether the call consumes the batch: Arena.Put
+// with it as an argument, a transfer-annotated function, or an append
+// whose result lands in an owning field (checked by the caller).
+func callHandsOff(p *Package, call *ast.CallExpr, obj types.Object, transfers map[*types.Func]bool) bool {
+	takesObj := false
+	for _, arg := range call.Args {
+		if exprRootedAt(p, arg, obj) {
+			takesObj = true
+			break
+		}
+	}
+	if !takesObj {
+		return false
+	}
+	if isArenaMethod(p, call, "Put") {
+		return true
+	}
+	if f := funcObject(p, call.Fun); f != nil && transfers[originFunc(f)] {
+		return true
+	}
+	return false
+}
+
+// checkDelivers enforces the capture protocol: every Deliver on a
+// releasable capture must be paired with Release on all paths to return,
+// or covered by a deferred releaser.
+func (a *arenaown) checkDelivers(p *Package, r *Reporter, g *CFG) {
+	covered := deferredReleasers(p, g)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			deliver, recv := findDeliver(p, n)
+			if deliver == nil {
+				continue
+			}
+			if covered {
+				continue
+			}
+			recvObj := rootObject(p, recv)
+			if recvObj == nil {
+				continue
+			}
+			if g.reachesExitWithout(blk, i+1, func(stop ast.Node) bool {
+				return nodeReleasesObj(p, stop, recvObj)
+			}) {
+				r.Report(deliver.Pos(), "arenaown",
+					"Deliver without Release on every path to return: on error paths the capture's chunks never re-enter the arena (release on all paths or defer a releaser)")
+			}
+		}
+	}
+}
+
+// deferredReleasers reports whether any defer in the function releases
+// captures: a direct .Release() defer, or a deferred same-package
+// function/method whose body calls Release.
+func deferredReleasers(p *Package, g *CFG) bool {
+	for _, d := range g.Defers {
+		if isMethodNamed(p, d.Call, "Release") {
+			return true
+		}
+		f := funcObject(p, d.Call.Fun)
+		if f == nil || f.Pkg() != p.Pkg {
+			continue
+		}
+		if body := funcDeclBody(p, f); body != nil && callsMethodNamed(p, body, "Release") {
+			return true
+		}
+	}
+	return false
+}
+
+// findDeliver locates a Deliver call on a releasable capture inside n,
+// skipping function literals (the delivery closure itself).
+func findDeliver(p *Package, n ast.Node) (*ast.CallExpr, ast.Expr) {
+	var call *ast.CallExpr
+	var recv ast.Expr
+	ast.Inspect(n, func(x ast.Node) bool {
+		if call != nil {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		c, ok := x.(*ast.CallExpr)
+		if !ok || !isDeliverCall(p, c) {
+			return true
+		}
+		sel := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+		call, recv = c, sel.X
+		return false
+	})
+	return call, recv
+}
+
+// isDeliverCall matches method calls named Deliver whose receiver type
+// also exposes Release — the capture hand-off protocol.
+func isDeliverCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Name() != "Deliver" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return ownsArenaBatches(p, sig.Recv().Type())
+}
+
+// nodeReleasesObj reports whether n calls .Release() on the given
+// receiver object, outside function literals.
+func nodeReleasesObj(p *Package, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok || !isMethodNamed(p, call, "Release") {
+			return true
+		}
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if rootObject(p, sel.X) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// --- shared type/AST helpers ---
+
+// isArenaMethod matches calls to trace.Arena[T] methods by name.
+func isArenaMethod(p *Package, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Origin().Obj()
+	return o.Name() == "Arena" && o.Pkg() != nil && strings.HasSuffix(o.Pkg().Path(), "internal/trace")
+}
+
+// ownsArenaBatches reports whether the type can own arena batches: it
+// (or its pointer form) exposes a Release method to hand slabs back.
+func ownsArenaBatches(p *Package, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, p.Pkg, "Release")
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// isMethodNamed matches a method call by selector name with a resolved
+// *types.Func receiver method.
+func isMethodNamed(p *Package, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// callsMethodNamed reports whether n contains a call to a method with
+// the given name.
+func callsMethodNamed(p *Package, n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok && isMethodNamed(p, call, name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// funcDeclBody finds the declaration body for a same-package function.
+func funcDeclBody(p *Package, f *types.Func) *ast.BlockStmt {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && p.Info.Defs[fd.Name] == f {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// rootObject resolves the base identifier of a selector chain to its
+// object.
+func rootObject(p *Package, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// exprRootedAt reports whether e's base identifier resolves to obj.
+func exprRootedAt(p *Package, e ast.Expr, obj types.Object) bool {
+	return rootObject(p, e) == obj
+}
+
+// originFunc maps an instantiated generic function back to its origin
+// so annotation lookups work across instantiations.
+func originFunc(f *types.Func) *types.Func {
+	return f.Origin()
+}
+
+// isAppendCall matches the append builtin.
+func isAppendCall(p *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// buildParents records each node's parent for upward classification.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// skipWrappers climbs past parens, slices and address-of so the
+// classification sees the semantically relevant parent; it returns that
+// parent and the direct child on the path to it.
+func skipWrappers(parents map[ast.Node]ast.Node, n ast.Node) (ast.Node, ast.Node) {
+	child := n
+	par := parents[n]
+	for {
+		switch par.(type) {
+		case *ast.ParenExpr, *ast.SliceExpr, *ast.UnaryExpr:
+			child = par
+			par = parents[par]
+		default:
+			return par, child
+		}
+	}
+}
+
+// assignTarget finds the LHS corresponding to the RHS child of an
+// assignment.
+func assignTarget(as *ast.AssignStmt, child ast.Node) ast.Expr {
+	for i, rhs := range as.Rhs {
+		if rhs == child && i < len(as.Lhs) {
+			return as.Lhs[i]
+		}
+	}
+	return as.Lhs[0]
+}

@@ -1,0 +1,380 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	_ "embed"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflowRoots are the packages whose goroutines must have provable
+// lifecycles: the run engine, the job service and the event pipeline all
+// spawn workers whose leaks would silently skew exhibit timings.
+var ctxflowRoots = map[string]bool{
+	"runner":   true,
+	"served":   true,
+	"pipeline": true,
+}
+
+//go:embed ctxflow_allow.txt
+var ctxflowAllowlist []byte
+
+// ctxflow proves goroutine lifecycles in the concurrent packages: every
+// `go` launch must be tied to a context.Context, a WaitGroup join, or a
+// channel protocol the launcher participates in; context.Context must not
+// be stored in struct fields outside the embedded allowlist; and
+// unbounded loops (`for {}` and `for cond {}` without a data-driven
+// bound) must consult cancellation so Drain/Close can actually stop
+// them.
+type ctxflow struct {
+	nopFinish
+	allow map[string]bool
+}
+
+func init() {
+	registerPass("ctxflow", func() Pass {
+		return &ctxflow{allow: parsePairAllowlist(ctxflowAllowlist)}
+	})
+}
+
+// parsePairAllowlist reads "pkg-rel-path name" pairs; '#' starts a
+// comment, blank lines are skipped.
+func parsePairAllowlist(data []byte) map[string]bool {
+	allow := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 {
+			allow[fields[0]+" "+fields[1]] = true
+		}
+	}
+	return allow
+}
+
+func (*ctxflow) Name() string { return "ctxflow" }
+func (*ctxflow) Doc() string {
+	return "goroutine launches in runner/served/pipeline are tied to a context, join, or channel protocol; contexts stay out of structs; unbounded loops consult cancellation"
+}
+
+func (*ctxflow) inScope(p *Package) bool {
+	rel, ok := strings.CutPrefix(p.ModRel(), "internal/")
+	if !ok {
+		return false
+	}
+	root, _, _ := strings.Cut(rel, "/")
+	return ctxflowRoots[root]
+}
+
+func (c *ctxflow) Check(p *Package, r *Reporter) {
+	if !c.inScope(p) {
+		return
+	}
+	ctxType := contextType(p)
+	for _, f := range p.Files {
+		c.checkStructFields(p, r, f, ctxType)
+		inspectDecls(f, func(decl ast.Decl, fn string) {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					c.checkLaunch(p, r, fd, n, ctxType)
+				case *ast.ForStmt:
+					c.checkLoop(p, r, n, ctxType)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// contextType resolves the context.Context interface type if the package
+// imports it (directly or transitively via the checked file set).
+func contextType(p *Package) types.Type {
+	for _, imp := range p.Pkg.Imports() {
+		if imp.Path() == "context" {
+			if obj, ok := imp.Scope().Lookup("Context").(*types.TypeName); ok {
+				return obj.Type()
+			}
+		}
+	}
+	return nil
+}
+
+// checkStructFields flags context.Context stored in struct fields outside
+// the allowlist: a stored context outlives the call tree it was scoped
+// to, which is exactly the lifetime confusion the pass exists to prevent.
+func (c *ctxflow) checkStructFields(p *Package, r *Reporter, f *ast.File, ctxType types.Type) {
+	if ctxType == nil {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			t := p.Info.TypeOf(field.Type)
+			if t == nil || !types.Identical(t, ctxType) {
+				continue
+			}
+			for _, name := range field.Names {
+				if c.allow[p.ModRel()+" "+ts.Name.Name+"."+name.Name] {
+					continue
+				}
+				r.Report(name.Pos(), "ctxflow",
+					"context.Context stored in struct field %s.%s: pass contexts as arguments, or allowlist a sanctioned lifecycle carrier in ctxflow_allow.txt",
+					ts.Name.Name, name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkLaunch verifies a `go` statement has a provable lifecycle tie.
+func (c *ctxflow) checkLaunch(p *Package, r *Reporter, launcher *ast.FuncDecl, g *ast.GoStmt, ctxType types.Type) {
+	body := launchedBody(p, g)
+	if body == nil {
+		r.Report(g.Pos(), "ctxflow",
+			"goroutine body is not resolvable in this package; launch a local function so its lifecycle tie can be checked")
+		return
+	}
+	// Tie 1: the goroutine (or its argument list) sees a context.
+	if refsType(p, body, ctxType) || refsType(p, g.Call, ctxType) {
+		return
+	}
+	// Tie 2: WaitGroup join — the body calls Done and the launcher's
+	// package pairs it with Add before the launch.
+	if callsWaitGroup(p, body, "Done") && callsWaitGroup(p, launcher, "Add") {
+		return
+	}
+	// Tie 3: channel protocol — the body closes or sends on a channel and
+	// the launcher receives, or the body drains a channel by range (bounded
+	// by the sender's close).
+	if (closesOrSendsChan(p, body) && receivesChan(p, launcher)) || rangesOverChan(p, body) {
+		return
+	}
+	r.Report(g.Pos(), "ctxflow",
+		"goroutine launch has no provable lifecycle tie: thread a context.Context, join via WaitGroup Add/Done, or use a channel the launcher closes/receives")
+}
+
+// launchedBody resolves the body of the launched function: a literal
+// directly, or a same-package function/method declaration.
+func launchedBody(p *Package, g *ast.GoStmt) ast.Node {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	f := funcObject(p, g.Call.Fun)
+	if f == nil || f.Pkg() != p.Pkg {
+		return nil
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && p.Info.Defs[fd.Name] == f {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// refsType reports whether any expression under n has the given type.
+func refsType(p *Package, n ast.Node, want types.Type) bool {
+	if want == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := x.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := p.Info.TypeOf(e); t != nil && types.Identical(t, want) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// callsWaitGroup reports whether n calls the named sync.WaitGroup method.
+func callsWaitGroup(p *Package, n ast.Node, method string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := funcObject(p, call.Fun)
+		if f != nil && f.Name() == method && f.Pkg() != nil && f.Pkg().Path() == "sync" {
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// closesOrSendsChan reports whether n closes a channel or sends on one.
+func closesOrSendsChan(p *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// receivesChan reports whether n receives from a channel: a unary <-,
+// a range over a channel, or a select with a receive clause.
+func receivesChan(p *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if rangesChanExpr(p, x) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rangesOverChan reports whether n contains a range over a channel.
+func rangesOverChan(p *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if rs, ok := x.(*ast.RangeStmt); ok && rangesChanExpr(p, rs) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func rangesChanExpr(p *Package, rs *ast.RangeStmt) bool {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// checkLoop flags `for {}` loops that never consult cancellation: without
+// a ctx.Done/ctx.Err check, a channel receive, or a Cond.Wait, no Drain
+// or Close can ever stop the loop.
+func (c *ctxflow) checkLoop(p *Package, r *Reporter, loop *ast.ForStmt, ctxType types.Type) {
+	if loop.Cond != nil {
+		return
+	}
+	if consultsCancellation(p, loop.Body, ctxType) {
+		return
+	}
+	r.Report(loop.Pos(), "ctxflow",
+		"unbounded loop never consults cancellation: check ctx.Done()/ctx.Err(), receive from a channel, or break on a bound")
+}
+
+// consultsCancellation reports whether the loop body observes an external
+// stop signal.
+func consultsCancellation(p *Package, body ast.Node, ctxType types.Type) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if rangesChanExpr(p, x) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			// Delegation counts: a call handed a context.Context is presumed
+			// to observe its cancellation (the callee is checked on its own).
+			if ctxType != nil {
+				for _, arg := range x.Args {
+					if t := p.Info.TypeOf(arg); t != nil && types.Identical(t, ctxType) {
+						found = true
+						return false
+					}
+				}
+			}
+			f := funcObject(p, x.Fun)
+			if f == nil {
+				return true
+			}
+			switch f.Name() {
+			case "Done", "Err":
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && ctxType != nil {
+					if t := p.Info.TypeOf(sel.X); t != nil && types.Identical(t, ctxType) {
+						found = true
+						return false
+					}
+				}
+			case "Wait":
+				if f.Pkg() != nil && f.Pkg().Path() == "sync" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+)
+
+// ChangedFiles returns the module-relative paths git reports as changed
+// against base (committed changes plus the working tree), as a set
+// matching Diagnostic.File.  It shells out to plain `git diff
+// --name-only` so the lint gate needs nothing beyond the git binary that
+// created the repository.
+func ChangedFiles(root, base string) (map[string]bool, error) {
+	out, err := exec.Command("git", "-C", root, "diff", "--name-only", base).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git diff --name-only %s: %s", base, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, fmt.Errorf("git diff --name-only %s: %w", base, err)
+	}
+	changed := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			changed[line] = true
+		}
+	}
+	return changed, nil
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// initFixtureRepo builds a throwaway git repository with one committed
+// file and returns its path.
+func initFixtureRepo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+		cmd.Env = append(os.Environ(),
+			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t",
+			"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t",
+		)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+	}
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	git("init", "-q", "-b", "main")
+	write("pkg/a.go", "package pkg\n")
+	write("pkg/b.go", "package pkg\n")
+	git("add", ".")
+	git("commit", "-q", "-m", "seed")
+	return dir
+}
+
+func TestChangedFiles(t *testing.T) {
+	dir := initFixtureRepo(t)
+
+	changed, err := ChangedFiles(dir, "HEAD")
+	if err != nil {
+		t.Fatalf("ChangedFiles on clean tree: %v", err)
+	}
+	if len(changed) != 0 {
+		t.Errorf("clean tree should report no changes, got %v", changed)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "pkg", "a.go"), []byte("package pkg\n\nvar X = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	changed, err = ChangedFiles(dir, "HEAD")
+	if err != nil {
+		t.Fatalf("ChangedFiles after edit: %v", err)
+	}
+	if len(changed) != 1 || !changed["pkg/a.go"] {
+		t.Errorf("want exactly pkg/a.go changed, got %v", changed)
+	}
+}
+
+func TestChangedFilesBadRef(t *testing.T) {
+	dir := initFixtureRepo(t)
+	if _, err := ChangedFiles(dir, "no-such-ref"); err == nil {
+		t.Fatal("want error for an unknown base ref")
+	}
+}

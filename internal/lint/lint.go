@@ -28,6 +28,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, positioned in module-relative file
@@ -114,24 +115,50 @@ func NewSuite(names ...string) (*Suite, error) {
 	return s, nil
 }
 
+// PassStat is one pass's share of a run: total wall time across every
+// package (Finish included) and how many findings it filed.
+type PassStat struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration"`
+	Findings int           `json:"findings"`
+}
+
 // Run checks every package with every pass and returns the surviving
 // diagnostics sorted by file, line, column and pass.  Suppressed findings
 // are dropped; malformed suppression directives are reported under the
 // pseudo-pass "nvlint" regardless of which passes were selected.
 func (s *Suite) Run(pkgs []*Package) []Diagnostic {
+	diags, _ := s.RunStats(pkgs)
+	return diags
+}
+
+// RunStats is Run plus per-pass wall time and finding counts, in the
+// suite's pass order.
+func (s *Suite) RunStats(pkgs []*Package) ([]Diagnostic, []PassStat) {
 	r := &Reporter{}
+	stats := make([]PassStat, len(s.passes))
+	for i, pass := range s.passes {
+		stats[i].Name = pass.Name()
+	}
+	timed := func(i int, f func()) {
+		before := len(r.diags)
+		start := time.Now()
+		f()
+		stats[i].Duration += time.Since(start)
+		stats[i].Findings += len(r.diags) - before
+	}
 	for _, p := range pkgs {
 		r.pkg = p
 		for _, d := range p.badIgnores {
 			r.diags = append(r.diags, d)
 		}
-		for _, pass := range s.passes {
-			pass.Check(p, r)
+		for i, pass := range s.passes {
+			timed(i, func() { pass.Check(p, r) })
 		}
 	}
 	r.pkg = nil
-	for _, pass := range s.passes {
-		pass.Finish(r)
+	for i, pass := range s.passes {
+		timed(i, func() { pass.Finish(r) })
 	}
 	sort.Slice(r.diags, func(i, j int) bool {
 		a, b := r.diags[i], r.diags[j]
@@ -146,7 +173,7 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 		}
 		return a.Pass < b.Pass
 	})
-	return r.diags
+	return r.diags, stats
 }
 
 // Reporter collects diagnostics during a run and applies the package's

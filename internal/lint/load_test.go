@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestNewLoaderFindsEnclosingModule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":       "module example.com/mod\n\ngo 1.22\n",
+		"sub/pkg/a.go": "package pkg\n",
+	})
+	l, err := NewLoader(filepath.Join(root, "sub", "pkg"))
+	if err != nil {
+		t.Fatalf("NewLoader from nested dir: %v", err)
+	}
+	if l.Module != "example.com/mod" {
+		t.Errorf("Module = %q, want example.com/mod", l.Module)
+	}
+	if l.Root != root {
+		t.Errorf("Root = %q, want %q", l.Root, root)
+	}
+}
+
+func TestNewLoaderNoModule(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil || !strings.Contains(err.Error(), "no go.mod") {
+		t.Fatalf("want no-go.mod error, got %v", err)
+	}
+}
+
+func TestNewLoaderMalformedGoMod(t *testing.T) {
+	root := writeModule(t, map[string]string{"go.mod": "// no module line\n"})
+	if _, err := NewLoader(root); err == nil || !strings.Contains(err.Error(), "no module line") {
+		t.Fatalf("want missing-module-line error, got %v", err)
+	}
+}
+
+func TestLoadStdlibImporterFallback(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/mod\n\ngo 1.22\n",
+		"a.go":   "package mod\n\nimport \"strings\"\n\nfunc Up(s string) string { return strings.ToUpper(s) }\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(root, ".")
+	if err != nil {
+		t.Fatalf("Load with stdlib import: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/mod" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+}
+
+func TestLoadInternalImportAndModRel(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":          "module example.com/mod\n\ngo 1.22\n",
+		"internal/a/a.go": "package a\n\nconst N = 1\n",
+		"internal/b/b.go": "package b\n\nimport \"example.com/mod/internal/a\"\n\nconst M = a.N + 1\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	if got := pkgs[0].ModRel(); got != "internal/a" {
+		t.Errorf("ModRel = %q, want internal/a", got)
+	}
+	// Type identity must hold across the run: b's view of a.N is the same
+	// object the direct load of a produced.
+	if pkgs[0].Pkg.Scope().Lookup("N") == nil {
+		t.Error("package a lost its declaration")
+	}
+}
+
+func TestLoadTypecheckError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/mod\n\ngo 1.22\n",
+		"a.go":   "package mod\n\nvar X int = \"not an int\"\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load(root, "."); err == nil || !strings.Contains(err.Error(), "typecheck") {
+		t.Fatalf("want typecheck error, got %v", err)
+	}
+}
+
+func TestLoadParseError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/mod\n\ngo 1.22\n",
+		"a.go":   "package mod\n\nfunc broken( {\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load(root, "."); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestLoadNoGoFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":     "module example.com/mod\n\ngo 1.22\n",
+		"empty/x.md": "nothing\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load(root, "./empty"); err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Fatalf("want no-Go-files error, got %v", err)
+	}
+}
+
+func TestLoadOutsideModule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/mod\n\ngo 1.22\n",
+		"a.go":   "package mod\n",
+	})
+	outside := writeModule(t, map[string]string{"x.go": "package x\n"})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load(root, outside); err == nil || !strings.Contains(err.Error(), "outside module") {
+		t.Fatalf("want outside-module error, got %v", err)
+	}
+}
+
+func TestExpandSkipsTestdataAndHidden(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":               "module example.com/mod\n\ngo 1.22\n",
+		"a.go":                 "package mod\n",
+		"testdata/fix/f.go":    "package fix\n",
+		".hidden/h.go":         "package h\n",
+		"_skip/s.go":           "package s\n",
+		"nested/pkg/p.go":      "package pkg\n",
+		"nested/pkg/p_test.go": "package pkg\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"example.com/mod", "example.com/mod/nested/pkg"}
+	if len(paths) != len(want) || paths[0] != want[0] || paths[1] != want[1] {
+		t.Errorf("Load ./... = %v, want %v (testdata, dot and underscore dirs skipped)", paths, want)
+	}
+}
+
+// TestPositionMapping pins the diagnostic coordinate system: positions
+// map to module-relative slash paths with 1-based line/column.
+func TestPositionMapping(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadAs(filepath.Join("testdata", "lockorder"), "nvscavenger/internal/lintfixture/loadcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := NewSuite("lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := suite.Run([]*Package{pkg})
+	if len(diags) == 0 {
+		t.Fatal("fixture should produce findings")
+	}
+	for _, d := range diags {
+		if !strings.HasPrefix(d.File, "testdata/lockorder/") || strings.Contains(d.File, "\\") {
+			t.Errorf("diagnostic file %q is not module-relative slash form", d.File)
+		}
+		if d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("diagnostic %s has non-positive coordinates", d)
+		}
+	}
+}
+
+func TestSuppressedSameAndPrecedingLine(t *testing.T) {
+	p := &Package{ignores: map[string]map[int][]string{
+		"f.go": {10: {"determinism"}},
+	}}
+	if !p.suppressed("f.go", 10, "determinism") {
+		t.Error("same-line suppression should apply")
+	}
+	if !p.suppressed("f.go", 11, "determinism") {
+		t.Error("next-line finding should be covered by the preceding directive")
+	}
+	if p.suppressed("f.go", 12, "determinism") {
+		t.Error("directive must not reach two lines down")
+	}
+	if p.suppressed("f.go", 10, "lockorder") {
+		t.Error("suppression is per pass")
+	}
+}
+
+// --- astutil coverage ---
+
+func parseSnippet(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestDeclName(t *testing.T) {
+	_, f := parseSnippet(t, `package x
+
+func Plain() {}
+
+type T struct{}
+
+func (t *T) Method() {}
+
+type G[E any] struct{}
+
+func (g *G[E]) Generic() {}
+
+var V = 1
+`)
+	want := []string{"Plain", "-", "T.Method", "-", "G.Generic", "-"}
+	for i, d := range f.Decls {
+		if got := declName(d); got != want[i] {
+			t.Errorf("declName(decl %d) = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestRecvTypeNameUnnameable(t *testing.T) {
+	if got := recvTypeName(&ast.ArrayType{}); got != "" {
+		t.Errorf("recvTypeName on unnameable receiver = %q, want empty", got)
+	}
+}
+
+func TestFuncObjectAndHelpers(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadAs(filepath.Join("testdata", "ctxflow"), "nvscavenger/internal/lintfixture/astutil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fo := funcObject(pkg, call.Fun); fo != nil {
+				calls++
+				if isPkgFunc(fo, "context", "Background") {
+					t.Errorf("fixture does not call context.Background, matched %v", fo)
+				}
+			}
+			return true
+		})
+	}
+	if calls == 0 {
+		t.Error("funcObject resolved no calls in the fixture")
+	}
+	if importedPkg(pkg, "context") == nil {
+		t.Error("importedPkg should find the context import")
+	}
+	if importedPkg(pkg, "no/such/pkg") != nil {
+		t.Error("importedPkg should miss unknown suffixes")
+	}
+	if !strings.HasSuffix(importedPkg(pkg, "lintfixture/astutil").Path(), "astutil") {
+		t.Error("importedPkg should return the package itself on a self match")
+	}
+}

@@ -1,0 +1,415 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorder proves the repo's mutex discipline at the source level: a
+// package that ever acquires one mutex while holding another must
+// declare the order with a directive, the observed acquisitions must
+// respect it, the combined acquisition graph must be acyclic, and every
+// Lock must be released on every path to return (an explicit panic
+// while holding a non-deferred lock counts as an escaping path; a
+// deferred Unlock covers panic edges by construction).
+//
+// The declaration syntax is a package-level comment:
+//
+//	//nvlint:lockorder jmu > mu
+//
+// naming locks either by bare field name ("jmu", matching any struct
+// field of that name in the package) or qualified ("Manager.jmu").
+// Chains ("a > b > c") declare every implied pair.
+type lockorder struct {
+	nopFinish
+}
+
+func init() {
+	registerPass("lockorder", func() Pass { return &lockorder{} })
+}
+
+func (*lockorder) Name() string { return "lockorder" }
+func (*lockorder) Doc() string {
+	return "nested mutex acquisitions follow the declared //nvlint:lockorder hierarchy and every Lock is released on all paths"
+}
+
+const lockorderPrefix = "//nvlint:lockorder"
+
+// lockOp is one Lock/Unlock call resolved to a canonical lock key.
+type lockOp struct {
+	key    string
+	unlock bool
+	pos    token.Pos
+}
+
+// lockEdge records "from was held when to was acquired".
+type lockEdge struct{ from, to string }
+
+func (s *lockorder) Check(p *Package, r *Reporter) {
+	decls := s.parseDecls(p, r)
+	edges := map[lockEdge]token.Pos{}
+	for _, f := range p.Files {
+		for _, body := range funcBodies(f) {
+			s.checkFunc(p, r, body, edges)
+		}
+	}
+	if len(edges) == 0 {
+		return
+	}
+	s.checkEdges(p, r, decls, edges)
+}
+
+// funcBodies returns every function body in the file: declarations plus
+// function literals, each analyzed as its own control-flow universe.
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				bodies = append(bodies, d.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, d.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// parseDecls extracts the package's lockorder declarations as ordered
+// pairs (already transitively closed per chain), reporting malformed
+// directives.
+func (s *lockorder) parseDecls(p *Package, r *Reporter) []lockEdge {
+	var pairs []lockEdge
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, lockorderPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, lockorderPrefix)
+				names := splitChain(rest)
+				if len(names) < 2 {
+					r.Report(c.Pos(), "lockorder", "malformed lockorder directive: want //nvlint:lockorder <outer> > <inner> [> ...]")
+					continue
+				}
+				for i := 0; i < len(names); i++ {
+					for j := i + 1; j < len(names); j++ {
+						pairs = append(pairs, lockEdge{names[i], names[j]})
+					}
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// splitChain parses "a > b > c" into its names; any malformed segment
+// yields nil.
+func splitChain(s string) []string {
+	parts := strings.Split(s, ">")
+	if len(parts) < 2 {
+		return nil
+	}
+	names := make([]string, 0, len(parts))
+	for _, part := range parts {
+		name := strings.TrimSpace(part)
+		if name == "" || strings.ContainsAny(name, " \t") {
+			return nil
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
+// checkFunc walks one function body: it records acquisition-order edges
+// under the may-held dataflow state and verifies unlock-on-all-paths for
+// every Lock site.
+func (s *lockorder) checkFunc(p *Package, r *Reporter, body *ast.BlockStmt, edges map[lockEdge]token.Pos) {
+	g := buildCFG(body)
+	hasOp := false
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if len(lockOps(p, n)) > 0 {
+				hasOp = true
+				break
+			}
+		}
+	}
+	if !hasOp {
+		return
+	}
+
+	deferred := deferredUnlockKeys(p, g)
+	transfer := func(b *Block, in factBits[string]) factBits[string] {
+		out := in.clone()
+		for _, n := range b.Nodes {
+			for _, op := range lockOps(p, n) {
+				if op.unlock {
+					delete(out, op.key)
+				} else {
+					out[op.key] = 1
+				}
+			}
+		}
+		return out
+	}
+	in := solveForward(g, transfer)
+
+	for _, blk := range g.Blocks {
+		held := in[blk].clone()
+		for i, n := range blk.Nodes {
+			for _, op := range lockOps(p, n) {
+				if op.unlock {
+					delete(held, op.key)
+					continue
+				}
+				for h := range held {
+					e := lockEdge{h, op.key}
+					if cur, ok := edges[e]; !ok || op.pos < cur {
+						edges[e] = op.pos
+					}
+				}
+				held[op.key] = 1
+				if deferred[op.key] {
+					continue
+				}
+				key := op.key
+				if g.reachesExitWithout(blk, i+1, func(stop ast.Node) bool {
+					for _, sop := range lockOps(p, stop) {
+						if sop.unlock && sop.key == key {
+							return true
+						}
+					}
+					return false
+				}) {
+					r.Report(op.pos, "lockorder",
+						"%s.Lock() is not released on every path to return (unlock on all paths or defer the Unlock)", key)
+				}
+			}
+		}
+	}
+}
+
+// checkEdges validates the observed acquisition edges against the
+// declared hierarchy and reports order cycles.
+func (s *lockorder) checkEdges(p *Package, r *Reporter, decls []lockEdge, edges map[lockEdge]token.Pos) {
+	ordered := make([]lockEdge, 0, len(edges))
+	for e := range edges {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return edges[ordered[i]] < edges[ordered[j]] })
+
+	for _, e := range ordered {
+		pos := edges[e]
+		if e.from == e.to {
+			r.Report(pos, "lockorder", "%s acquired while an acquisition of %s may still be held (self-deadlock)", e.to, e.from)
+			continue
+		}
+		switch {
+		case declaresPair(decls, e.from, e.to):
+			// Declared in this direction: fine.
+		case declaresPair(decls, e.to, e.from):
+			r.Report(pos, "lockorder",
+				"%s acquired while holding %s, reversing the declared lock order %s > %s",
+				e.to, e.from, e.to, e.from)
+		default:
+			r.Report(pos, "lockorder",
+				"%s acquired while holding %s but no order is declared; add //nvlint:lockorder %s > %s",
+				e.to, e.from, shortLock(e.from), shortLock(e.to))
+		}
+	}
+
+	// Cycle check over the observed graph: two observed edges that chain
+	// back to their origin deadlock under the right schedule even if each
+	// is individually declared somewhere.
+	adj := map[string][]string{}
+	for _, e := range ordered {
+		if e.from != e.to {
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+	if cycle := findCycle(adj); len(cycle) > 0 {
+		e := lockEdge{cycle[len(cycle)-2], cycle[len(cycle)-1]}
+		r.Report(edges[e], "lockorder", "acquisition-order cycle: %s", strings.Join(cycle, " -> "))
+	}
+}
+
+// declaresPair reports whether the declarations order a before b,
+// matching either qualified keys ("Manager.jmu") or bare field names.
+func declaresPair(decls []lockEdge, a, b string) bool {
+	for _, d := range decls {
+		if lockNameMatches(d.from, a) && lockNameMatches(d.to, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockNameMatches matches a declared name against a canonical lock key:
+// qualified names must be equal, bare names match the key's field part.
+func lockNameMatches(decl, key string) bool {
+	if decl == key {
+		return true
+	}
+	if !strings.Contains(decl, ".") {
+		return shortLock(key) == decl
+	}
+	return false
+}
+
+// shortLock returns the field part of a qualified lock key.
+func shortLock(key string) string {
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// findCycle returns one cycle in adj as a node path ending where it
+// started, or nil.  Roots are visited in sorted order so findings are
+// deterministic.
+func findCycle(adj map[string][]string) []string {
+	roots := make([]string, 0, len(adj))
+	for k := range adj {
+		roots = append(roots, k)
+	}
+	sort.Strings(roots)
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := map[string]int{}
+	var path []string
+	var dfs func(n string) []string
+	dfs = func(n string) []string {
+		state[n] = visiting
+		path = append(path, n)
+		next := append([]string(nil), adj[n]...)
+		sort.Strings(next)
+		for _, m := range next {
+			switch state[m] {
+			case visiting:
+				for i, pn := range path {
+					if pn == m {
+						return append(append([]string(nil), path[i:]...), m)
+					}
+				}
+			case 0:
+				if c := dfs(m); c != nil {
+					return c
+				}
+			}
+		}
+		state[n] = done
+		path = path[:len(path)-1]
+		return nil
+	}
+	for _, root := range roots {
+		if state[root] == 0 {
+			if c := dfs(root); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// deferredUnlockKeys collects the lock keys released by defer statements
+// anywhere in the function: both `defer mu.Unlock()` and unlocks inside a
+// deferred closure.  Deferred releases run on every exit path including
+// panics, so these keys are exempt from the unlock-on-all-paths walk.
+func deferredUnlockKeys(p *Package, g *CFG) map[string]bool {
+	keys := map[string]bool{}
+	for _, d := range g.Defers {
+		if op, ok := asLockOp(p, d.Call); ok && op.unlock {
+			keys[op.key] = true
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if op, ok := asLockOp(p, call); ok && op.unlock {
+						keys[op.key] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return keys
+}
+
+// lockOps extracts the Lock/Unlock calls directly inside n, in source
+// order, skipping nested function literals (their bodies are analyzed as
+// their own functions) and deferred statements (a deferred Unlock keeps
+// the lock held to the end of the function by design).
+func lockOps(p *Package, n ast.Node) []lockOp {
+	var ops []lockOp
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := asLockOp(p, x); ok {
+				ops = append(ops, op)
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// asLockOp resolves call as a sync mutex Lock/Unlock (or RLock/RUnlock)
+// and derives its canonical key.
+func asLockOp(p *Package, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	f, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	var unlock bool
+	switch f.Name() {
+	case "Lock", "RLock":
+		unlock = false
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return lockOp{}, false
+	}
+	key := lockKey(p, sel.X)
+	if key == "" {
+		return lockOp{}, false
+	}
+	return lockOp{key: key, unlock: unlock, pos: call.Pos()}, true
+}
+
+// lockKey canonicalizes the mutex operand: "Type.field" for a struct
+// field, the variable name for locals and package vars.
+func lockKey(p *Package, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		t := p.Info.TypeOf(x.X)
+		if t == nil {
+			return ""
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return x.Sel.Name
+		}
+		return fmt.Sprintf("%s.%s", named.Obj().Name(), x.Sel.Name)
+	}
+	return ""
+}

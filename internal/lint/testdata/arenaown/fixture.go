@@ -1,0 +1,151 @@
+// Package fixture exercises the arena ownership protocol: every batch
+// from Get must reach exactly one hand-off on every path and must not be
+// touched after it.
+package fixture
+
+import (
+	"errors"
+
+	"nvscavenger/internal/pipeline"
+	"nvscavenger/internal/trace"
+)
+
+var errBoom = errors.New("boom")
+
+// owner may hold batches: it exposes Release to hand them back.
+type owner struct {
+	arena   *trace.Arena[int]
+	chunks  [][]int
+	scratch []int
+}
+
+func (o *owner) Release() {
+	for _, c := range o.chunks {
+		o.arena.Put(c)
+	}
+	o.chunks = nil
+}
+
+// hoarder has no Release method, so it can never hand a batch back.
+type hoarder struct {
+	buf []int
+}
+
+// balanced is fine: Get and Put pair on the only path.
+func balanced(a *trace.Arena[int]) int {
+	b := a.Get()
+	n := len(b)
+	a.Put(b)
+	return n
+}
+
+// staged is fine: the batch lands in an owning field.
+func staged(o *owner) {
+	o.chunks = append(o.chunks, o.arena.Get())
+}
+
+// construct is fine: an owning composite literal absorbs the batch.
+func construct(a *trace.Arena[int]) *owner {
+	return &owner{arena: a, scratch: a.Get()[:0]}
+}
+
+// consume recycles the batch itself, so callers may hand theirs over.
+//
+//nvlint:arenaown transfer
+func consume(a *trace.Arena[int], b []int) {
+	a.Put(b)
+}
+
+// viaTransfer is fine: the annotated callee takes ownership.
+func viaTransfer(a *trace.Arena[int]) {
+	b := a.Get()
+	consume(a, b)
+}
+
+// deferred is fine: the Put runs on every exit path.
+func deferred(a *trace.Arena[int], f func([]int)) {
+	b := a.Get()
+	defer a.Put(b)
+	f(b)
+}
+
+// leak drops the batch: no hand-off on any path.
+func leak(a *trace.Arena[int]) int {
+	b := a.Get()
+	return len(b)
+}
+
+// leakOnError hands the batch back only on the success path.
+func leakOnError(a *trace.Arena[int], fail bool) error {
+	b := a.Get()
+	if fail {
+		return errBoom
+	}
+	a.Put(b)
+	return nil
+}
+
+// useAfter touches the batch after the arena may have reissued it.
+func useAfter(a *trace.Arena[int]) int {
+	b := a.Get()
+	a.Put(b)
+	return len(b)
+}
+
+// hoard stores the batch where no Release can ever reach it.
+func hoard(h *hoarder, a *trace.Arena[int]) {
+	h.buf = a.Get()
+}
+
+// discard throws the batch away outright.
+func discard(a *trace.Arena[int]) {
+	a.Get()
+}
+
+// sink is an ordinary function, not a documented transfer point.
+func sink(b []int) {}
+
+// viaPlainCall hands the batch to a callee nobody vouched for.
+func viaPlainCall(a *trace.Arena[int]) {
+	sink(a.Get())
+}
+
+var global []int
+
+// toGlobal parks the batch in package state.
+func toGlobal(a *trace.Arena[int]) {
+	global = a.Get()
+}
+
+// deliverSafe is fine: the deferred Release covers every path.
+func deliverSafe(c *pipeline.TxChunkCapture, f func([]trace.Transaction) error) error {
+	defer c.Release()
+	return c.Deliver(f)
+}
+
+// deliverLeak releases only on the success path: an error return leaks
+// the capture's chunks out of the arena accounting.
+func deliverLeak(c *pipeline.TxChunkCapture, f func([]trace.Transaction) error) error {
+	if err := c.Deliver(f); err != nil {
+		return err
+	}
+	c.Release()
+	return nil
+}
+
+var (
+	_ = balanced
+	_ = staged
+	_ = construct
+	_ = viaTransfer
+	_ = deferred
+	_ = leak
+	_ = leakOnError
+	_ = useAfter
+	_ = hoard
+	_ = discard
+	_ = viaPlainCall
+	_ = toGlobal
+	_ = deliverSafe
+	_ = deliverLeak
+)

@@ -1,0 +1,97 @@
+// Package fixture exercises goroutine-lifecycle ties: every launch must
+// be bound to a context, a join, or a channel protocol, contexts stay
+// out of structs, and unbounded loops must consult cancellation.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// watch is fine: the goroutine's lifetime is the context's.
+func watch(ctx context.Context, f func()) {
+	go func() {
+		<-ctx.Done()
+		f()
+	}()
+}
+
+// fanOut is fine: every worker joins through the WaitGroup.
+func fanOut(fs []func()) {
+	var wg sync.WaitGroup
+	for _, f := range fs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+// signal is fine: the body closes a channel the launcher receives from.
+func signal(f func()) {
+	done := make(chan struct{})
+	go func() {
+		f()
+		close(done)
+	}()
+	<-done
+}
+
+// drain is fine: ranging over the channel bounds the goroutine by the
+// sender's close.
+func drain(ch chan int, f func(int)) {
+	go func() {
+		for v := range ch {
+			f(v)
+		}
+	}()
+}
+
+// pump is fine: the unbounded loop checks cancellation every turn.
+func pump(ctx context.Context, f func()) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		f()
+	}
+}
+
+// leakGoroutine is fire-and-forget: nothing ever stops or joins it.
+func leakGoroutine(f func()) {
+	go func() {
+		f()
+	}()
+}
+
+// launchOpaque hides the body behind a function value, so no tie can be
+// proven.
+func launchOpaque(f func()) {
+	go f()
+}
+
+// carrier stores a context outside the allowlist.
+type carrier struct {
+	ctx context.Context
+}
+
+// spin never consults cancellation, so no Drain or Close can stop it.
+func spin(n *int) {
+	for {
+		*n++
+	}
+}
+
+var (
+	_ = watch
+	_ = fanOut
+	_ = signal
+	_ = drain
+	_ = pump
+	_ = leakGoroutine
+	_ = launchOpaque
+	_ = carrier{}
+	_ = spin
+)

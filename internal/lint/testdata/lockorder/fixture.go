@@ -1,0 +1,98 @@
+// Package fixture exercises the lock-order contract: nested acquisitions
+// must follow the declared hierarchy and every Lock must be released on
+// all paths.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+//nvlint:lockorder Registry.mu > entry.mu
+
+var errBusy = errors.New("busy")
+
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+}
+
+type entry struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Total is fine: the nesting follows the declared order and both locks
+// are released on every path.
+func (r *Registry) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, e := range r.entries {
+		e.mu.Lock()
+		total += e.n
+		e.mu.Unlock()
+	}
+	return total
+}
+
+// Flip is fine: branch-dependent unlocks still cover every path.
+func (r *Registry) Flip(x bool) {
+	r.mu.Lock()
+	if x {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+}
+
+// steal reverses the declared order (and with Total's forward edge the
+// observed graph now has a cycle).
+func (e *entry) steal(r *Registry) {
+	e.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	e.mu.Unlock()
+}
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// undeclared nests two locks with no declared order.
+func undeclared() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// Grab leaks the lock on the failure path.
+func (r *Registry) Grab(fail bool) error {
+	r.mu.Lock()
+	if fail {
+		return errBusy
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// relock acquires a lock it may already hold.
+func (r *Registry) relock() {
+	r.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+//nvlint:lockorder mu
+
+var (
+	_ = (*Registry).Total
+	_ = (*Registry).Flip
+	_ = (*entry).steal
+	_ = undeclared
+	_ = (*Registry).Grab
+	_ = (*Registry).relock
+)

@@ -117,6 +117,7 @@ func (s *ShardedStack) Merge() (*Stack, error) {
 	if s.merged != nil {
 		return s.merged, nil
 	}
+	defer s.releaseCaptures()
 	var err error
 	for _, st := range s.stacks {
 		if cerr := st.Close(); cerr != nil && err == nil {
@@ -184,8 +185,9 @@ func (s *ShardedStack) Merge() (*Stack, error) {
 	return merged, nil
 }
 
-// Close aborts a sharded run, closing every shard; Merge closes them itself,
-// so Close is only needed on error paths.
+// Close aborts a sharded run, closing every shard and handing captured
+// arena chunks back; Merge closes the shards itself, so Close is only
+// needed on error paths.
 func (s *ShardedStack) Close() error {
 	var err error
 	for _, st := range s.stacks {
@@ -193,7 +195,21 @@ func (s *ShardedStack) Close() error {
 			err = cerr
 		}
 	}
+	s.releaseCaptures()
 	return err
+}
+
+// releaseCaptures hands every per-shard capture's chunks back to the
+// arenas.  Release is idempotent, so this is safe after a successful
+// Merge (which releases each capture as it is delivered) and is what
+// keeps error returns from leaking chunks out of the arena accounting.
+func (s *ShardedStack) releaseCaptures() {
+	for _, c := range s.txCaps {
+		c.Release()
+	}
+	for _, c := range s.perfCaps {
+		c.Release()
+	}
 }
 
 // publishPipelineMetrics records the pipeline_* series a K=1 Counted-

@@ -324,3 +324,75 @@ func TestShardedArenaReuse(t *testing.T) {
 		t.Errorf("second run allocated %d fresh transaction slabs", a-txAllocs)
 	}
 }
+
+// outstanding reports how many slabs an arena has handed out and not yet
+// gotten back: every Get either allocates or reuses a parked slab, every
+// Put parks one, so Gets - Reuses - Free is the live count.
+func outstanding[T any](a *trace.Arena[T]) uint64 {
+	return a.Gets() - a.Reuses() - uint64(a.Free())
+}
+
+// TestShardedMergeErrorReleasesChunks pins the error-path ownership
+// contract: when a TxSink fails mid-merge, every arena chunk the
+// per-shard captures staged must still be handed back — nvlint's
+// arenaown pass proves the same property statically (the Deliver calls
+// in Merge are covered by the deferred releaseCaptures).
+func TestShardedMergeErrorReleasesChunks(t *testing.T) {
+	arenas := NewArenas(0)
+	cache := cachesim.PaperConfig()
+	sinkErr := fmt.Errorf("sink failed")
+	cfg := Config{
+		StackMode: memtrace.FastStack,
+		Cache:     &cache,
+		Arenas:    arenas,
+		TxSinks: []trace.TxSink{trace.TxSinkFunc(func([]trace.Transaction) error {
+			return sinkErr
+		})},
+	}
+	ss, err := BuildSharded(cfg, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < ss.Shards(); k++ {
+		a, err := apps.New("gtc", 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := apps.Run(a, ss.Stack(k).Tracer, ss.RunIterations(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ss.Merge(); err == nil {
+		t.Fatal("Merge with a failing TxSink must return its error")
+	}
+	if n := outstanding(arenas.Tx); n != 0 {
+		t.Errorf("failed Merge leaked %d transaction slab(s) out of the arena", n)
+	}
+}
+
+// TestShardedCloseReleasesChunks pins the abort path: Close on a sharded
+// stack that was never merged must hand every captured chunk back.
+func TestShardedCloseReleasesChunks(t *testing.T) {
+	arenas := NewArenas(0)
+	cache := cachesim.PaperConfig()
+	cfg := Config{StackMode: memtrace.FastStack, Cache: &cache, CaptureTx: true, Arenas: arenas}
+	ss, err := BuildSharded(cfg, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < ss.Shards(); k++ {
+		a, err := apps.New("gtc", 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := apps.Run(a, ss.Stack(k).Tracer, ss.RunIterations(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := outstanding(arenas.Tx); n != 0 {
+		t.Errorf("Close leaked %d transaction slab(s) out of the arena", n)
+	}
+}

@@ -140,6 +140,8 @@ type Manager struct {
 	// and Drain hold it across their state flips, so the journal's record
 	// order always matches the queue's.  Lock hierarchy: jmu → mu →
 	// Job.mu; never the reverse.
+	//
+	//nvlint:lockorder jmu > mu
 	jmu           sync.Mutex
 	journal       *journal.Journal
 	journalErrors *obs.Counter
